@@ -1,0 +1,97 @@
+//! Break-even (crossover) solvers.
+//!
+//! The paper's Fig 10 asks: after how many inferences (or days of continuous
+//! operation) does a device's cumulative *operational* carbon equal its
+//! *manufacturing* carbon? For a constant per-unit emission rate that is a
+//! division; for general monotone accumulation functions this module provides
+//! a bisection solver.
+
+/// Break-even count for a fixed budget consumed at a constant per-unit rate:
+/// `budget / per_unit`.
+///
+/// Returns `None` when `per_unit` is not strictly positive (the budget is
+/// never amortized — e.g. operation powered by zero-carbon energy).
+///
+/// ```
+/// // 25 kg manufacturing budget, 5 µg per inference:
+/// let n = cc_analysis::crossover::linear_breakeven(25_000.0, 5e-6).unwrap();
+/// assert_eq!(n, 5e9);
+/// ```
+#[must_use]
+pub fn linear_breakeven(budget: f64, per_unit: f64) -> Option<f64> {
+    if per_unit > 0.0 && budget >= 0.0 {
+        Some(budget / per_unit)
+    } else {
+        None
+    }
+}
+
+/// Finds `x` in `[lo, hi]` where the monotone non-decreasing function `f`
+/// crosses `target`, by bisection to relative tolerance `rel_tol`.
+///
+/// Returns `None` when `target` is not bracketed by `f(lo)` and `f(hi)`.
+///
+/// # Panics
+///
+/// Panics in debug builds when `lo > hi` or `rel_tol <= 0`.
+pub fn bisect_crossing(
+    mut lo: f64,
+    mut hi: f64,
+    target: f64,
+    rel_tol: f64,
+    f: impl Fn(f64) -> f64,
+) -> Option<f64> {
+    debug_assert!(lo <= hi, "invalid bracket");
+    debug_assert!(rel_tol > 0.0, "tolerance must be positive");
+    let (flo, fhi) = (f(lo), f(hi));
+    if flo > target || fhi < target {
+        return None;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if (hi - lo) <= rel_tol * mid.abs().max(1e-300) {
+            return Some(mid);
+        }
+        if f(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_cases() {
+        assert_eq!(linear_breakeven(100.0, 2.0), Some(50.0));
+        assert_eq!(linear_breakeven(100.0, 0.0), None);
+        assert_eq!(linear_breakeven(100.0, -1.0), None);
+        assert_eq!(linear_breakeven(-1.0, 1.0), None);
+        assert_eq!(linear_breakeven(0.0, 1.0), Some(0.0));
+    }
+
+    #[test]
+    fn bisection_matches_linear() {
+        let n = bisect_crossing(0.0, 1e12, 25_000.0, 1e-12, |x| x * 5e-6).unwrap();
+        assert!((n - 5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn bisection_nonlinear() {
+        // Cumulative emissions with an efficiency-decay term.
+        let f = |days: f64| 10.0 * days + 0.01 * days * days;
+        let crossing = bisect_crossing(0.0, 10_000.0, 5_000.0, 1e-9, f).unwrap();
+        let expected = (-10.0 + (100.0f64 + 4.0 * 0.01 * 5_000.0).sqrt()) / (2.0 * 0.01);
+        assert!((crossing - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bisection_unbracketed() {
+        assert!(bisect_crossing(0.0, 10.0, 1_000.0, 1e-9, |x| x).is_none());
+        assert!(bisect_crossing(5.0, 10.0, 1.0, 1e-9, |x| x).is_none());
+    }
+}

@@ -1,0 +1,15 @@
+//! # cc-analysis
+//!
+//! Generic analysis machinery for carbon-footprint studies: Pareto frontiers,
+//! time series, growth projections, crossover (break-even) search and summary
+//! statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crossover;
+pub mod pareto;
+pub mod projections;
+pub mod series;
+pub mod stats;
+pub mod uncertainty;

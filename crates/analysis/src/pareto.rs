@@ -1,0 +1,163 @@
+//! Pareto-frontier computation for benefit/cost trade-off studies.
+//!
+//! Fig 8 of the paper plots AI inference throughput (maximize) against
+//! manufacturing carbon footprint (minimize) and draws the Pareto frontier
+//! for the 2017 and 2019 device cohorts. This module provides the frontier
+//! computation for arbitrary point sets in that orientation.
+
+/// A point in benefit/cost space: `benefit` is maximized (e.g. throughput),
+/// `cost` is minimized (e.g. manufacturing CO₂e).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Point<T> {
+    /// The quantity being maximized.
+    pub benefit: f64,
+    /// The quantity being minimized.
+    pub cost: f64,
+    /// Caller payload (device name, configuration, …).
+    pub tag: T,
+}
+
+impl<T> Point<T> {
+    /// Creates a point.
+    pub fn new(benefit: f64, cost: f64, tag: T) -> Self {
+        Self { benefit, cost, tag }
+    }
+
+    /// `self` dominates `other` when it is at least as good on both axes and
+    /// strictly better on one.
+    #[must_use]
+    pub fn dominates(&self, other: &Self) -> bool {
+        (self.benefit >= other.benefit && self.cost <= other.cost)
+            && (self.benefit > other.benefit || self.cost < other.cost)
+    }
+}
+
+/// Computes the Pareto frontier of `points` (maximize benefit, minimize
+/// cost), returned sorted by ascending cost.
+///
+/// Duplicate-coordinate points are all kept (none dominates the other).
+///
+/// ```
+/// use cc_analysis::pareto::{frontier, Point};
+///
+/// let pts = vec![
+///     Point::new(35.0, 63.0, "iPhone X"),
+///     Point::new(20.0, 45.0, "Pixel 3a"),
+///     Point::new(15.0, 50.0, "Pixel 3"), // dominated by Pixel 3a
+/// ];
+/// let front = frontier(&pts);
+/// assert_eq!(front.len(), 2);
+/// assert_eq!(front[0].tag, "Pixel 3a");
+/// ```
+pub fn frontier<T: Clone>(points: &[Point<T>]) -> Vec<Point<T>> {
+    let mut front: Vec<Point<T>> = points
+        .iter()
+        .filter(|candidate| !points.iter().any(|other| other.dominates(candidate)))
+        .cloned()
+        .collect();
+    front.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .unwrap_or(core::cmp::Ordering::Equal)
+            .then(a.benefit.partial_cmp(&b.benefit).unwrap_or(core::cmp::Ordering::Equal))
+    });
+    front
+}
+
+/// Measures how far frontier `b` has shifted relative to frontier `a` along
+/// the benefit axis: the mean ratio of `b`'s best benefit to `a`'s best
+/// benefit at matching cost budgets (sampled at `b`'s frontier costs).
+///
+/// A value above 1 means the newer frontier delivers more benefit for the
+/// same cost — the paper's observation that between 2017 and 2019 the
+/// frontier "shifted primarily to the right" (more performance, not less
+/// carbon).
+pub fn benefit_shift<T: Clone>(a: &[Point<T>], b: &[Point<T>]) -> f64 {
+    let best_at = |front: &[Point<T>], cost: f64| -> Option<f64> {
+        front
+            .iter()
+            .filter(|p| p.cost <= cost)
+            .map(|p| p.benefit)
+            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+    };
+    let mut ratios = Vec::new();
+    for p in b {
+        if let (Some(nb), Some(ob)) = (best_at(b, p.cost), best_at(a, p.cost)) {
+            if ob > 0.0 {
+                ratios.push(nb / ob);
+            }
+        }
+    }
+    if ratios.is_empty() {
+        1.0
+    } else {
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Vec<Point<&'static str>> {
+        vec![
+            Point::new(4.0, 30.0, "a"),
+            Point::new(8.0, 34.0, "b"),
+            Point::new(12.0, 38.0, "c"),
+            Point::new(10.0, 40.0, "d"),  // dominated by c
+            Point::new(35.0, 63.0, "e"),
+            Point::new(3.0, 31.0, "f"),   // dominated by a
+        ]
+    }
+
+    #[test]
+    fn frontier_excludes_dominated() {
+        let front = frontier(&pts());
+        let tags: Vec<_> = front.iter().map(|p| p.tag).collect();
+        assert_eq!(tags, vec!["a", "b", "c", "e"]);
+    }
+
+    #[test]
+    fn frontier_is_sorted_and_monotone() {
+        let front = frontier(&pts());
+        for pair in front.windows(2) {
+            assert!(pair[0].cost <= pair[1].cost);
+            assert!(pair[0].benefit <= pair[1].benefit);
+        }
+    }
+
+    #[test]
+    fn dominance_relation() {
+        let a = Point::new(10.0, 5.0, ());
+        let b = Point::new(8.0, 6.0, ());
+        let c = Point::new(10.0, 5.0, ());
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c), "equal points do not dominate");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<Point<()>> = Vec::new();
+        assert!(frontier(&empty).is_empty());
+        let single = vec![Point::new(1.0, 1.0, ())];
+        assert_eq!(frontier(&single).len(), 1);
+    }
+
+    #[test]
+    fn benefit_shift_detects_rightward_movement() {
+        let old = frontier(&pts());
+        let mut newer = pts();
+        newer.push(Point::new(70.0, 60.0, "new-flagship"));
+        let newer = frontier(&newer);
+        let shift = benefit_shift(&old, &newer);
+        assert!(shift > 1.1, "shift {shift}");
+    }
+
+    #[test]
+    fn benefit_shift_identity() {
+        let front = frontier(&pts());
+        let shift = benefit_shift(&front, &front);
+        assert!((shift - 1.0).abs() < 1e-12);
+    }
+}

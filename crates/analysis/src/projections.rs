@@ -1,0 +1,133 @@
+//! Growth-curve models for demand projection.
+//!
+//! Fig 1's ICT projections are growth curves; this module provides the two
+//! standard shapes (exponential and logistic), a least-squares fitter for the
+//! exponential case, and projection of a [`YearSeries`] forward.
+
+use crate::series::YearSeries;
+use crate::stats;
+
+/// A growth model for a scalar demand curve.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum GrowthModel {
+    /// `v(t) = v0 · (1 + r)^(t − t0)`.
+    Exponential {
+        /// Reference year.
+        t0: u16,
+        /// Value at the reference year.
+        v0: f64,
+        /// Annual growth rate (0.05 = 5 %/yr).
+        rate: f64,
+    },
+    /// `v(t) = cap / (1 + exp(−k · (t − midpoint)))` — saturating adoption.
+    Logistic {
+        /// Carrying capacity (saturation value).
+        cap: f64,
+        /// Steepness.
+        k: f64,
+        /// Inflection year.
+        midpoint: f64,
+    },
+}
+
+impl GrowthModel {
+    /// Evaluates the model at (fractional) year `t`.
+    #[must_use]
+    pub fn value_at(&self, t: f64) -> f64 {
+        match *self {
+            Self::Exponential { t0, v0, rate } => v0 * (1.0 + rate).powf(t - f64::from(t0)),
+            Self::Logistic { cap, k, midpoint } => cap / (1.0 + (-k * (t - midpoint)).exp()),
+        }
+    }
+
+    /// Samples the model over an inclusive year range.
+    #[must_use]
+    pub fn sample(&self, from: u16, to: u16) -> YearSeries {
+        (from..=to).map(|y| (y, self.value_at(f64::from(y)))).collect()
+    }
+
+    /// Fits an exponential model to a positive-valued series by linear
+    /// regression in log space.
+    ///
+    /// Returns `None` with fewer than two samples or non-positive values.
+    #[must_use]
+    pub fn fit_exponential(series: &YearSeries) -> Option<Self> {
+        if series.len() < 2 || series.values().any(|v| v <= 0.0) {
+            return None;
+        }
+        let pts: Vec<(f64, f64)> = series
+            .iter()
+            .map(|(y, v)| (f64::from(y), v.ln()))
+            .collect();
+        let (a, b) = stats::linear_fit(&pts)?;
+        let t0 = series.years().next()?;
+        Some(Self::Exponential {
+            t0,
+            v0: (a + b * f64::from(t0)).exp(),
+            rate: b.exp() - 1.0,
+        })
+    }
+}
+
+/// Projects a series forward to `to` using an exponential fit of its history.
+///
+/// Returns `None` when the series cannot be fit.
+#[must_use]
+pub fn project_exponential(series: &YearSeries, to: u16) -> Option<YearSeries> {
+    let model = GrowthModel::fit_exponential(series)?;
+    let from = series.years().next()?;
+    Some(model.sample(from, to))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_round_trips_through_fit() {
+        let truth = GrowthModel::Exponential { t0: 2010, v0: 100.0, rate: 0.07 };
+        let series = truth.sample(2010, 2020);
+        let fit = GrowthModel::fit_exponential(&series).unwrap();
+        // The fit must recover the value at an extrapolated year closely.
+        let err = (fit.value_at(2030.0) / truth.value_at(2030.0) - 1.0).abs();
+        assert!(err < 1e-6, "err {err}");
+    }
+
+    #[test]
+    fn logistic_saturates() {
+        let m = GrowthModel::Logistic { cap: 1_000.0, k: 0.5, midpoint: 2020.0 };
+        assert!((m.value_at(2020.0) - 500.0).abs() < 1e-9);
+        assert!(m.value_at(2050.0) > 999.0);
+        assert!(m.value_at(1990.0) < 1.0);
+        let s = m.sample(2010, 2030);
+        assert!(s.is_monotone_nondecreasing());
+    }
+
+    #[test]
+    fn projection_of_datacenter_demand() {
+        // The expected-case datacenter segment of Fig 1, projected from its
+        // own first decade: growth should continue, roughly 10-18%/yr.
+        let dc: YearSeries = cc_first_decade();
+        let projected = project_exponential(&dc, 2030).unwrap();
+        let v2030 = projected.get(2030).unwrap();
+        assert!(v2030 > 1_500.0 && v2030 < 4_000.0, "2030 projection {v2030}");
+        let model = GrowthModel::fit_exponential(&dc).unwrap();
+        if let GrowthModel::Exponential { rate, .. } = model {
+            assert!(rate > 0.08 && rate < 0.20, "rate {rate}");
+        }
+    }
+
+    fn cc_first_decade() -> YearSeries {
+        // 2010..2020 samples of the expected datacenter curve (250..800 TWh).
+        YearSeries::from_pairs([(2010, 250.0), (2015, 400.0), (2020, 800.0)])
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_input() {
+        assert!(GrowthModel::fit_exponential(&YearSeries::new()).is_none());
+        let negative = YearSeries::from_pairs([(2010, -1.0), (2011, 2.0)]);
+        assert!(GrowthModel::fit_exponential(&negative).is_none());
+        let single = YearSeries::from_pairs([(2010, 1.0)]);
+        assert!(GrowthModel::fit_exponential(&single).is_none());
+    }
+}

@@ -1,0 +1,82 @@
+//! Small summary-statistics helpers.
+//!
+//! Fig 6 reports "one standard deviation of manufacturing and operational-use
+//! breakdowns" across device models; these helpers compute the category
+//! means/deviations used there.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Sample standard deviation (n − 1 denominator). Returns `None` with fewer
+/// than two values.
+#[must_use]
+pub fn stddev(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// Mean and sample standard deviation in one pass-friendly call; the
+/// deviation is 0 for singletons.
+#[must_use]
+pub fn mean_std(values: &[f64]) -> Option<(f64, f64)> {
+    let m = mean(values)?;
+    Some((m, stddev(values).unwrap_or(0.0)))
+}
+
+/// Ordinary least-squares fit `y = a + b·x`; returns `(a, b)`.
+///
+/// Returns `None` with fewer than two points or zero x-variance.
+#[must_use]
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-30 {
+        return None;
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    Some((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(stddev(&[1.0]), None);
+        let sd = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((sd - 2.138).abs() < 1e-3);
+        assert_eq!(mean_std(&[5.0]), Some((5.0, 0.0)));
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (f64::from(i), 3.0 + 2.0 * f64::from(i))).collect();
+        let (a, b) = linear_fit(&pts).unwrap();
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert_eq!(linear_fit(&[(1.0, 1.0)]), None);
+        assert_eq!(linear_fit(&[(1.0, 1.0), (1.0, 2.0)]), None);
+    }
+}

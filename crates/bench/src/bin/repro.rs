@@ -1,0 +1,77 @@
+//! Regenerates the paper's figures and tables from the models.
+
+use cc_core::experiments;
+
+fn print_usage() {
+    eprintln!("usage: repro [--list | <experiment-key>...]");
+    eprintln!("keys:");
+    for e in experiments::all() {
+        eprintln!("  {:10}  {} — {}", e.id().key(), e.id(), e.description());
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Markdown,
+    Csv,
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for e in experiments::all() {
+            println!("{}", e.id().key());
+        }
+        return;
+    }
+    let format = if args.iter().any(|a| a == "--markdown") {
+        Format::Markdown
+    } else if args.iter().any(|a| a == "--csv") {
+        Format::Csv
+    } else {
+        Format::Text
+    };
+    args.retain(|a| a != "--markdown" && a != "--csv");
+
+    let to_run: Vec<_> = if args.is_empty() {
+        experiments::all()
+    } else {
+        let mut selected = Vec::new();
+        for key in &args {
+            match experiments::find(key) {
+                Some(e) => selected.push(e),
+                None => {
+                    eprintln!("unknown experiment `{key}`");
+                    print_usage();
+                    std::process::exit(2);
+                }
+            }
+        }
+        selected
+    };
+
+    for e in to_run {
+        let out = e.run();
+        match format {
+            Format::Text => {
+                println!("==============================================================");
+                println!("{} — {}", e.id(), e.description());
+                println!("==============================================================");
+                println!("{}", out.render());
+            }
+            Format::Markdown => {
+                println!("## {} — {}\n", e.id(), e.description());
+                println!("{}", out.render_markdown());
+            }
+            Format::Csv => {
+                println!("# {} — {}", e.id(), e.description());
+                println!("{}", out.render_csv());
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! # cc-bench
+//!
+//! The benchmark harness: Criterion benches (one group per paper figure and
+//! table, plus ablations) and the `repro` binary that regenerates any
+//! experiment's rows from the command line:
+//!
+//! ```text
+//! repro            # run everything
+//! repro --list     # list experiment keys
+//! repro fig10      # regenerate one artifact
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use cc_core::experiments;

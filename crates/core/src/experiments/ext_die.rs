@@ -1,0 +1,66 @@
+//! Extension: die-level embodied carbon across process nodes and die sizes
+//! (the ACT-style forward model).
+
+use cc_fab::{DieModel, ProcessNode};
+use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+
+/// Sweeps die area and node, showing how provisioning decisions translate to
+/// embodied carbon ("judiciously provisioning resources, scaling down
+/// hardware").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExtDieCarbon;
+
+impl Experiment for ExtDieCarbon {
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Extension("die")
+    }
+
+    fn description(&self) -> &'static str {
+        "Die-level embodied carbon by process node and die area (yield-aware)"
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        let mut out = ExperimentOutput::new();
+        let mut t = Table::new([
+            "Node",
+            "Die area (mm2)",
+            "Yield",
+            "Good dies/wafer",
+            "Embodied (kg CO2e/die)",
+        ]);
+        for node in [ProcessNode::N14, ProcessNode::N10, ProcessNode::N7, ProcessNode::N5] {
+            for area in [50.0, 100.0, 200.0, 400.0] {
+                let m = DieModel::new(node, area).expect("valid area");
+                t.row([
+                    node.to_string(),
+                    num(area, 0),
+                    format!("{:.0}%", m.yield_fraction() * 100.0),
+                    num(m.good_dies_per_wafer(), 0),
+                    num(m.embodied_carbon().as_kg(), 2),
+                ]);
+            }
+        }
+        out.table("Embodied carbon per die (TSMC wafer baseline)", t);
+        out.note(
+            "embodied carbon grows superlinearly with die area because yield decays \
+             exponentially — the quantitative case for the paper's 'scale down hardware'",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_rows_with_superlinear_area_cost() {
+        let out = ExtDieCarbon.run();
+        let t = &out.tables[0].1;
+        assert_eq!(t.len(), 16);
+        // Within one node, 8x area must cost more than 8x carbon.
+        let small: f64 = t.rows()[0][4].parse().unwrap();
+        let large: f64 = t.rows()[3][4].parse().unwrap();
+        assert!(large / small > 8.0, "{large} / {small}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Extension: DVFS energy/latency trade-off and its effect on the Fig 10
+//! break-even (Section VI, architecture).
+
+use cc_data::ai_models::CnnModel;
+use cc_lca::AmortizationAnalysis;
+use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_socsim::{dvfs, Network, Soc, UnitKind};
+use cc_units::{Energy, TimeSpan};
+
+/// Sweeps CPU frequency scales for MobileNet v3 and reports latency, energy
+/// and the resulting manufacturing break-even.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExtDvfs;
+
+impl Experiment for ExtDvfs {
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Extension("dvfs")
+    }
+
+    fn description(&self) -> &'static str {
+        "DVFS sweep on the Pixel 3 CPU: latency vs energy vs amortization time"
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        let mut out = ExperimentOutput::new();
+        let cpu = *Soc::snapdragon_845().unit(UnitKind::Cpu).expect("cpu");
+        let network = Network::build(CnnModel::MobileNetV3);
+        let scales = [0.4, 0.6, 0.8, 1.0, 1.2, 1.4];
+        let analysis = AmortizationAnalysis::new(
+            crate::experiments::fig10::pixel3_soc_budget(),
+            cc_data::us_grid_intensity(),
+        );
+
+        let mut t = Table::new([
+            "Frequency scale",
+            "Latency (ms)",
+            "Energy (mJ)",
+            "Breakeven images",
+            "Breakeven days",
+        ]);
+        for (scale, latency_s, energy_j) in dvfs::sweep(&cpu, &network, &scales) {
+            let be = analysis
+                .breakeven(
+                    Energy::from_joules(energy_j),
+                    TimeSpan::from_seconds(latency_s),
+                )
+                .expect("positive energy");
+            t.row([
+                format!("{scale:.1}x"),
+                num(latency_s * 1e3, 2),
+                num(energy_j * 1e3, 1),
+                format!("{:.2e}", be.operations),
+                num(be.days, 0),
+            ]);
+        }
+        out.table("MobileNet v3 on the Pixel 3 CPU under DVFS", t);
+
+        let opt = dvfs::energy_optimal_scale(&cpu, &network, &scales).expect("nonempty sweep");
+        out.note(format!(
+            "energy-optimal operating point: {opt:.1}x nominal frequency — downclocking saves \
+             energy per image, which *lengthens* amortization (the paper's efficiency paradox)"
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_sweep_rows() {
+        let out = ExtDvfs.run();
+        assert_eq!(out.tables[0].1.len(), 6);
+    }
+
+    #[test]
+    fn lower_frequency_means_more_breakeven_days() {
+        let out = ExtDvfs.run();
+        let days: Vec<f64> = out.tables[0]
+            .1
+            .rows()
+            .iter()
+            .map(|r| r[4].parse().unwrap())
+            .collect();
+        // 0.4x (slow, efficient) needs more days to amortize than 1.4x.
+        assert!(days[0] > days[5], "{days:?}");
+    }
+}

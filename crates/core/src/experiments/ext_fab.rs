@@ -1,0 +1,81 @@
+//! Extension: annual fab decarbonization (Section VI, devices &
+//! manufacturing) — the 3 nm fab under renewable-share and PFC-abatement
+//! recipes.
+
+use cc_fab::FabModel;
+use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+
+/// Sweeps renewable coverage for the paper's projected 3 nm fab.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExtFabDecarbonization;
+
+impl Experiment for ExtFabDecarbonization {
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Extension("fab")
+    }
+
+    fn description(&self) -> &'static str {
+        "A 7.7 TWh/yr 3nm fab under rising renewable coverage: Scope 1 vs Scope 2"
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        let mut out = ExperimentOutput::new();
+        let mut t = Table::new([
+            "Renewable share",
+            "Scope 1 (Mt/yr)",
+            "Scope 2 (Mt/yr)",
+            "Total (Mt/yr)",
+            "Per wafer (kg)",
+        ]);
+        for share in [0.0, 0.2, 0.5, 0.8, 1.0] {
+            let fab = FabModel::tsmc_3nm_2025().with_renewable_share(share);
+            t.row([
+                format!("{:.0}%", share * 100.0),
+                num(fab.scope1().as_mt(), 2),
+                num(fab.scope2().as_mt(), 2),
+                num(fab.annual_carbon().as_mt(), 2),
+                num(fab.carbon_per_wafer().as_kg(), 0),
+            ]);
+        }
+        out.table("3 nm fab annual footprint vs renewable coverage", t);
+        out.note(
+            "paper anchors: 7.7 TWh/yr projected demand; TSMC's renewable target covers 20% of \
+             fab electricity; even at 100% renewables, Scope 1 process emissions remain",
+        );
+        let fab0 = FabModel::tsmc_3nm_2025().with_renewable_share(0.0);
+        let fab100 = FabModel::tsmc_3nm_2025().with_renewable_share(1.0);
+        out.note(format!(
+            "full renewables cut the fab total {:.1}x; the floor is PFC/chemical Scope 1",
+            fab0.annual_carbon() / fab100.annual_carbon()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope1_is_constant_across_rows() {
+        let out = ExtFabDecarbonization.run();
+        let t = &out.tables[0].1;
+        assert_eq!(t.len(), 5);
+        let s1: Vec<&String> = t.rows().iter().map(|r| &r[1]).collect();
+        assert!(s1.windows(2).all(|w| w[0] == w[1]), "{s1:?}");
+    }
+
+    #[test]
+    fn totals_fall_monotonically() {
+        let out = ExtFabDecarbonization.run();
+        let totals: Vec<f64> = out.tables[0]
+            .1
+            .rows()
+            .iter()
+            .map(|r| r[3].parse().unwrap())
+            .collect();
+        for pair in totals.windows(2) {
+            assert!(pair[1] < pair[0]);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Extension: fleet heterogeneity / specialization (Section VI, systems).
+
+use cc_dcsim::heterogeneity::{provision, SkuCapability};
+use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_units::CarbonIntensity;
+
+/// Compares general-purpose and accelerator fleets across grids and demand
+/// scales.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExtHeterogeneity;
+
+impl Experiment for ExtHeterogeneity {
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Extension("hetero")
+    }
+
+    fn description(&self) -> &'static str {
+        "Specialized accelerators vs general-purpose fleets: yearly opex+capex carbon"
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        let mut out = ExperimentOutput::new();
+        let mut t = Table::new([
+            "Grid",
+            "Demand (units)",
+            "General total (t/yr)",
+            "Accelerator total (t/yr)",
+            "Advantage",
+            "Accel capex share",
+        ]);
+        for (grid_name, g) in [("US 380", 380.0), ("Wind 11", 11.0)] {
+            for demand in [1_000.0, 10_000.0, 100_000.0] {
+                let grid = CarbonIntensity::from_g_per_kwh(g);
+                let (_, general) = provision(&SkuCapability::general_purpose(), demand, grid, 1.1);
+                let (_, special) = provision(&SkuCapability::accelerator(), demand, grid, 1.1);
+                t.row([
+                    grid_name.to_string(),
+                    num(demand, 0),
+                    num(general.total().as_tonnes(), 0),
+                    num(special.total().as_tonnes(), 0),
+                    format!("{:.1}x", general.total() / special.total()),
+                    format!(
+                        "{:.0}%",
+                        100.0 * (special.capex_per_year / special.total())
+                    ),
+                ]);
+            }
+        }
+        out.table("Specialization comparison", t);
+        out.note(
+            "on a green grid the accelerator's remaining advantage is embodied carbon: \
+             fewer boxes for the same work — heterogeneity as a capex lever",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_rows_all_with_advantage_above_one() {
+        let out = ExtHeterogeneity.run();
+        let t = &out.tables[0].1;
+        assert_eq!(t.len(), 6);
+        for row in t.rows() {
+            let adv: f64 = row[4].trim_end_matches('x').parse().unwrap();
+            assert!(adv > 1.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn capex_share_rises_on_wind() {
+        let out = ExtHeterogeneity.run();
+        let t = &out.tables[0].1;
+        let us_share: f64 = t.rows()[1][5].trim_end_matches('%').parse().unwrap();
+        let wind_share: f64 = t.rows()[4][5].trim_end_matches('%').parse().unwrap();
+        assert!(wind_share > us_share);
+    }
+}

@@ -1,0 +1,118 @@
+//! Figure 2: energy consumption vs carbon footprint (Prineville), and the
+//! opex/capex pies (iPhone 3GS vs iPhone 11; Facebook with/without
+//! renewables).
+
+use crate::decomposition::CarbonDecomposition;
+use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_units::CarbonMass;
+
+/// Reproduces Fig 2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig02EnergyVsCarbon;
+
+impl Experiment for Fig02EnergyVsCarbon {
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Figure(2)
+    }
+
+    fn description(&self) -> &'static str {
+        "Prineville energy vs operational carbon; opex/capex pies for iPhones and Facebook"
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        let mut out = ExperimentOutput::new();
+
+        // Left panel: the Prineville scenario, simulated.
+        let mut t = Table::new(["Year", "Energy (GWh)", "Operational CO2e (kt, market)"]);
+        let years = cc_dcsim::prineville::simulate();
+        for y in &years {
+            t.row([
+                y.year.to_string(),
+                num(y.energy.as_gwh(), 0),
+                num(y.market_carbon.as_kt(), 1),
+            ]);
+        }
+        out.table("Prineville data center: energy vs purchased-energy carbon", t);
+        let peak = years
+            .iter()
+            .max_by(|a, b| a.market_carbon.partial_cmp(&b.market_carbon).unwrap())
+            .unwrap();
+        let last = years.last().unwrap();
+        out.note(format!(
+            "paper: carbon starts decreasing in 2017 and is near zero by 2019; \
+             measured peak {} with 2019 at {:.0}% of peak",
+            peak.year,
+            100.0 * (last.market_carbon / peak.market_carbon)
+        ));
+
+        // Right panels: the four pies.
+        let mut pies = Table::new(["System", "Opex share", "Capex share"]);
+        for name in ["iPhone 3GS", "iPhone 11"] {
+            let lca = cc_data::devices::find(name).expect("device dataset");
+            let d = CarbonDecomposition::from_footprint(&cc_lca::Footprint::from_product_lca(lca));
+            pies.row([
+                name.to_string(),
+                d.opex_share().to_string(),
+                d.capex_share().to_string(),
+            ]);
+        }
+        let fb2018 = cc_data::corporate::year_of(&cc_data::corporate::FACEBOOK, 2018).unwrap();
+        // With renewables: market-based Scope 2 against full Scope 3.
+        let with = CarbonDecomposition::new(
+            CarbonMass::from_mt(fb2018.scope1_mt + fb2018.scope2_market_mt),
+            CarbonMass::from_mt(fb2018.scope3_mt),
+        );
+        pies.row([
+            "Facebook 2018 (with renewables)".to_string(),
+            with.opex_share().to_string(),
+            with.capex_share().to_string(),
+        ]);
+        // Without renewables: location-based Scope 2 against the
+        // pre-disclosure-change Scope 3 comparable.
+        let without = CarbonDecomposition::new(
+            CarbonMass::from_mt(fb2018.scope1_mt + fb2018.scope2_location_mt),
+            CarbonMass::from_mt(cc_data::corporate::FACEBOOK_2018_SCOPE3_LEGACY_MT),
+        );
+        pies.row([
+            "Facebook 2018 (without renewables)".to_string(),
+            without.opex_share().to_string(),
+            without.capex_share().to_string(),
+        ]);
+        out.table("Opex/capex breakdown pies", pies);
+        out.note("paper: iPhone 3GS 51%/49% opex/capex; iPhone 11 14%/86%".to_string());
+        out.note(format!(
+            "paper: Facebook capex 82% with renewables / 35% without; measured {} / {}",
+            with.capex_share(),
+            without.capex_share()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pies_match_paper() {
+        let out = Fig02EnergyVsCarbon.run();
+        let pies = &out.tables[1].1;
+        assert_eq!(pies.len(), 4);
+        // iPhone 11 capex 86%.
+        assert!(pies.rows()[1][2].starts_with("86"));
+        // iPhone 3GS capex 49%.
+        assert!(pies.rows()[0][2].starts_with("49"));
+        // Facebook with renewables: capex ~82%.
+        let fb = &pies.rows()[2][2];
+        let v: f64 = fb.trim_end_matches('%').parse().unwrap();
+        assert!((v - 82.0).abs() < 1.5, "{fb}");
+    }
+
+    #[test]
+    fn prineville_table_spans_2013_to_2019() {
+        let out = Fig02EnergyVsCarbon.run();
+        let t = &out.tables[0].1;
+        assert_eq!(t.rows().first().unwrap()[0], "2013");
+        assert_eq!(t.rows().last().unwrap()[0], "2019");
+    }
+}

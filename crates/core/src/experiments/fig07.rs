@@ -1,0 +1,85 @@
+//! Figure 7: emissions across iPhone, Apple Watch and iPad generations.
+
+use cc_lca::generational::Family;
+use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+
+/// Reproduces Fig 7.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig07Generations;
+
+impl Experiment for Fig07Generations {
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Figure(7)
+    }
+
+    fn description(&self) -> &'static str {
+        "Generational trends: manufacturing share rises across iPhones, Watches, iPads"
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        let mut out = ExperimentOutput::new();
+        for family in Family::fig7_families() {
+            let mut t = Table::new([
+                "Generation",
+                "Year",
+                "Total (kg)",
+                "Manufacturing share",
+                "Manufacturing (kg)",
+                "Use (kg)",
+            ]);
+            for d in family.records() {
+                t.row([
+                    d.name.to_string(),
+                    d.year.to_string(),
+                    num(d.total_kg, 0),
+                    format!("{:.0}%", d.production_share * 100.0),
+                    num(d.production().as_kg(), 1),
+                    num(d.use_phase().as_kg(), 1),
+                ]);
+            }
+            out.table(format!("{} generations", family.name), t);
+
+            let share = family.manufacturing_share_series();
+            let (first, last) = (
+                share.values().next().unwrap_or(0.0),
+                share.values().last().unwrap_or(0.0),
+            );
+            out.note(format!(
+                "{}: manufacturing share {:.0}% -> {:.0}%",
+                family.name,
+                first * 100.0,
+                last * 100.0
+            ));
+        }
+        out.note("paper anchors: iPhone 40%->75% (3GS->XR), Watch 60%->75%, iPad 60%->75%");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_family_tables() {
+        let out = Fig07Generations.run();
+        assert_eq!(out.tables.len(), 3);
+        assert!(out.tables[0].0.contains("iPhone"));
+    }
+
+    #[test]
+    fn share_notes_show_increase() {
+        let out = Fig07Generations.run();
+        for note in out.notes.iter().take(3) {
+            let (a, b) = note
+                .rsplit_once("share ")
+                .unwrap()
+                .1
+                .split_once(" -> ")
+                .unwrap();
+            let first: f64 = a.trim_end_matches('%').parse().unwrap();
+            let last: f64 = b.trim_end_matches('%').parse().unwrap();
+            assert!(last > first, "{note}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Figure 10: break-even between manufacturing and operational carbon on a
+//! Pixel 3, end to end through the simulator.
+//!
+//! Pipeline: `cc-socsim` produces per-inference energy and latency for each
+//! CNN × unit; the SoC manufacturing budget is half the Pixel 3's production
+//! footprint (the paper's assumption, via Fig 5's IC share); the
+//! `cc-lca` amortization solver converts both into break-even images and days
+//! on the average US grid (380 g CO₂e/kWh).
+
+use cc_data::ai_models::CnnModel;
+use cc_lca::AmortizationAnalysis;
+use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_socsim::{ExecutionModel, Network, UnitKind};
+use cc_units::TimeSpan;
+
+/// Reproduces Fig 10.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig10Breakeven;
+
+/// The Pixel 3 SoC manufacturing budget: half of the device's production
+/// carbon.
+#[must_use]
+pub fn pixel3_soc_budget() -> cc_units::CarbonMass {
+    let pixel3 = cc_data::devices::find("Pixel 3").expect("device dataset");
+    pixel3.production() * 0.5
+}
+
+impl Experiment for Fig10Breakeven {
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Figure(10)
+    }
+
+    fn description(&self) -> &'static str {
+        "Inferences (top) and days (bottom) until operational carbon equals SoC manufacturing"
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        let mut out = ExperimentOutput::new();
+        let model = ExecutionModel::pixel3();
+        let analysis = AmortizationAnalysis::new(pixel3_soc_budget(), cc_data::us_grid_intensity());
+        let lifetime = TimeSpan::from_years(3.0);
+
+        let mut t = Table::new([
+            "Network",
+            "Unit",
+            "Breakeven images",
+            "Breakeven days (continuous)",
+            "Beyond 3-yr lifetime?",
+        ]);
+        let mut mnv3 = Vec::new();
+        for cnn in CnnModel::FIG9 {
+            let network = Network::build(cnn);
+            for report in model.run_all_units(&network) {
+                let be = analysis
+                    .breakeven(report.energy, report.latency)
+                    .expect("positive per-inference energy");
+                if cnn == CnnModel::MobileNetV3 {
+                    mnv3.push((report.unit, be));
+                }
+                t.row([
+                    cnn.to_string(),
+                    report.unit.to_string(),
+                    format!("{:.2e}", be.operations),
+                    num(be.days, 0),
+                    if be.exceeds(lifetime) { "yes" } else { "no" }.to_string(),
+                ]);
+            }
+        }
+        out.table(
+            format!(
+                "Break-even on Pixel 3 (SoC budget {}, grid {})",
+                analysis.manufacturing(),
+                cc_data::us_grid_intensity()
+            ),
+            t,
+        );
+
+        let cpu = mnv3.iter().find(|(u, _)| *u == UnitKind::Cpu).unwrap().1;
+        let dsp = mnv3.iter().find(|(u, _)| *u == UnitKind::Dsp).unwrap().1;
+        out.note(format!(
+            "paper: MobileNet v3 CPU ~5e9 images / ~350 days; measured {:.1e} images / {:.0} days",
+            cpu.operations, cpu.days
+        ));
+        out.note(format!(
+            "paper: MobileNet v3 DSP ~1e10 images / ~1200 days (beyond the ~1100-day lifetime); \
+             measured {:.1e} images / {:.0} days",
+            dsp.operations, dsp.days
+        ));
+        out.note(
+            "known paper inconsistency: the stated 1.5x/2.2x DSP improvements cannot yield both \
+             10e9 images and 1200 days; this reproduction preserves the days-based headline",
+        );
+        out.note(format!(
+            "scale: the ImageNet training set is {} images",
+            cc_data::ai_models::IMAGENET_TRAIN_IMAGES
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakeven(cnn: CnnModel, unit: UnitKind) -> cc_lca::Breakeven {
+        let model = ExecutionModel::pixel3();
+        let report = model.run(&Network::build(cnn), unit).unwrap();
+        AmortizationAnalysis::new(pixel3_soc_budget(), cc_data::us_grid_intensity())
+            .breakeven(report.energy, report.latency)
+            .unwrap()
+    }
+
+    #[test]
+    fn resnet_and_inception_need_hundreds_of_millions_of_images() {
+        let resnet = breakeven(CnnModel::ResNet50, UnitKind::Cpu);
+        let inception = breakeven(CnnModel::InceptionV3, UnitKind::Cpu);
+        // Paper: 200M and 150M respectively. Same order of magnitude, with
+        // Inception needing fewer (it burns more energy per image).
+        assert!(resnet.operations > 1e8 && resnet.operations < 1e9, "{}", resnet.operations);
+        assert!(inception.operations < resnet.operations);
+    }
+
+    #[test]
+    fn mobilenet_v3_cpu_is_billions_of_images_and_about_a_year() {
+        let be = breakeven(CnnModel::MobileNetV3, UnitKind::Cpu);
+        assert!(be.operations > 3e9 && be.operations < 9e9, "{}", be.operations);
+        assert!(be.days > 250.0 && be.days < 500.0, "{}", be.days);
+    }
+
+    #[test]
+    fn dsp_pushes_breakeven_beyond_lifetime() {
+        let be = breakeven(CnnModel::MobileNetV3, UnitKind::Dsp);
+        assert!(
+            be.exceeds(TimeSpan::from_years(3.0)) || be.days > 900.0,
+            "DSP days {}",
+            be.days
+        );
+        let cpu = breakeven(CnnModel::MobileNetV3, UnitKind::Cpu);
+        assert!(be.days > cpu.days * 2.0, "DSP should lengthen amortization substantially");
+    }
+
+    #[test]
+    fn soc_budget_is_about_25_kg() {
+        assert!((pixel3_soc_budget().as_kg() - 24.85).abs() < 0.5);
+    }
+
+    #[test]
+    fn breakeven_images_dwarf_imagenet() {
+        let be = breakeven(CnnModel::MobileNetV3, UnitKind::Cpu);
+        assert!(be.operations > 100.0 * cc_data::ai_models::IMAGENET_TRAIN_IMAGES as f64);
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 14: TSMC wafer-manufacturing carbon vs renewable-energy scaling.
+
+use cc_fab::wafer::{WaferFootprint, FIG14_FACTORS};
+use cc_report::{Experiment, ExperimentId, ExperimentOutput, Table};
+
+/// Reproduces Fig 14 by sweeping the wafer model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig14WaferSweep;
+
+impl Experiment for Fig14WaferSweep {
+    fn id(&self) -> ExperimentId {
+        ExperimentId::Figure(14)
+    }
+
+    fn description(&self) -> &'static str {
+        "TSMC wafer footprint under 1x-64x greener electricity; ~2.7x overall reduction"
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        let mut out = ExperimentOutput::new();
+        let wafer = WaferFootprint::tsmc_300mm();
+
+        let mut header: Vec<String> = vec!["Renewable factor".into(), "Total (normalized)".into()];
+        header.extend(wafer.components().map(|(l, _, _)| l.to_string()));
+        let mut t = Table::new(header);
+        let base_total = wafer.total();
+        for &factor in &FIG14_FACTORS {
+            let scaled = wafer.with_renewable_scaling(factor);
+            let mut row = vec![
+                format!("{factor:.0}x"),
+                format!("{:.3}", scaled.total() / base_total),
+            ];
+            for (_, carbon, _) in scaled.components() {
+                row.push(format!("{:.1}%", 100.0 * (carbon / base_total)));
+            }
+            t.row(row);
+        }
+        out.table("Wafer footprint vs renewable scaling (shares of baseline)", t);
+
+        let reduction = base_total / wafer.with_renewable_scaling(64.0).total();
+        out.note(format!(
+            "paper: a 64x boost in renewable energy reduces overall wafer carbon ~2.7x; \
+             measured {reduction:.2}x"
+        ));
+        out.note(format!(
+            "baseline energy share {:.0}% (paper: over 63%)",
+            100.0 * (wafer.energy_carbon() / wafer.total())
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_sweep_rows() {
+        let out = Fig14WaferSweep.run();
+        assert_eq!(out.tables[0].1.len(), 7);
+    }
+
+    #[test]
+    fn reduction_note_matches_paper() {
+        let out = Fig14WaferSweep.run();
+        let measured: f64 = out.notes[0]
+            .rsplit_once("measured ")
+            .unwrap()
+            .1
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
+        assert!((measured - 2.7).abs() < 0.1, "{measured}");
+    }
+}

@@ -1,0 +1,143 @@
+//! One experiment per paper figure/table, plus extensions.
+//!
+//! Every module implements [`cc_report::Experiment`]; the [`all`] registry
+//! drives the `repro` binary and the benchmark harness. Each experiment's
+//! `run` executes the *models* (not hard-coded answers): e.g. Fig 10 runs the
+//! SoC simulator and the amortization solver end to end.
+
+pub mod ext_die;
+pub mod ext_dvfs;
+pub mod ext_fab;
+pub mod ext_hetero;
+pub mod ext_mc;
+pub mod ext_sched;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+pub use ext_die::ExtDieCarbon;
+pub use ext_dvfs::ExtDvfs;
+pub use ext_fab::ExtFabDecarbonization;
+pub use ext_hetero::ExtHeterogeneity;
+pub use ext_mc::ExtMonteCarlo;
+pub use ext_sched::ExtCarbonAwareScheduling;
+pub use fig01::Fig01IctProjections;
+pub use fig02::Fig02EnergyVsCarbon;
+pub use fig03::Fig03GhgScopes;
+pub use fig04::Fig04Lifecycle;
+pub use fig05::Fig05AppleBreakdown;
+pub use fig06::Fig06DeviceBreakdown;
+pub use fig07::Fig07Generations;
+pub use fig08::Fig08Pareto;
+pub use fig09::Fig09InferencePerf;
+pub use fig10::Fig10Breakeven;
+pub use fig11::Fig11CorporateFootprints;
+pub use fig12::Fig12Scope3Breakdown;
+pub use fig13::Fig13EnergySourceSweep;
+pub use fig14::Fig14WaferSweep;
+pub use fig15::Fig15ResearchDirections;
+pub use table1::Table1Scopes;
+pub use table2::Table2EnergySources;
+pub use table3::Table3Grids;
+pub use table4::Table4MacPro;
+
+use cc_report::Experiment;
+
+/// Every experiment in presentation order: figures 1–15, tables I–IV, then
+/// extensions.
+#[must_use]
+pub fn all() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(Fig01IctProjections),
+        Box::new(Fig02EnergyVsCarbon),
+        Box::new(Fig03GhgScopes),
+        Box::new(Fig04Lifecycle),
+        Box::new(Fig05AppleBreakdown),
+        Box::new(Fig06DeviceBreakdown),
+        Box::new(Fig07Generations),
+        Box::new(Fig08Pareto),
+        Box::new(Fig09InferencePerf),
+        Box::new(Fig10Breakeven),
+        Box::new(Fig11CorporateFootprints),
+        Box::new(Fig12Scope3Breakdown),
+        Box::new(Fig13EnergySourceSweep),
+        Box::new(Fig14WaferSweep),
+        Box::new(Fig15ResearchDirections),
+        Box::new(Table1Scopes),
+        Box::new(Table2EnergySources),
+        Box::new(Table3Grids),
+        Box::new(Table4MacPro),
+        Box::new(ExtCarbonAwareScheduling),
+        Box::new(ExtDieCarbon),
+        Box::new(ExtDvfs),
+        Box::new(ExtHeterogeneity),
+        Box::new(ExtFabDecarbonization),
+        Box::new(ExtMonteCarlo),
+    ]
+}
+
+/// Finds an experiment by its command-line key (`fig10`, `table2`,
+/// `ext-sched`).
+#[must_use]
+pub fn find(key: &str) -> Option<Box<dyn Experiment>> {
+    all().into_iter().find(|e| e.id().key() == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete() {
+        let experiments = all();
+        assert_eq!(experiments.len(), 25);
+        // 15 figures, 4 tables, 6 extensions.
+        let figs = experiments
+            .iter()
+            .filter(|e| matches!(e.id(), cc_report::ExperimentId::Figure(_)))
+            .count();
+        assert_eq!(figs, 15);
+    }
+
+    #[test]
+    fn keys_are_unique_and_resolvable() {
+        let mut keys: Vec<String> = all().iter().map(|e| e.id().key()).collect();
+        keys.sort();
+        let n = keys.len();
+        keys.dedup();
+        assert_eq!(n, keys.len());
+        for key in keys {
+            assert!(find(&key).is_some(), "key {key} not resolvable");
+        }
+        assert!(find("fig99").is_none());
+    }
+
+    #[test]
+    fn every_experiment_produces_output() {
+        for e in all() {
+            let out = e.run();
+            assert!(
+                !out.tables.is_empty() || !out.notes.is_empty(),
+                "{} produced nothing",
+                e.id()
+            );
+            assert!(!e.description().is_empty());
+        }
+    }
+}

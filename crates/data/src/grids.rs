@@ -1,0 +1,141 @@
+//! Table III: global carbon efficiency of energy production.
+//!
+//! Average grid carbon intensity by geography with the dominant energy
+//! source, as reported by the paper (sources: Henderson et al.,
+//! electricitymap, CO₂ Baseline Database for the Indian Power Sector).
+
+use cc_units::CarbonIntensity;
+
+/// A geographic electricity grid from Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
+         serde::Serialize, serde::Deserialize)]
+pub enum Region {
+    /// World average (301 g CO₂e/kWh).
+    World,
+    /// India (725 g CO₂e/kWh, coal/gas dominated).
+    India,
+    /// Australia (597 g CO₂e/kWh, coal dominated).
+    Australia,
+    /// Taiwan (583 g CO₂e/kWh, coal/gas dominated) — where TSMC's fabs are.
+    Taiwan,
+    /// Singapore (495 g CO₂e/kWh, gas dominated).
+    Singapore,
+    /// United States (380 g CO₂e/kWh, coal/gas) — the paper's baseline grid.
+    UnitedStates,
+    /// Europe (295 g CO₂e/kWh, mixed).
+    Europe,
+    /// Brazil (82 g CO₂e/kWh, wind/hydropower dominated).
+    Brazil,
+    /// Iceland (28 g CO₂e/kWh, hydropower dominated).
+    Iceland,
+}
+
+impl Region {
+    /// All regions in Table III order (dirtiest first after the world
+    /// average).
+    pub const ALL: [Self; 9] = [
+        Self::World,
+        Self::India,
+        Self::Australia,
+        Self::Taiwan,
+        Self::Singapore,
+        Self::UnitedStates,
+        Self::Europe,
+        Self::Brazil,
+        Self::Iceland,
+    ];
+
+    /// Average grid carbon intensity (Table III, column 2).
+    #[must_use]
+    pub fn carbon_intensity(self) -> CarbonIntensity {
+        let g = match self {
+            Self::World => 301.0,
+            Self::India => 725.0,
+            Self::Australia => 597.0,
+            Self::Taiwan => 583.0,
+            Self::Singapore => 495.0,
+            Self::UnitedStates => 380.0,
+            Self::Europe => 295.0,
+            Self::Brazil => 82.0,
+            Self::Iceland => 28.0,
+        };
+        CarbonIntensity::from_g_per_kwh(g)
+    }
+
+    /// Dominant energy source as the table states it (the world and Europe
+    /// rows have none).
+    #[must_use]
+    pub fn dominant_source(self) -> Option<&'static str> {
+        match self {
+            Self::World | Self::Europe => None,
+            Self::India => Some("Coal/gas"),
+            Self::Australia => Some("Coal"),
+            Self::Taiwan => Some("Coal/gas"),
+            Self::Singapore => Some("Gas"),
+            Self::UnitedStates => Some("Coal/gas"),
+            Self::Brazil => Some("Wind/hydropower"),
+            Self::Iceland => Some("Hydropower"),
+        }
+    }
+
+    /// Human-readable name, matching the Table III row label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::World => "World",
+            Self::India => "India",
+            Self::Australia => "Australia",
+            Self::Taiwan => "Taiwan",
+            Self::Singapore => "Singapore",
+            Self::UnitedStates => "United States",
+            Self::Europe => "Europe",
+            Self::Brazil => "Brazil",
+            Self::Iceland => "Iceland",
+        }
+    }
+}
+
+impl core::fmt::Display for Region {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn us_is_paper_baseline() {
+        assert_eq!(Region::UnitedStates.carbon_intensity().as_g_per_kwh(), 380.0);
+    }
+
+    #[test]
+    fn hydro_regions_are_cleanest() {
+        let cleanest = Region::ALL
+            .iter()
+            .min_by(|a, b| {
+                a.carbon_intensity()
+                    .partial_cmp(&b.carbon_intensity())
+                    .unwrap()
+            })
+            .copied()
+            .unwrap();
+        assert_eq!(cleanest, Region::Iceland);
+    }
+
+    #[test]
+    fn india_vs_iceland_spread() {
+        // The geographic spread spans ~26×, motivating the paper's point that
+        // Scope 2 "depend[s] on the geographic location and energy grid".
+        let spread = Region::India.carbon_intensity() / Region::Iceland.carbon_intensity();
+        assert!(spread > 25.0 && spread < 27.0);
+    }
+
+    #[test]
+    fn dominant_sources() {
+        assert_eq!(Region::Australia.dominant_source(), Some("Coal"));
+        assert_eq!(Region::World.dominant_source(), None);
+        assert_eq!(Region::Brazil.dominant_source(), Some("Wind/hydropower"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # cc-data
+//!
+//! Curated datasets digitized from *Chasing Carbon* (HPCA 2021) and the
+//! industry sustainability reports it analyzes.
+//!
+//! The paper's raw inputs are publicly reported but practically awkward to
+//! obtain (archived PDF product environmental reports, corporate GHG filings).
+//! This crate substitutes **typed, documented constants**: every number the
+//! paper states explicitly is recorded verbatim, and every chart shown without
+//! exact values is reconstructed to satisfy all constraints stated in the
+//! paper's text (each module documents its anchors).
+//!
+//! Modules:
+//!
+//! * [`energy_sources`] — Table II: carbon intensity and energy-payback time
+//!   of generation technologies.
+//! * [`grids`] — Table III: geographic grid carbon intensity.
+//! * [`devices`] — product life-cycle assessments for 40 consumer devices
+//!   (Apple, Google, Huawei, Microsoft), the basis of Figs 2, 6, 7, 8.
+//! * [`corporate`] — corporate GHG inventories: Apple FY2019 breakdown
+//!   (Fig 5), Facebook 2014–2019 and Google 2013–2018 scope series (Fig 11),
+//!   Facebook's 2019 Scope 3 categories (Fig 12), Intel/AMD product life-cycle
+//!   shares (Fig 13).
+//! * [`fab`] — TSMC wafer-manufacturing footprint composition (Fig 14).
+//! * [`ict`] — global ICT energy projections 2010–2030 (Fig 1).
+//! * [`ai_models`] — descriptors of the CNN workloads measured in Figs 9–10.
+//! * [`phone_perf`] — MobileNet v1 throughput points for Fig 8.
+//! * [`mac_pro`] — the two Mac Pro configurations of Table IV.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ai_models;
+pub mod corporate;
+pub mod devices;
+pub mod energy_sources;
+pub mod fab;
+pub mod grids;
+pub mod ict;
+pub mod mac_pro;
+pub mod phone_perf;
+
+/// The average US grid intensity the paper assumes for its Fig 10 break-even
+/// analysis: 380 g CO₂e per kWh (citing Henderson et al.).
+pub const US_GRID_G_PER_KWH: f64 = 380.0;
+
+/// Returns the paper's assumed US average grid intensity as a typed quantity.
+///
+/// ```
+/// let g = cc_data::us_grid_intensity();
+/// assert_eq!(g.as_g_per_kwh(), 380.0);
+/// ```
+#[must_use]
+pub fn us_grid_intensity() -> cc_units::CarbonIntensity {
+    cc_units::CarbonIntensity::from_g_per_kwh(US_GRID_G_PER_KWH)
+}

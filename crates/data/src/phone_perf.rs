@@ -1,0 +1,111 @@
+//! MobileNet v1 inference throughput per phone (Fig 8).
+//!
+//! Each point pairs a phone's published AI-inference throughput (MobileNet v1
+//! images/second, Geekbench-style measurement) with its **manufacturing**
+//! carbon footprint, which is looked up from the [`crate::devices`] dataset so
+//! the two stay consistent.
+//!
+//! ## Reconstruction anchors (Fig 8 / §III-C)
+//!
+//! * iPhone 11 Pro: 75 img/s at 66 kg CO₂e manufacturing.
+//! * Pixel 3a: 20 img/s at 45 kg CO₂e.
+//! * iPhone X (2017): 35 img/s at 63 kg CO₂e.
+//! * iPhone 11 (2019): double the iPhone X's throughput at slightly lower
+//!   (≈ 60 kg) manufacturing CO₂e.
+
+use crate::devices::{self, ProductLca};
+use cc_units::CarbonMass;
+
+/// A (throughput, manufacturing-footprint) point on the Fig 8 scatter plot.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PhonePerfPoint {
+    /// Device name; must exist in [`crate::devices`].
+    pub device: &'static str,
+    /// MobileNet v1 inference throughput, images per second.
+    pub throughput_ips: f64,
+}
+
+/// The Fig 8 measurement set.
+pub const ALL: [PhonePerfPoint; 11] = [
+    PhonePerfPoint { device: "Honor 5C", throughput_ips: 4.0 },
+    PhonePerfPoint { device: "Honor 8 Lite", throughput_ips: 5.0 },
+    PhonePerfPoint { device: "iPhone 6s", throughput_ips: 8.0 },
+    PhonePerfPoint { device: "iPhone 7", throughput_ips: 12.0 },
+    PhonePerfPoint { device: "Pixel 3", throughput_ips: 15.0 },
+    PhonePerfPoint { device: "Pixel 3a", throughput_ips: 20.0 },
+    PhonePerfPoint { device: "iPhone X", throughput_ips: 35.0 },
+    PhonePerfPoint { device: "iPhone XR", throughput_ips: 45.0 },
+    PhonePerfPoint { device: "iPhone 11", throughput_ips: 70.0 },
+    PhonePerfPoint { device: "iPhone 11 Pro", throughput_ips: 75.0 },
+    PhonePerfPoint { device: "iPhone SE (2nd gen)", throughput_ips: 60.0 },
+];
+
+impl PhonePerfPoint {
+    /// The device's LCA record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device name is missing from [`crate::devices`]; the
+    /// dataset tests guarantee it never is.
+    #[must_use]
+    pub fn lca(&self) -> &'static ProductLca {
+        devices::find(self.device)
+            .unwrap_or_else(|| panic!("phone_perf device `{}` missing from devices", self.device))
+    }
+
+    /// Manufacturing footprint of the device (the Fig 8 x-axis).
+    #[must_use]
+    pub fn manufacturing(&self) -> CarbonMass {
+        self.lca().production()
+    }
+
+    /// Release year (drives the 2017/2019 Pareto cohorts).
+    #[must_use]
+    pub fn year(&self) -> u16 {
+        self.lca().year
+    }
+}
+
+/// All points from devices released in or before `year`.
+pub fn cohort(year: u16) -> impl Iterator<Item = &'static PhonePerfPoint> {
+    ALL.iter().filter(move |p| p.year() <= year)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_point_resolves_to_a_device() {
+        for p in &ALL {
+            let lca = p.lca();
+            assert!(lca.total_kg > 0.0);
+        }
+    }
+
+    #[test]
+    fn fig8_anchors() {
+        let pro = ALL.iter().find(|p| p.device == "iPhone 11 Pro").unwrap();
+        assert_eq!(pro.throughput_ips, 75.0);
+        assert!((pro.manufacturing().as_kg() - 66.0).abs() < 0.5);
+
+        let p3a = ALL.iter().find(|p| p.device == "Pixel 3a").unwrap();
+        assert_eq!(p3a.throughput_ips, 20.0);
+        assert!((p3a.manufacturing().as_kg() - 45.0).abs() < 0.5);
+
+        let x = ALL.iter().find(|p| p.device == "iPhone X").unwrap();
+        let i11 = ALL.iter().find(|p| p.device == "iPhone 11").unwrap();
+        // "the iPhone 11 (2019) doubled that performance at a slightly lower
+        // [manufacturing footprint]".
+        assert!((i11.throughput_ips / x.throughput_ips - 2.0).abs() <= 0.1);
+        assert!(i11.manufacturing() < x.manufacturing());
+    }
+
+    #[test]
+    fn cohorts_grow_over_time() {
+        let c2017 = cohort(2017).count();
+        let c2019 = cohort(2019).count();
+        assert!(c2017 >= 5);
+        assert!(c2019 > c2017);
+    }
+}

@@ -1,0 +1,282 @@
+//! A warehouse-scale facility simulated year by year.
+
+use crate::server::ServerConfig;
+use cc_ghg::{CorporateInventory, PpaPortfolio};
+use cc_units::{CarbonMass, Energy, TimeSpan};
+
+/// One simulated year of a facility.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FacilityYear {
+    /// Calendar year.
+    pub year: u16,
+    /// Servers in service.
+    pub servers: u64,
+    /// IT + overhead energy consumed.
+    pub energy: Energy,
+    /// Location-based operational carbon (grid counterfactual).
+    pub location_carbon: CarbonMass,
+    /// Market-based operational carbon (after PPAs).
+    pub market_carbon: CarbonMass,
+    /// Capex carbon booked this year: amortized construction plus embodied
+    /// carbon of newly deployed servers.
+    pub capex_carbon: CarbonMass,
+}
+
+impl FacilityYear {
+    /// Scope-style inventory view of this year (Scope 1 omitted — diesel and
+    /// refrigerants are negligible next to the other terms at facility
+    /// granularity).
+    #[must_use]
+    pub fn inventory(&self) -> CorporateInventory {
+        CorporateInventory::builder()
+            .scope2_location(self.location_carbon)
+            .scope2_market(self.market_carbon)
+            .scope3(self.capex_carbon)
+            .build()
+    }
+}
+
+/// A facility: server fleet growth, PUE, construction footprint and a PPA
+/// portfolio that ramps over time.
+///
+/// ```
+/// use cc_dcsim::{Facility, ServerConfig};
+/// use cc_units::CarbonMass;
+///
+/// let mut facility = Facility::builder("example", 2013, ServerConfig::web())
+///     .initial_servers(20_000)
+///     .server_growth(1.35)
+///     .pue(1.12)
+///     .construction(CarbonMass::from_kt(120.0))
+///     .build();
+/// let years = facility.simulate(7);
+/// assert_eq!(years.len(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Facility {
+    name: String,
+    start_year: u16,
+    sku: ServerConfig,
+    initial_servers: u64,
+    server_growth: f64,
+    pue: f64,
+    construction: CarbonMass,
+    construction_amortization_years: f64,
+    grid: cc_units::CarbonIntensity,
+    /// Renewable coverage fraction per simulated year index.
+    renewable_ramp: Vec<f64>,
+    renewable_source: cc_data::energy_sources::EnergySource,
+}
+
+impl Facility {
+    /// Starts a builder.
+    #[must_use]
+    pub fn builder(name: impl Into<String>, start_year: u16, sku: ServerConfig) -> FacilityBuilder {
+        FacilityBuilder {
+            facility: Facility {
+                name: name.into(),
+                start_year,
+                sku,
+                initial_servers: 10_000,
+                server_growth: 1.25,
+                pue: 1.12,
+                construction: CarbonMass::from_kt(100.0),
+                construction_amortization_years: 20.0,
+                grid: cc_data::us_grid_intensity(),
+                renewable_ramp: Vec::new(),
+                renewable_source: cc_data::energy_sources::EnergySource::Wind,
+            },
+        }
+    }
+
+    /// Facility name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renewable coverage for simulated year index `i` (clamped to the last
+    /// configured value; 0 when no ramp is configured).
+    fn coverage(&self, i: usize) -> f64 {
+        match self.renewable_ramp.as_slice() {
+            [] => 0.0,
+            ramp => ramp[i.min(ramp.len() - 1)].clamp(0.0, 1.0),
+        }
+    }
+
+    /// Simulates `years` consecutive years from the start year.
+    #[must_use]
+    pub fn simulate(&mut self, years: usize) -> Vec<FacilityYear> {
+        let mut out = Vec::with_capacity(years);
+        let mut servers = self.initial_servers as f64;
+        let mut prev_servers = 0.0f64;
+        for i in 0..years {
+            let year = self.start_year + i as u16;
+            let it_power = self.sku.average_power() * servers;
+            let energy = it_power * TimeSpan::from_years(1.0) * self.pue;
+
+            let mut portfolio = PpaPortfolio::new(self.grid);
+            let coverage = self.coverage(i);
+            portfolio.contract(self.renewable_source, energy * coverage);
+            let location = portfolio.location_carbon(energy);
+            let market = portfolio.market_carbon(energy);
+
+            let new_servers = (servers - prev_servers).max(0.0);
+            let embodied = self.sku.embodied() * new_servers;
+            let construction = self.construction / self.construction_amortization_years;
+            out.push(FacilityYear {
+                year,
+                servers: servers.round() as u64,
+                energy,
+                location_carbon: location,
+                market_carbon: market,
+                capex_carbon: embodied + construction,
+            });
+            prev_servers = servers;
+            servers *= self.server_growth;
+        }
+        out
+    }
+}
+
+/// Builder for [`Facility`].
+#[derive(Debug, Clone)]
+pub struct FacilityBuilder {
+    facility: Facility,
+}
+
+impl FacilityBuilder {
+    /// Sets the initial server count (default 10,000).
+    pub fn initial_servers(&mut self, servers: u64) -> &mut Self {
+        self.facility.initial_servers = servers;
+        self
+    }
+
+    /// Sets the yearly fleet growth factor (default 1.25).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the factor is not positive.
+    pub fn server_growth(&mut self, factor: f64) -> &mut Self {
+        assert!(factor > 0.0, "growth factor must be positive");
+        self.facility.server_growth = factor;
+        self
+    }
+
+    /// Sets the power usage effectiveness (default 1.12, warehouse-scale
+    /// best practice).
+    ///
+    /// # Panics
+    ///
+    /// Panics when PUE < 1.
+    pub fn pue(&mut self, pue: f64) -> &mut Self {
+        assert!(pue >= 1.0, "PUE is a multiplier >= 1");
+        self.facility.pue = pue;
+        self
+    }
+
+    /// Sets the total construction embodied carbon (default 100 kt),
+    /// amortized over 20 years.
+    pub fn construction(&mut self, carbon: CarbonMass) -> &mut Self {
+        self.facility.construction = carbon;
+        self
+    }
+
+    /// Sets the location grid (default: US average).
+    pub fn grid(&mut self, grid: cc_units::CarbonIntensity) -> &mut Self {
+        self.facility.grid = grid;
+        self
+    }
+
+    /// Sets the renewable coverage ramp: fraction of annual energy covered
+    /// by PPAs in each simulated year (last value holds thereafter).
+    pub fn renewable_ramp(&mut self, ramp: Vec<f64>) -> &mut Self {
+        self.facility.renewable_ramp = ramp;
+        self
+    }
+
+    /// Sets the contracted renewable source (default wind).
+    pub fn renewable_source(&mut self, source: cc_data::energy_sources::EnergySource) -> &mut Self {
+        self.facility.renewable_source = source;
+        self
+    }
+
+    /// Finishes the build.
+    #[must_use]
+    pub fn build(&self) -> Facility {
+        self.facility.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facility() -> Facility {
+        Facility::builder("test", 2013, ServerConfig::web())
+            .initial_servers(20_000)
+            .server_growth(1.3)
+            .renewable_ramp(vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0])
+            .build()
+    }
+
+    #[test]
+    fn energy_grows_with_fleet() {
+        let years = facility().simulate(6);
+        for pair in years.windows(2) {
+            assert!(pair[1].energy > pair[0].energy);
+            assert!(pair[1].servers > pair[0].servers);
+        }
+    }
+
+    #[test]
+    fn market_carbon_decouples_from_energy() {
+        // The Fig 2 (left) shape: energy up, operational carbon down.
+        let years = facility().simulate(6);
+        let first = &years[0];
+        let last = &years[5];
+        assert!(last.energy > first.energy * 2.0);
+        assert!(last.market_carbon < first.market_carbon);
+        // Location-based keeps rising — the gap is renewable procurement.
+        assert!(last.location_carbon > first.location_carbon);
+    }
+
+    #[test]
+    fn full_coverage_is_near_zero_operational() {
+        let years = facility().simulate(6);
+        let last = &years[5];
+        // Wind at 11 g/kWh vs grid 380: >30x below location-based.
+        assert!(last.location_carbon / last.market_carbon > 30.0);
+    }
+
+    #[test]
+    fn capex_includes_embodied_and_construction() {
+        let years = facility().simulate(2);
+        // Year 0 books the whole initial fleet.
+        let y0_embodied = ServerConfig::web().embodied() * 20_000.0;
+        let construction = CarbonMass::from_kt(100.0) / 20.0;
+        assert!((years[0].capex_carbon / (y0_embodied + construction) - 1.0).abs() < 1e-9);
+        // Year 1 books only the delta.
+        assert!(years[1].capex_carbon < years[0].capex_carbon);
+    }
+
+    #[test]
+    fn inventory_view() {
+        let years = facility().simulate(6);
+        let inv = years[5].inventory();
+        assert!(inv.capex_share(cc_ghg::Scope2Method::MarketBased).as_percent() > 50.0);
+    }
+
+    #[test]
+    fn no_ramp_means_grid_carbon() {
+        let mut f = Facility::builder("brown", 2013, ServerConfig::web()).build();
+        let years = f.simulate(2);
+        assert_eq!(years[0].location_carbon, years[0].market_carbon);
+    }
+
+    #[test]
+    #[should_panic(expected = "PUE")]
+    fn rejects_sub_unity_pue() {
+        Facility::builder("bad", 2013, ServerConfig::web()).pue(0.9);
+    }
+}

@@ -1,0 +1,20 @@
+//! # cc-dcsim
+//!
+//! A warehouse-scale data-center simulator: server fleets with PUE overhead,
+//! year-by-year energy demand, renewable (PPA) procurement, construction and
+//! hardware embodied carbon, the Prineville-like scenario behind Fig 2
+//! (left), and a carbon-aware batch scheduler implementing the Section VI
+//! research direction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod facility;
+pub mod heterogeneity;
+pub mod prineville;
+pub mod scheduler;
+pub mod server;
+
+pub use facility::{Facility, FacilityYear};
+pub use scheduler::{CarbonAwareScheduler, DayProfile};
+pub use server::ServerConfig;

@@ -1,0 +1,80 @@
+//! Property-based tests for the data-center simulator.
+
+use cc_dcsim::{CarbonAwareScheduler, DayProfile, Facility, ServerConfig};
+use cc_units::CarbonMass;
+use proptest::prelude::*;
+
+proptest! {
+    /// Energy and fleet size are monotone non-decreasing for growth >= 1.
+    #[test]
+    fn growth_implies_monotone_energy(
+        initial in 100u64..100_000,
+        growth in 1.0..1.6f64,
+        years in 2usize..12,
+    ) {
+        let mut facility = Facility::builder("prop", 2010, ServerConfig::web())
+            .initial_servers(initial)
+            .server_growth(growth)
+            .build();
+        let sim = facility.simulate(years);
+        prop_assert_eq!(sim.len(), years);
+        for pair in sim.windows(2) {
+            prop_assert!(pair[1].energy >= pair[0].energy);
+            prop_assert!(pair[1].servers >= pair[0].servers);
+        }
+    }
+
+    /// Market carbon never exceeds location carbon for green-source ramps.
+    #[test]
+    fn market_bounded_by_location(
+        coverage in proptest::collection::vec(0.0..=1.0f64, 1..8),
+        growth in 0.8..1.5f64,
+    ) {
+        let mut facility = Facility::builder("prop", 2010, ServerConfig::storage())
+            .initial_servers(10_000)
+            .server_growth(growth)
+            .renewable_ramp(coverage.clone())
+            .build();
+        for year in facility.simulate(coverage.len()) {
+            prop_assert!(year.market_carbon <= year.location_carbon + CarbonMass::from_grams(1.0));
+            prop_assert!(year.capex_carbon >= CarbonMass::ZERO);
+        }
+    }
+
+    /// Higher PUE means proportionally higher energy, with carbon following.
+    #[test]
+    fn pue_scales_operational_terms(pue in 1.0..2.0f64) {
+        let run = |p: f64| {
+            Facility::builder("prop", 2010, ServerConfig::web())
+                .initial_servers(1_000)
+                .pue(p)
+                .build()
+                .simulate(1)
+                .pop()
+                .unwrap()
+        };
+        let base = run(1.0);
+        let scaled = run(pue);
+        let e_ratio = scaled.energy / base.energy;
+        prop_assert!((e_ratio - pue).abs() < 1e-9);
+        let c_ratio = scaled.location_carbon / base.location_carbon;
+        prop_assert!((c_ratio - pue).abs() < 1e-9);
+        // Capex is untouched by PUE.
+        prop_assert_eq!(scaled.capex_carbon, base.capex_carbon);
+    }
+
+    /// The carbon-aware schedule always places exactly the requested batch
+    /// energy and never exceeds capacity.
+    #[test]
+    fn schedule_conserves_energy(batch in 0.5..150.0f64, base in 0.1..4.0f64) {
+        let capacity = base + batch / 20.0 + 1.0;
+        let profile = DayProfile::solar_grid(base, batch, capacity);
+        let schedule = CarbonAwareScheduler::carbon_aware(&profile);
+        let placed: cc_units::Energy = schedule.batch_per_hour.iter().copied().sum();
+        prop_assert!((placed / profile.batch_energy - 1.0).abs() < 1e-9);
+        for h in 0..24 {
+            let used = profile.base_load[h] + schedule.batch_per_hour[h];
+            prop_assert!(used <= profile.hourly_capacity + cc_units::Energy::from_joules(1.0));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Sustainability-report rendering: turn a [`CorporateInventory`] into the
+//! disclosure rows the paper's Fig 11 sources publish.
+
+use crate::inventory::{CorporateInventory, Scope2Method};
+use cc_units::CarbonMass;
+
+/// One disclosure line of a rendered report.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReportLine {
+    /// Disclosure label (e.g. `"Scope 2 (market-based)"`).
+    pub label: String,
+    /// Reported emissions.
+    pub emissions: CarbonMass,
+}
+
+/// A rendered sustainability report for one period.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SustainabilityReport {
+    /// Organization name.
+    pub organization: String,
+    /// Reporting year.
+    pub year: u16,
+    /// Disclosure lines in standard order.
+    pub lines: Vec<ReportLine>,
+}
+
+impl SustainabilityReport {
+    /// Renders an inventory into the standard five-line disclosure.
+    #[must_use]
+    pub fn from_inventory(
+        organization: impl Into<String>,
+        year: u16,
+        inventory: &CorporateInventory,
+    ) -> Self {
+        let lines = vec![
+            ReportLine {
+                label: "Scope 1".into(),
+                emissions: inventory.scope1(),
+            },
+            ReportLine {
+                label: "Scope 2 (location-based)".into(),
+                emissions: inventory.scope2(Scope2Method::LocationBased),
+            },
+            ReportLine {
+                label: "Scope 2 (market-based)".into(),
+                emissions: inventory.scope2(Scope2Method::MarketBased),
+            },
+            ReportLine {
+                label: "Scope 3".into(),
+                emissions: inventory.scope3(),
+            },
+            ReportLine {
+                label: "Total (market-based)".into(),
+                emissions: inventory.total(Scope2Method::MarketBased),
+            },
+        ];
+        Self { organization: organization.into(), year, lines }
+    }
+
+    /// Looks up a line by label.
+    #[must_use]
+    pub fn line(&self, label: &str) -> Option<&ReportLine> {
+        self.lines.iter().find(|l| l.label == label)
+    }
+
+    /// The headline capex-vs-opex sentence the paper derives from such
+    /// reports.
+    #[must_use]
+    pub fn headline(&self) -> String {
+        let opex = self
+            .line("Scope 1")
+            .map(|l| l.emissions)
+            .unwrap_or(CarbonMass::ZERO)
+            + self
+                .line("Scope 2 (market-based)")
+                .map(|l| l.emissions)
+                .unwrap_or(CarbonMass::ZERO);
+        let capex = self
+            .line("Scope 3")
+            .map(|l| l.emissions)
+            .unwrap_or(CarbonMass::ZERO);
+        if opex.as_grams() > 0.0 {
+            format!(
+                "{} {}: supply-chain (capex) emissions are {:.0}x operational (opex) emissions",
+                self.organization,
+                self.year,
+                capex / opex
+            )
+        } else {
+            format!(
+                "{} {}: operations are fully decarbonized; all emissions are supply-chain",
+                self.organization, self.year
+            )
+        }
+    }
+}
+
+impl core::fmt::Display for SustainabilityReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "{} — {} GHG disclosure", self.organization, self.year)?;
+        for line in &self.lines {
+            writeln!(f, "  {:<26} {}", line.label, line.emissions)?;
+        }
+        write!(f, "  {}", self.headline())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fb2019() -> SustainabilityReport {
+        let inv = CorporateInventory::from_scope_year(
+            cc_data::corporate::year_of(&cc_data::corporate::FACEBOOK, 2019).unwrap(),
+        );
+        SustainabilityReport::from_inventory("Facebook", 2019, &inv)
+    }
+
+    #[test]
+    fn five_standard_lines() {
+        let report = fb2019();
+        assert_eq!(report.lines.len(), 5);
+        assert!(report.line("Scope 3").is_some());
+        assert!(report.line("Scope 4").is_none());
+    }
+
+    #[test]
+    fn headline_reproduces_the_papers_ratio() {
+        let report = fb2019();
+        let headline = report.headline();
+        assert!(headline.contains("19x") || headline.contains("20x"), "{headline}");
+    }
+
+    #[test]
+    fn display_renders_all_lines() {
+        let text = fb2019().to_string();
+        assert!(text.contains("Scope 2 (market-based)"));
+        assert!(text.contains("Facebook"));
+    }
+
+    #[test]
+    fn zero_opex_headline() {
+        let inv = CorporateInventory::builder()
+            .scope3(CarbonMass::from_mt(1.0))
+            .build();
+        let report = SustainabilityReport::from_inventory("GreenCo", 2026, &inv);
+        assert!(report.headline().contains("fully decarbonized"));
+    }
+}

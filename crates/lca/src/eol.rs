@@ -1,0 +1,175 @@
+//! End-of-life processing: recycling credits and material recovery.
+//!
+//! "Some materials, such as cobalt in mobile devices, are recyclable for use
+//! in future systems" (§II-B). This module models end-of-life carbon as
+//! processing overhead minus recovery credits for materials that displace
+//! virgin production.
+
+use cc_units::CarbonMass;
+
+/// A recoverable material with its recovery credit: the virgin-production
+/// carbon displaced per kilogram recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Material {
+    /// Aluminium enclosures — virgin smelting is extremely carbon-intensive
+    /// (~12 kg CO₂e/kg displaced, netting smelter-vs-recycler energy).
+    Aluminium,
+    /// Cobalt from batteries (~8 kg CO₂e/kg).
+    Cobalt,
+    /// Copper from boards and coils (~3.5 kg CO₂e/kg).
+    Copper,
+    /// Gold from connectors and bond wires (~17,000 kg CO₂e/kg — tiny masses,
+    /// huge intensity).
+    Gold,
+    /// Steel (~1.8 kg CO₂e/kg).
+    Steel,
+    /// Mixed plastics, typically downcycled (~1.2 kg CO₂e/kg).
+    Plastic,
+}
+
+impl Material {
+    /// All modelled materials.
+    pub const ALL: [Self; 6] = [
+        Self::Aluminium,
+        Self::Cobalt,
+        Self::Copper,
+        Self::Gold,
+        Self::Steel,
+        Self::Plastic,
+    ];
+
+    /// Displaced virgin-production carbon per kg recovered.
+    #[must_use]
+    pub fn credit_per_kg(self) -> CarbonMass {
+        let kg = match self {
+            Self::Aluminium => 12.0,
+            Self::Cobalt => 8.0,
+            Self::Copper => 3.5,
+            Self::Gold => 17_000.0,
+            Self::Steel => 1.8,
+            Self::Plastic => 1.2,
+        };
+        CarbonMass::from_kg(kg)
+    }
+
+    /// Typical recovery yield of the material from consumer e-waste.
+    #[must_use]
+    pub fn recovery_yield(self) -> f64 {
+        match self {
+            Self::Aluminium => 0.90,
+            Self::Cobalt => 0.60,
+            Self::Copper => 0.85,
+            Self::Gold => 0.95,
+            Self::Steel => 0.90,
+            Self::Plastic => 0.30,
+        }
+    }
+}
+
+/// An end-of-life plan for one device: processing overhead plus a bill of
+/// recoverable materials.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct EolPlan {
+    processing: CarbonMass,
+    materials: Vec<(Material, f64)>,
+}
+
+impl EolPlan {
+    /// Starts a plan with the given processing (collection, shredding,
+    /// smelting) carbon.
+    #[must_use]
+    pub fn new(processing: CarbonMass) -> Self {
+        Self { processing, materials: Vec::new() }
+    }
+
+    /// Adds `mass_kg` of a recoverable material contained in the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mass is negative.
+    pub fn material(&mut self, material: Material, mass_kg: f64) -> &mut Self {
+        assert!(mass_kg >= 0.0, "material mass must be non-negative");
+        self.materials.push((material, mass_kg));
+        self
+    }
+
+    /// Total recovery credit (a non-negative mass; it is *subtracted*).
+    #[must_use]
+    pub fn recovery_credit(&self) -> CarbonMass {
+        self.materials
+            .iter()
+            .map(|&(m, kg)| m.credit_per_kg() * (kg * m.recovery_yield()))
+            .sum()
+    }
+
+    /// Net end-of-life carbon: processing minus credits (may be negative —
+    /// a device can be carbon-positive to recycle).
+    #[must_use]
+    pub fn net_carbon(&self) -> CarbonMass {
+        self.processing - self.recovery_credit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A phone-like bill of materials.
+    fn phone_plan() -> EolPlan {
+        let mut plan = EolPlan::new(CarbonMass::from_kg(1.0));
+        plan.material(Material::Aluminium, 0.025)
+            .material(Material::Cobalt, 0.007)
+            .material(Material::Copper, 0.015)
+            .material(Material::Gold, 0.000_034)
+            .material(Material::Plastic, 0.04);
+        plan
+    }
+
+    #[test]
+    fn phone_eol_is_small_and_roughly_neutral() {
+        let plan = phone_plan();
+        let net = plan.net_carbon().as_kg();
+        // Vendor LCAs report ~1% of a ~70 kg footprint: sub-kilogram net.
+        assert!(net.abs() < 1.5, "net {net}");
+    }
+
+    #[test]
+    fn gold_dominates_phone_credits_despite_tiny_mass() {
+        let plan = phone_plan();
+        let gold_credit = Material::Gold.credit_per_kg()
+            * (0.000_034 * Material::Gold.recovery_yield());
+        assert!(gold_credit / plan.recovery_credit() > 0.4);
+    }
+
+    #[test]
+    fn aluminium_laptop_can_be_net_negative() {
+        // A 1.2 kg aluminium chassis: recovery credit exceeds processing.
+        let mut plan = EolPlan::new(CarbonMass::from_kg(3.0));
+        plan.material(Material::Aluminium, 1.2);
+        assert!(plan.net_carbon() < CarbonMass::ZERO);
+    }
+
+    #[test]
+    fn empty_plan_is_pure_processing() {
+        let plan = EolPlan::new(CarbonMass::from_kg(2.0));
+        assert_eq!(plan.net_carbon(), CarbonMass::from_kg(2.0));
+        assert!(plan.recovery_credit().is_zero());
+    }
+
+    #[test]
+    fn yields_discount_credits() {
+        let mut full = EolPlan::new(CarbonMass::ZERO);
+        full.material(Material::Plastic, 1.0);
+        let ideal = Material::Plastic.credit_per_kg();
+        assert!(full.recovery_credit() < ideal);
+        assert!(
+            (full.recovery_credit() / ideal - Material::Plastic.recovery_yield()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "material mass")]
+    fn rejects_negative_mass() {
+        EolPlan::new(CarbonMass::ZERO).material(Material::Steel, -1.0);
+    }
+}

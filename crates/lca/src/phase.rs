@@ -1,0 +1,105 @@
+//! Life-cycle phases and their opex/capex classification (Fig 4).
+
+/// The four phases of a hardware life cycle (Fig 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
+         serde::Serialize, serde::Deserialize)]
+pub enum LifecyclePhase {
+    /// Procuring raw materials, integrated circuits, packaging, assembly and
+    /// (for data centers) facility construction.
+    Production,
+    /// Moving hardware to its point of use.
+    Transport,
+    /// Operating the hardware: static and dynamic power, PUE overhead,
+    /// battery-efficiency overhead.
+    Use,
+    /// End-of-life processing and recycling.
+    EndOfLife,
+}
+
+impl LifecyclePhase {
+    /// All phases in life-cycle order.
+    pub const ALL: [Self; 4] = [Self::Production, Self::Transport, Self::Use, Self::EndOfLife];
+
+    /// The paper's opex/capex classification of the phase (Fig 4's bottom
+    /// row): everything except use is capex-related.
+    #[must_use]
+    pub fn expenditure_class(self) -> ExpenditureClass {
+        match self {
+            Self::Use => ExpenditureClass::Opex,
+            _ => ExpenditureClass::Capex,
+        }
+    }
+
+    /// Human-readable label matching Fig 4.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Production => "Production",
+            Self::Transport => "Product Transport",
+            Self::Use => "Product Use",
+            Self::EndOfLife => "End-of-life",
+        }
+    }
+}
+
+impl core::fmt::Display for LifecyclePhase {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The paper's two emission classes.
+///
+/// "We define opex-related emissions as emissions from hardware use and
+/// operational energy consumption; we define capex-related emissions as
+/// emissions from facility-infrastructure construction and chip
+/// manufacturing" (§I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
+         serde::Serialize, serde::Deserialize)]
+pub enum ExpenditureClass {
+    /// Recurring, operational emissions (hardware use, purchased energy).
+    Opex,
+    /// One-time emissions (manufacturing, infrastructure, transport,
+    /// end-of-life).
+    Capex,
+}
+
+impl ExpenditureClass {
+    /// Human-readable label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Opex => "Opex",
+            Self::Capex => "Capex",
+        }
+    }
+}
+
+impl core::fmt::Display for ExpenditureClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_use_is_opex() {
+        for phase in LifecyclePhase::ALL {
+            let expected = if phase == LifecyclePhase::Use {
+                ExpenditureClass::Opex
+            } else {
+                ExpenditureClass::Capex
+            };
+            assert_eq!(phase.expenditure_class(), expected, "{phase}");
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(LifecyclePhase::Production.to_string(), "Production");
+        assert_eq!(ExpenditureClass::Capex.to_string(), "Capex");
+    }
+}

@@ -1,0 +1,204 @@
+//! The experiment abstraction: every paper figure/table is an [`Experiment`]
+//! that produces tables and commentary.
+
+use crate::table::Table;
+
+/// Identifier of a paper artifact being reproduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
+         serde::Serialize, serde::Deserialize)]
+pub enum ExperimentId {
+    /// A numbered figure.
+    Figure(u8),
+    /// A numbered table (1 = Table I, …).
+    Table(u8),
+    /// A named extension experiment (not in the paper's evaluation).
+    Extension(&'static str),
+}
+
+impl ExperimentId {
+    /// Canonical command-line key: `fig05`, `table2`, `ext-sched`.
+    #[must_use]
+    pub fn key(&self) -> String {
+        match self {
+            Self::Figure(n) => format!("fig{n:02}"),
+            Self::Table(n) => format!("table{n}"),
+            Self::Extension(name) => format!("ext-{name}"),
+        }
+    }
+
+    /// Parses a command-line key.
+    #[must_use]
+    pub fn parse(key: &str) -> Option<Self> {
+        if let Some(rest) = key.strip_prefix("fig") {
+            return rest.parse().ok().map(Self::Figure);
+        }
+        if let Some(rest) = key.strip_prefix("table") {
+            return rest.parse().ok().map(Self::Table);
+        }
+        // Extensions are matched by the registry against known names, so
+        // parsing returns None here.
+        None
+    }
+}
+
+impl core::fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Figure(n) => write!(f, "Figure {n}"),
+            Self::Table(n) => {
+                const ROMAN: [&str; 6] = ["0", "I", "II", "III", "IV", "V"];
+                write!(f, "Table {}", ROMAN.get(*n as usize).copied().unwrap_or("?"))
+            }
+            Self::Extension(name) => write!(f, "Extension `{name}`"),
+        }
+    }
+}
+
+/// The output of running an experiment: named tables plus free-form notes
+/// recording paper-vs-measured anchors.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct ExperimentOutput {
+    /// Titled tables, in presentation order.
+    pub tables: Vec<(String, Table)>,
+    /// Commentary lines: what the paper reports vs what this run measured.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentOutput {
+    /// Creates an empty output.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a titled table.
+    pub fn table(&mut self, title: impl Into<String>, table: Table) -> &mut Self {
+        self.tables.push((title.into(), table));
+        self
+    }
+
+    /// Adds a commentary line.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders everything as Markdown (tables become GFM tables, notes a
+    /// bullet list).
+    #[must_use]
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        for (title, table) in &self.tables {
+            out.push_str("### ");
+            out.push_str(title);
+            out.push_str("\n\n");
+            out.push_str(&table.to_markdown());
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str("- ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders every table as CSV, separated by blank lines (notes are
+    /// emitted as `# ` comment lines).
+    #[must_use]
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        for (title, table) in &self.tables {
+            out.push_str("# ");
+            out.push_str(title);
+            out.push('\n');
+            out.push_str(&table.to_csv());
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str("# note: ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders everything to text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (title, table) in &self.tables {
+            out.push_str(title);
+            out.push('\n');
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str("note: ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A reproducible paper artifact.
+pub trait Experiment {
+    /// Which figure/table this reproduces.
+    fn id(&self) -> ExperimentId;
+
+    /// One-line description (the figure caption, abbreviated).
+    fn description(&self) -> &'static str;
+
+    /// Runs the models and produces the artifact's rows/series.
+    fn run(&self) -> ExperimentOutput;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_round_trip() {
+        assert_eq!(ExperimentId::Figure(5).key(), "fig05");
+        assert_eq!(ExperimentId::parse("fig05"), Some(ExperimentId::Figure(5)));
+        assert_eq!(ExperimentId::Table(2).key(), "table2");
+        assert_eq!(ExperimentId::parse("table2"), Some(ExperimentId::Table(2)));
+        assert_eq!(ExperimentId::parse("nope"), None);
+        assert_eq!(ExperimentId::Extension("sched").key(), "ext-sched");
+    }
+
+    #[test]
+    fn display_uses_roman_numerals_for_tables() {
+        assert_eq!(ExperimentId::Table(4).to_string(), "Table IV");
+        assert_eq!(ExperimentId::Figure(10).to_string(), "Figure 10");
+        assert_eq!(ExperimentId::Extension("x").to_string(), "Extension `x`");
+    }
+
+    #[test]
+    fn markdown_and_csv_renderings() {
+        let mut out = ExperimentOutput::new();
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        out.table("T", t).note("n");
+        let md = out.render_markdown();
+        assert!(md.contains("### T"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("- n"));
+        let csv = out.render_csv();
+        assert!(csv.contains("# T"));
+        assert!(csv.contains("a,b"));
+        assert!(csv.contains("# note: n"));
+    }
+
+    #[test]
+    fn output_renders_tables_and_notes() {
+        let mut out = ExperimentOutput::new();
+        let mut t = Table::new(["a"]);
+        t.row(["1"]);
+        out.table("My table", t).note("paper: 2.7x; measured: 2.70x");
+        let text = out.render();
+        assert!(text.contains("My table"));
+        assert!(text.contains("note: paper"));
+    }
+}

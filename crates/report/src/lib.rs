@@ -1,0 +1,15 @@
+//! # cc-report
+//!
+//! Presentation layer for the reproduction: ASCII tables, CSV emission, text
+//! bar charts, and the [`Experiment`] abstraction keyed by the paper's
+//! figure/table ids.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod experiment;
+pub mod table;
+
+pub use experiment::{Experiment, ExperimentId, ExperimentOutput};
+pub use table::Table;

@@ -1,0 +1,134 @@
+//! Dynamic voltage and frequency scaling (DVFS).
+//!
+//! Section VI lists DVFS among the architecture community's levers on
+//! opex-related carbon. The classic model: performance scales linearly with
+//! frequency while dynamic energy per operation scales with V², and V scales
+//! roughly with f in the DVFS-able range — so energy/op goes as the square of
+//! the frequency scale. Static power scales with V (leakage grows with the
+//! rail voltage).
+
+use crate::soc::ComputeUnit;
+
+/// Applies a frequency scale to a compute unit, returning the derived
+/// operating point.
+///
+/// `scale = 1.0` is the nominal point; `0.5` is half frequency (and roughly
+/// quarter dynamic energy per op); `1.2` is a 20% overclock.
+///
+/// # Panics
+///
+/// Panics when `scale` is outside the modelled DVFS range `[0.3, 1.5]`.
+#[must_use]
+pub fn at_frequency_scale(unit: &ComputeUnit, scale: f64) -> ComputeUnit {
+    assert!(
+        (0.3..=1.5).contains(&scale),
+        "frequency scale {scale} outside modelled DVFS range [0.3, 1.5]"
+    );
+    let mut scaled = *unit;
+    scaled.peak_gmacs_per_s = unit.peak_gmacs_per_s * scale;
+    // V ~ f within the DVFS range: dynamic E/op ~ V^2 ~ f^2.
+    scaled.pj_per_mac = unit.pj_per_mac * scale * scale;
+    scaled.pj_per_byte = unit.pj_per_byte * scale * scale;
+    // Leakage grows with voltage.
+    scaled.static_power_w = unit.static_power_w * scale;
+    scaled
+}
+
+/// Sweeps frequency scales, returning `(scale, latency_s, energy_j)` for one
+/// network on one (scaled) unit — the raw material for an energy/latency
+/// trade-off curve.
+#[must_use]
+pub fn sweep(
+    unit: &ComputeUnit,
+    network: &crate::network::Network,
+    scales: &[f64],
+) -> Vec<(f64, f64, f64)> {
+    scales
+        .iter()
+        .map(|&s| {
+            let scaled = at_frequency_scale(unit, s);
+            let soc = crate::soc::Soc::new("dvfs-sweep", vec![scaled]);
+            let model = crate::exec::ExecutionModel::new(soc);
+            let report = model
+                .run(network, unit.kind)
+                .expect("unit kind present by construction");
+            (s, report.latency.as_seconds(), report.energy.as_joules())
+        })
+        .collect()
+}
+
+/// Finds the energy-minimal frequency scale over a sweep.
+///
+/// Below some frequency, static energy (power × longer runtime) dominates and
+/// total energy rises again — the classic energy-optimal DVFS point.
+#[must_use]
+pub fn energy_optimal_scale(
+    unit: &ComputeUnit,
+    network: &crate::network::Network,
+    scales: &[f64],
+) -> Option<f64> {
+    sweep(unit, network, scales)
+        .into_iter()
+        .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(core::cmp::Ordering::Equal))
+        .map(|(s, _, _)| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::soc::{Soc, UnitKind};
+    use cc_data::ai_models::CnnModel;
+
+    fn cpu() -> ComputeUnit {
+        *Soc::snapdragon_845().unit(UnitKind::Cpu).unwrap()
+    }
+
+    #[test]
+    fn scaling_laws() {
+        let base = cpu();
+        let half = at_frequency_scale(&base, 0.5);
+        assert!((half.peak_gmacs_per_s / base.peak_gmacs_per_s - 0.5).abs() < 1e-12);
+        assert!((half.pj_per_mac / base.pj_per_mac - 0.25).abs() < 1e-12);
+        assert!((half.static_power_w / base.static_power_w - 0.5).abs() < 1e-12);
+        let nominal = at_frequency_scale(&base, 1.0);
+        assert_eq!(nominal, base);
+    }
+
+    #[test]
+    fn downclocking_trades_latency_for_energy() {
+        let network = Network::build(CnnModel::MobileNetV3);
+        let pts = sweep(&cpu(), &network, &[0.5, 1.0]);
+        let (_, lat_half, e_half) = pts[0];
+        let (_, lat_full, e_full) = pts[1];
+        assert!(lat_half > lat_full, "half frequency must be slower");
+        assert!(e_half < e_full, "half frequency must save energy for compute-bound nets");
+    }
+
+    #[test]
+    fn energy_optimum_is_interior_or_lowest() {
+        let network = Network::build(CnnModel::MobileNetV2);
+        let scales: Vec<f64> = (3..=15).map(|i| i as f64 / 10.0).collect();
+        let opt = energy_optimal_scale(&cpu(), &network, &scales).unwrap();
+        // With quadratic dynamic savings and linear static growth in runtime,
+        // the optimum sits at or below nominal frequency.
+        assert!(opt < 1.0, "optimum {opt}");
+        assert!(opt >= 0.3);
+    }
+
+    #[test]
+    fn memory_bound_layers_blunt_dvfs_gains() {
+        // At low frequency, memory-bound layers stop getting slower (their
+        // time is bandwidth-limited), so latency grows sublinearly.
+        let network = Network::build(CnnModel::ResNet50);
+        let pts = sweep(&cpu(), &network, &[0.5, 1.0]);
+        let slowdown = pts[0].1 / pts[1].1;
+        assert!(slowdown < 2.05, "slowdown {slowdown}");
+    }
+
+    #[test]
+    #[should_panic(expected = "DVFS range")]
+    fn rejects_out_of_range_scale() {
+        let _ = at_frequency_scale(&cpu(), 2.0);
+    }
+}
