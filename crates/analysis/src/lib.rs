@@ -10,6 +10,7 @@
 pub mod crossover;
 pub mod pareto;
 pub mod projections;
+pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod uncertainty;

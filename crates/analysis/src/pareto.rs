@@ -7,7 +7,7 @@
 
 /// A point in benefit/cost space: `benefit` is maximized (e.g. throughput),
 /// `cost` is minimized (e.g. manufacturing CO₂e).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point<T> {
     /// The quantity being maximized.
     pub benefit: f64,
@@ -59,7 +59,11 @@ pub fn frontier<T: Clone>(points: &[Point<T>]) -> Vec<Point<T>> {
         a.cost
             .partial_cmp(&b.cost)
             .unwrap_or(core::cmp::Ordering::Equal)
-            .then(a.benefit.partial_cmp(&b.benefit).unwrap_or(core::cmp::Ordering::Equal))
+            .then(
+                a.benefit
+                    .partial_cmp(&b.benefit)
+                    .unwrap_or(core::cmp::Ordering::Equal),
+            )
     });
     front
 }
@@ -78,7 +82,9 @@ pub fn benefit_shift<T: Clone>(a: &[Point<T>], b: &[Point<T>]) -> f64 {
             .iter()
             .filter(|p| p.cost <= cost)
             .map(|p| p.benefit)
-            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
     };
     let mut ratios = Vec::new();
     for p in b {
@@ -104,9 +110,9 @@ mod tests {
             Point::new(4.0, 30.0, "a"),
             Point::new(8.0, 34.0, "b"),
             Point::new(12.0, 38.0, "c"),
-            Point::new(10.0, 40.0, "d"),  // dominated by c
+            Point::new(10.0, 40.0, "d"), // dominated by c
             Point::new(35.0, 63.0, "e"),
-            Point::new(3.0, 31.0, "f"),   // dominated by a
+            Point::new(3.0, 31.0, "f"), // dominated by a
         ]
     }
 

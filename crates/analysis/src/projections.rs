@@ -8,7 +8,7 @@ use crate::series::YearSeries;
 use crate::stats;
 
 /// A growth model for a scalar demand curve.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GrowthModel {
     /// `v(t) = v0 · (1 + r)^(t − t0)`.
     Exponential {
@@ -43,7 +43,9 @@ impl GrowthModel {
     /// Samples the model over an inclusive year range.
     #[must_use]
     pub fn sample(&self, from: u16, to: u16) -> YearSeries {
-        (from..=to).map(|y| (y, self.value_at(f64::from(y)))).collect()
+        (from..=to)
+            .map(|y| (y, self.value_at(f64::from(y))))
+            .collect()
     }
 
     /// Fits an exponential model to a positive-valued series by linear
@@ -55,10 +57,7 @@ impl GrowthModel {
         if series.len() < 2 || series.values().any(|v| v <= 0.0) {
             return None;
         }
-        let pts: Vec<(f64, f64)> = series
-            .iter()
-            .map(|(y, v)| (f64::from(y), v.ln()))
-            .collect();
+        let pts: Vec<(f64, f64)> = series.iter().map(|(y, v)| (f64::from(y), v.ln())).collect();
         let (a, b) = stats::linear_fit(&pts)?;
         let t0 = series.years().next()?;
         Some(Self::Exponential {
@@ -85,7 +84,11 @@ mod tests {
 
     #[test]
     fn exponential_round_trips_through_fit() {
-        let truth = GrowthModel::Exponential { t0: 2010, v0: 100.0, rate: 0.07 };
+        let truth = GrowthModel::Exponential {
+            t0: 2010,
+            v0: 100.0,
+            rate: 0.07,
+        };
         let series = truth.sample(2010, 2020);
         let fit = GrowthModel::fit_exponential(&series).unwrap();
         // The fit must recover the value at an extrapolated year closely.
@@ -95,7 +98,11 @@ mod tests {
 
     #[test]
     fn logistic_saturates() {
-        let m = GrowthModel::Logistic { cap: 1_000.0, k: 0.5, midpoint: 2020.0 };
+        let m = GrowthModel::Logistic {
+            cap: 1_000.0,
+            k: 0.5,
+            midpoint: 2020.0,
+        };
         assert!((m.value_at(2020.0) - 500.0).abs() < 1e-9);
         assert!(m.value_at(2050.0) > 999.0);
         assert!(m.value_at(1990.0) < 1.0);
@@ -110,7 +117,10 @@ mod tests {
         let dc: YearSeries = cc_first_decade();
         let projected = project_exponential(&dc, 2030).unwrap();
         let v2030 = projected.get(2030).unwrap();
-        assert!(v2030 > 1_500.0 && v2030 < 4_000.0, "2030 projection {v2030}");
+        assert!(
+            v2030 > 1_500.0 && v2030 < 4_000.0,
+            "2030 projection {v2030}"
+        );
         let model = GrowthModel::fit_exponential(&dc).unwrap();
         if let GrowthModel::Exponential { rate, .. } = model {
             assert!(rate > 0.08 && rate < 0.20, "rate {rate}");

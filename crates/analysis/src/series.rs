@@ -6,7 +6,7 @@
 //! statistics.
 
 /// A time series sampled at (not necessarily contiguous) integer years.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct YearSeries {
     samples: Vec<(u16, f64)>,
 }
@@ -85,9 +85,7 @@ impl YearSeries {
         if year >= f64::from(last.0) {
             return Some(last.1);
         }
-        let idx = self
-            .samples
-            .partition_point(|&(y, _)| f64::from(y) <= year);
+        let idx = self.samples.partition_point(|&(y, _)| f64::from(y) <= year);
         let (y0, v0) = self.samples[idx - 1];
         let (y1, v1) = self.samples[idx];
         let t = (year - f64::from(y0)) / (f64::from(y1) - f64::from(y0));
@@ -219,7 +217,9 @@ mod tests {
         assert_eq!(s.total_growth(), Some(5.0));
         let cagr = s.cagr().unwrap();
         assert!((cagr - (5.0f64.powf(1.0 / 6.0) - 1.0)).abs() < 1e-12);
-        assert!(YearSeries::from_pairs([(2010, 1.0)]).total_growth().is_none());
+        assert!(YearSeries::from_pairs([(2010, 1.0)])
+            .total_growth()
+            .is_none());
     }
 
     #[test]

@@ -72,7 +72,9 @@ mod tests {
 
     #[test]
     fn linear_fit_recovers_line() {
-        let pts: Vec<(f64, f64)> = (0..10).map(|i| (f64::from(i), 3.0 + 2.0 * f64::from(i))).collect();
+        let pts: Vec<(f64, f64)> = (0..10)
+            .map(|i| (f64::from(i), 3.0 + 2.0 * f64::from(i)))
+            .collect();
         let (a, b) = linear_fit(&pts).unwrap();
         assert!((a - 3.0).abs() < 1e-9);
         assert!((b - 2.0).abs() < 1e-9);

@@ -6,12 +6,11 @@
 //! summarizes the output spread — the error bars Fig 6 hints at with its
 //! "one standard deviation" whiskers.
 
-use rand::Rng;
-use rand::SeedableRng;
+use crate::rng::{Rng, SplitMix64};
 
 /// A triangular distribution `(low, mode, high)` — the standard choice for
 /// expert-elicited LCA parameters.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Triangular {
     /// Lower bound.
     pub low: f64,
@@ -62,7 +61,7 @@ impl Triangular {
 }
 
 /// Summary of a Monte-Carlo output sample.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct McSummary {
     /// Sample mean.
     pub mean: f64,
@@ -93,7 +92,7 @@ pub fn propagate(
 ) -> McSummary {
     assert!(trials > 0, "need at least one trial");
     assert!(!inputs.is_empty(), "need at least one input");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut outputs: Vec<f64> = Vec::with_capacity(trials as usize);
     let mut draws = vec![0.0; inputs.len()];
     for _ in 0..trials {
@@ -104,8 +103,8 @@ pub fn propagate(
     }
     outputs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
     let mean = outputs.iter().sum::<f64>() / outputs.len() as f64;
-    let var = outputs.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-        / (outputs.len().max(2) - 1) as f64;
+    let var =
+        outputs.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (outputs.len().max(2) - 1) as f64;
     let pct = |p: f64| outputs[((outputs.len() - 1) as f64 * p).round() as usize];
     McSummary {
         mean,

@@ -1,46 +1,24 @@
-//! One Criterion benchmark per paper artifact: regenerating each figure and
-//! table from the models. The point is twofold: (a) the harness re-runs every
-//! experiment end to end on `cargo bench`, and (b) regeneration cost is
-//! tracked so the reproduction stays cheap to iterate on.
+//! One benchmark per paper artifact: regenerating each figure and table from
+//! the models. The point is twofold: (a) the harness re-runs every experiment
+//! end to end on `cargo bench`, and (b) regeneration cost is tracked so the
+//! reproduction stays cheap to iterate on.
 
-use cc_core::experiments;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cc_bench::Bencher;
+use cc_core::experiments::{self, Tag};
+use cc_report::RunContext;
 use std::hint::black_box;
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut figures = c.benchmark_group("figures");
-    figures.sample_size(10);
-    for e in experiments::all() {
-        if matches!(e.id(), cc_report::ExperimentId::Figure(_)) {
-            figures.bench_function(e.id().key(), |b| {
-                b.iter(|| black_box(e.run()));
-            });
+fn main() {
+    let ctx = RunContext::paper();
+    for (group, tag) in [
+        ("figures", Tag::Figure),
+        ("tables", Tag::Table),
+        ("extensions", Tag::Extension),
+    ] {
+        let bencher = Bencher::group(group);
+        for entry in experiments::with_tags(&[tag]) {
+            let experiment = entry.build();
+            bencher.bench(entry.key, || black_box(experiment.run(&ctx)));
         }
     }
-    figures.finish();
-
-    let mut tables = c.benchmark_group("tables");
-    tables.sample_size(10);
-    for e in experiments::all() {
-        if matches!(e.id(), cc_report::ExperimentId::Table(_)) {
-            tables.bench_function(e.id().key(), |b| {
-                b.iter(|| black_box(e.run()));
-            });
-        }
-    }
-    tables.finish();
-
-    let mut extensions = c.benchmark_group("extensions");
-    extensions.sample_size(10);
-    for e in experiments::all() {
-        if matches!(e.id(), cc_report::ExperimentId::Extension(_)) {
-            extensions.bench_function(e.id().key(), |b| {
-                b.iter(|| black_box(e.run()));
-            });
-        }
-    }
-    extensions.finish();
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

@@ -2,144 +2,129 @@
 //! plus the design-choice ablations called out in DESIGN.md.
 
 use cc_analysis::pareto::{frontier, Point};
+use cc_analysis::uncertainty::{propagate, Triangular};
+use cc_bench::Bencher;
 use cc_data::ai_models::CnnModel;
 use cc_dcsim::{CarbonAwareScheduler, DayProfile, Facility, ServerConfig};
 use cc_fab::WaferFootprint;
 use cc_socsim::{ExecutionModel, Network, PowerMonitor, UnitKind};
 use cc_units::prelude::*;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_socsim(c: &mut Criterion) {
+fn bench_socsim() {
+    let g = Bencher::group("socsim");
     let model = ExecutionModel::pixel3();
-    let mut g = c.benchmark_group("socsim");
     for cnn in CnnModel::ALL {
         let network = Network::build(cnn);
-        g.bench_with_input(BenchmarkId::new("inference", cnn), &network, |b, net| {
-            b.iter(|| black_box(model.run(net, UnitKind::Dsp).unwrap()));
+        g.bench(&format!("inference/{cnn}"), || {
+            black_box(model.run(&network, UnitKind::Dsp).unwrap())
         });
     }
     // Ablation: sampled (Monsoon) measurement vs analytical energy.
     let network = Network::build(CnnModel::MobileNetV3);
     let report = model.run(&network, UnitKind::Cpu).unwrap();
     let static_power = model.soc().unit(UnitKind::Cpu).unwrap().static_power();
-    g.bench_function("monitor_sampling_100_runs", |b| {
+    g.bench("monitor_sampling_100_runs", || {
         let monitor = PowerMonitor::monsoon();
-        b.iter(|| black_box(monitor.measure_energy(&report, static_power, 100)));
+        black_box(monitor.measure_energy(&report, static_power, 100))
     });
-    g.finish();
 }
 
-fn bench_pareto(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pareto");
+fn bench_pareto() {
+    let g = Bencher::group("pareto");
     for n in [10usize, 100, 1_000] {
         // Deterministic pseudo-random cloud (LCG) — no RNG dependency in the
         // hot loop.
         let mut state = 0x243f6a8885a308d3u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let pts: Vec<Point<usize>> = (0..n)
             .map(|i| Point::new(next() * 100.0, next() * 100.0, i))
             .collect();
-        g.bench_with_input(BenchmarkId::new("frontier", n), &pts, |b, pts| {
-            b.iter(|| black_box(frontier(pts)));
-        });
+        g.bench(&format!("frontier/{n}"), || black_box(frontier(&pts)));
     }
-    g.finish();
 }
 
-fn bench_dcsim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dcsim");
-    g.bench_function("prineville_7yr", |b| {
-        b.iter(|| black_box(cc_dcsim::prineville::simulate()));
+fn bench_dcsim() {
+    let g = Bencher::group("dcsim");
+    g.bench("prineville_7yr", || {
+        black_box(cc_dcsim::prineville::simulate())
     });
-    g.bench_function("facility_30yr", |b| {
-        b.iter(|| {
-            let mut f = Facility::builder("bench", 2000, ServerConfig::web())
-                .renewable_ramp(vec![0.0, 0.5, 1.0])
-                .build();
-            black_box(f.simulate(30))
-        });
+    g.bench("facility_30yr", || {
+        let mut f = Facility::builder("bench", 2000, ServerConfig::web())
+            .renewable_ramp(vec![0.0, 0.5, 1.0])
+            .build();
+        black_box(f.simulate(30))
     });
     // Ablation: carbon-aware vs uniform scheduling.
     let profile = DayProfile::solar_grid(5.0, 60.0, 15.0);
-    g.bench_function("scheduler_uniform", |b| {
-        b.iter(|| black_box(CarbonAwareScheduler::uniform(&profile)));
+    g.bench("scheduler_uniform", || {
+        black_box(CarbonAwareScheduler::uniform(&profile))
     });
-    g.bench_function("scheduler_carbon_aware", |b| {
-        b.iter(|| black_box(CarbonAwareScheduler::carbon_aware(&profile)));
+    g.bench("scheduler_carbon_aware", || {
+        black_box(CarbonAwareScheduler::carbon_aware(&profile))
     });
-    g.finish();
 }
 
-fn bench_fab_and_lca(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fab_lca");
+fn bench_fab_and_lca() {
+    let g = Bencher::group("fab_lca");
     let wafer = WaferFootprint::tsmc_300mm();
-    g.bench_function("wafer_renewable_sweep", |b| {
-        b.iter(|| black_box(wafer.renewable_sweep(&cc_fab::wafer::FIG14_FACTORS)));
+    g.bench("wafer_renewable_sweep", || {
+        black_box(wafer.renewable_sweep(&cc_fab::wafer::FIG14_FACTORS))
     });
-    g.bench_function("category_summaries", |b| {
-        b.iter(|| black_box(cc_lca::inventory::all_categories()));
+    g.bench("category_summaries", || {
+        black_box(cc_lca::inventory::all_categories())
     });
     let analysis = cc_lca::AmortizationAnalysis::new(
         CarbonMass::from_kg(25.0),
         CarbonIntensity::from_g_per_kwh(380.0),
     );
-    g.bench_function("breakeven_solve", |b| {
-        b.iter(|| {
-            black_box(
-                analysis
-                    .breakeven(Energy::from_joules(0.047), TimeSpan::from_millis(6.0))
-                    .unwrap(),
-            )
-        });
+    g.bench("breakeven_solve", || {
+        black_box(
+            analysis
+                .breakeven(Energy::from_joules(0.047), TimeSpan::from_millis(6.0))
+                .unwrap(),
+        )
     });
-    g.finish();
 }
 
-fn bench_extensions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("extensions_models");
+fn bench_extensions() {
+    let g = Bencher::group("extensions_models");
     // DVFS sweep over the full modelled range.
     let cpu = *cc_socsim::Soc::snapdragon_845()
         .unit(UnitKind::Cpu)
         .expect("cpu");
     let network = Network::build(CnnModel::MobileNetV3);
     let scales: Vec<f64> = (3..=15).map(|i| f64::from(i) / 10.0).collect();
-    g.bench_function("dvfs_sweep_13_points", |b| {
-        b.iter(|| black_box(cc_socsim::dvfs::sweep(&cpu, &network, &scales)));
+    g.bench("dvfs_sweep_13_points", || {
+        black_box(cc_socsim::dvfs::sweep(&cpu, &network, &scales))
     });
     // Batched inference.
     let model = ExecutionModel::pixel3();
-    g.bench_function("batch_256", |b| {
-        b.iter(|| {
-            black_box(cc_socsim::batch::run_batch(&model, &network, UnitKind::Dsp, 256).unwrap())
-        });
+    g.bench("batch_256", || {
+        black_box(cc_socsim::batch::run_batch(&model, &network, UnitKind::Dsp, 256).unwrap())
     });
     // Monte-Carlo propagation.
-    use cc_analysis::uncertainty::{propagate, Triangular};
     let inputs = [
         Triangular::around(24_850.0, 0.20),
         Triangular::around(380.0, 0.15),
         Triangular::around(0.0447, 0.25),
     ];
-    g.bench_function("monte_carlo_10k", |b| {
-        b.iter(|| {
-            black_box(propagate(&inputs, 10_000, 7, |x| {
-                x[0] / ((x[2] / 3.6e6) * x[1])
-            }))
-        });
+    g.bench("monte_carlo_10k", || {
+        black_box(propagate(&inputs, 10_000, 7, |x| {
+            x[0] / ((x[2] / 3.6e6) * x[1])
+        }))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_socsim,
-    bench_pareto,
-    bench_dcsim,
-    bench_fab_and_lca,
-    bench_extensions
-);
-criterion_main!(benches);
+fn main() {
+    bench_socsim();
+    bench_pareto();
+    bench_dcsim();
+    bench_fab_and_lca();
+    bench_extensions();
+}

@@ -1,13 +1,56 @@
-//! Regenerates the paper's figures and tables from the models.
+//! Regenerates the paper's figures and tables from the models, under any
+//! scenario.
+//!
+//! ```text
+//! repro fig10                                  # paper scenario, text output
+//! repro --scenario green.toml fig10            # custom scenario file
+//! repro --set grid.intensity=50 fig10          # one-off overrides
+//! repro --tag mobile --json                    # tag-filtered, JSON to stdout
+//! repro --jobs 8 --json --out out/             # full suite, in parallel,
+//!                                              # one artifact file per key
+//! ```
 
-use cc_core::experiments;
+use cc_core::experiments::{self, Entry, Tag};
+use cc_report::{JsonValue, RunContext, Scenario};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 fn print_usage() {
-    eprintln!("usage: repro [--list | <experiment-key>...]");
+    eprintln!("usage: repro [options] [<experiment-key>...]");
+    eprintln!();
+    eprintln!("options:");
+    eprintln!("  --list               list selected experiment keys and exit");
+    eprintln!("  --tag <tag>          filter experiments by tag (repeatable, AND-ed)");
+    eprintln!("  --scenario <file>    load scenario parameters from a TOML file");
+    eprintln!("  --set <key>=<value>  override one scenario field (repeatable),");
+    eprintln!("                       e.g. --set grid.intensity=50 --set device.lifetime=5");
+    eprintln!("  --markdown | --csv | --json   output format (default: text)");
+    eprintln!("  --out <dir>          write one artifact file per experiment into <dir>");
+    eprintln!("  --jobs <n>           run experiments on n worker threads (default 1)");
+    eprintln!();
+    let tags: Vec<&str> = Tag::ALL.iter().map(|t| t.name()).collect();
+    eprintln!("tags: {}", tags.join(", "));
+    eprintln!();
     eprintln!("keys:");
-    for e in experiments::all() {
-        eprintln!("  {:10}  {} — {}", e.id().key(), e.id(), e.description());
+    for e in experiments::entries() {
+        eprintln!("  {:10}  {} — {}", e.key, e.title(), e.description());
     }
+}
+
+/// Prints a line to stdout, exiting quietly when the reader has gone away
+/// (`repro --list | head` must not panic on the broken pipe).
+fn emit(line: impl std::fmt::Display) {
+    let stdout = std::io::stdout();
+    if writeln!(stdout.lock(), "{line}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("repro: {message}");
+    eprintln!("(run `repro --help` for usage)");
+    std::process::exit(2);
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -15,62 +58,299 @@ enum Format {
     Text,
     Markdown,
     Csv,
+    Json,
+}
+
+impl Format {
+    fn extension(self) -> &'static str {
+        match self {
+            Self::Text => "txt",
+            Self::Markdown => "md",
+            Self::Csv => "csv",
+            Self::Json => "json",
+        }
+    }
+}
+
+struct Options {
+    list: bool,
+    tags: Vec<Tag>,
+    scenario: Scenario,
+    format: Format,
+    out_dir: Option<std::path::PathBuf>,
+    jobs: usize,
+    keys: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut list = false;
+    let mut tags = Vec::new();
+    let mut scenario_file: Option<String> = None;
+    let mut sets: Vec<(String, String)> = Vec::new();
+    let mut format = Format::Text;
+    let mut out_dir = None;
+    let mut jobs = 1usize;
+    let mut keys = Vec::new();
+
+    let value_of = |flag: &str, args: &mut dyn Iterator<Item = String>| -> String {
+        args.next()
+            .unwrap_or_else(|| fail(&format!("{flag} requires a value")))
+    };
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print_usage();
+                std::process::exit(0);
+            }
+            "--list" => list = true,
+            "--tag" => {
+                let name = value_of("--tag", &mut args);
+                match Tag::parse(&name) {
+                    Some(tag) => tags.push(tag),
+                    None => fail(&format!("unknown tag `{name}`")),
+                }
+            }
+            "--scenario" => scenario_file = Some(value_of("--scenario", &mut args)),
+            "--set" => {
+                let pair = value_of("--set", &mut args);
+                let Some((key, value)) = pair.split_once('=') else {
+                    fail(&format!("--set expects key=value, got `{pair}`"));
+                };
+                sets.push((key.trim().to_string(), value.trim().to_string()));
+            }
+            "--markdown" => format = Format::Markdown,
+            "--csv" => format = Format::Csv,
+            "--json" => format = Format::Json,
+            "--out" => out_dir = Some(std::path::PathBuf::from(value_of("--out", &mut args))),
+            "--jobs" => {
+                let n = value_of("--jobs", &mut args);
+                jobs = n.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                    fail(&format!("--jobs expects a positive integer, got `{n}`"))
+                });
+            }
+            // `cargo repro -- fig10` forwards the `--` separator; accept it.
+            "--" => {}
+            flag if flag.starts_with('-') => fail(&format!("unknown option `{flag}`")),
+            key => keys.push(key.to_string()),
+        }
+    }
+
+    // Assemble the scenario: file (or paper defaults) first, then --set
+    // overrides strictly in command-line order. Setting `grid.source`
+    // resolves the Table II intensity at that point, so a later
+    // `--set grid.intensity=…` still wins — overrides never clobber each
+    // other out of order.
+    let mut scenario = match &scenario_file {
+        None => Scenario::paper_defaults(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read scenario `{path}`: {e}")));
+            let (mut from_file, file_keys) = Scenario::from_toml_keys(&text)
+                .unwrap_or_else(|e| fail(&format!("scenario `{path}`: {e}")));
+            // Within a file, an explicitly written intensity wins and the
+            // source stays an informational label; otherwise the source
+            // determines the intensity.
+            let file_pins_intensity = file_keys
+                .iter()
+                .any(|k| k == "grid.intensity" || k == "grid.intensity_g_per_kwh");
+            if from_file.grid.source.is_some() && !file_pins_intensity {
+                resolve_energy_source(&mut from_file);
+            }
+            from_file
+        }
+    };
+    for (key, value) in &sets {
+        scenario
+            .set(key, value)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        if key == "grid.source" {
+            resolve_energy_source(&mut scenario);
+        }
+    }
+    scenario.validate().unwrap_or_else(|e| fail(&e.to_string()));
+
+    Options {
+        list,
+        tags,
+        scenario,
+        format,
+        out_dir,
+        jobs,
+        keys,
+    }
+}
+
+/// Overwrites `grid.intensity_g_per_kwh` with the Table II intensity of the
+/// scenario's named energy source.
+fn resolve_energy_source(scenario: &mut Scenario) {
+    let Some(source) = scenario.grid.source.clone() else {
+        return;
+    };
+    let wanted = source.to_lowercase();
+    let matched = cc_data::energy_sources::EnergySource::ALL
+        .into_iter()
+        .find(|s| s.to_string().to_lowercase() == wanted)
+        .unwrap_or_else(|| {
+            let names: Vec<String> = cc_data::energy_sources::EnergySource::ALL
+                .into_iter()
+                .map(|s| s.to_string().to_lowercase())
+                .collect();
+            fail(&format!(
+                "unknown energy source `{source}` (known: {})",
+                names.join(", ")
+            ))
+        });
+    scenario.grid.intensity_g_per_kwh = matched.carbon_intensity().as_g_per_kwh();
+}
+
+fn select(options: &Options) -> Vec<&'static Entry> {
+    if options.keys.is_empty() {
+        return experiments::with_tags(&options.tags);
+    }
+    let mut selected = Vec::new();
+    for key in &options.keys {
+        match experiments::find_entry(key) {
+            Some(entry) => {
+                // An explicitly named key that fails the tag filter is a
+                // contradiction in the request, not something to drop
+                // silently.
+                if let Some(&missing) = options.tags.iter().find(|&&t| !entry.has_tag(t)) {
+                    fail(&format!(
+                        "experiment `{key}` does not carry tag `{missing}`"
+                    ));
+                }
+                selected.push(entry);
+            }
+            None => fail(&format!("unknown experiment `{key}`")),
+        }
+    }
+    selected
+}
+
+fn render(entry: &Entry, ctx: &RunContext, format: Format) -> String {
+    let experiment = entry.build();
+    let output = experiment.run(ctx);
+    match format {
+        Format::Text => format!(
+            "==============================================================\n\
+             {} — {}\n\
+             ==============================================================\n\
+             {}",
+            experiment.id(),
+            experiment.description(),
+            output.render()
+        ),
+        Format::Markdown => format!(
+            "## {} — {}\n\n{}",
+            experiment.id(),
+            experiment.description(),
+            output.render_markdown()
+        ),
+        Format::Csv => format!(
+            "# {} — {}\n{}",
+            experiment.id(),
+            experiment.description(),
+            output.render_csv()
+        ),
+        Format::Json => JsonValue::object([
+            ("key", JsonValue::from(entry.key)),
+            ("title", JsonValue::from(experiment.id().to_string())),
+            ("description", JsonValue::from(experiment.description())),
+            (
+                "tags",
+                JsonValue::array(entry.tags.iter().map(|t| JsonValue::from(t.name()))),
+            ),
+            ("scenario", ctx.scenario().to_json()),
+            ("output", output.to_json()),
+        ])
+        .render(),
+    }
+}
+
+/// Runs `entries` under `ctx` on up to `jobs` threads, returning rendered
+/// artifacts in input order.
+fn run_all(
+    entries: &[&'static Entry],
+    ctx: &RunContext,
+    format: Format,
+    jobs: usize,
+) -> Vec<String> {
+    let mut results: Vec<Option<String>> = vec![None; entries.len()];
+    if jobs <= 1 || entries.len() <= 1 {
+        for (slot, entry) in results.iter_mut().zip(entries) {
+            *slot = Some(render(entry, ctx, format));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots = Mutex::new(&mut results);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(entries.len()) {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(entry) = entries.get(index) else {
+                        break;
+                    };
+                    let rendered = render(entry, ctx, format);
+                    slots.lock().expect("no panics while holding lock")[index] = Some(rendered);
+                });
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--help" || a == "-h") {
-        print_usage();
-        return;
-    }
-    if args.iter().any(|a| a == "--list") {
-        for e in experiments::all() {
-            println!("{}", e.id().key());
+    let options = parse_args();
+    let selected = select(&options);
+
+    if options.list {
+        if options.format == Format::Json {
+            let index = JsonValue::array(selected.iter().map(|e| {
+                JsonValue::object([
+                    ("key", JsonValue::from(e.key)),
+                    ("title", JsonValue::from(e.title())),
+                    ("description", JsonValue::from(e.description())),
+                    (
+                        "tags",
+                        JsonValue::array(e.tags.iter().map(|t| JsonValue::from(t.name()))),
+                    ),
+                ])
+            }));
+            emit(index);
+        } else {
+            for entry in selected {
+                emit(entry.key);
+            }
         }
         return;
     }
-    let format = if args.iter().any(|a| a == "--markdown") {
-        Format::Markdown
-    } else if args.iter().any(|a| a == "--csv") {
-        Format::Csv
-    } else {
-        Format::Text
-    };
-    args.retain(|a| a != "--markdown" && a != "--csv");
 
-    let to_run: Vec<_> = if args.is_empty() {
-        experiments::all()
-    } else {
-        let mut selected = Vec::new();
-        for key in &args {
-            match experiments::find(key) {
-                Some(e) => selected.push(e),
-                None => {
-                    eprintln!("unknown experiment `{key}`");
-                    print_usage();
-                    std::process::exit(2);
-                }
+    if selected.is_empty() {
+        fail("no experiments match the given keys/tags");
+    }
+
+    let ctx = RunContext::new(options.scenario.clone());
+    let artifacts = run_all(&selected, &ctx, options.format, options.jobs);
+
+    match &options.out_dir {
+        None => {
+            for artifact in &artifacts {
+                emit(artifact);
             }
         }
-        selected
-    };
-
-    for e in to_run {
-        let out = e.run();
-        match format {
-            Format::Text => {
-                println!("==============================================================");
-                println!("{} — {}", e.id(), e.description());
-                println!("==============================================================");
-                println!("{}", out.render());
-            }
-            Format::Markdown => {
-                println!("## {} — {}\n", e.id(), e.description());
-                println!("{}", out.render_markdown());
-            }
-            Format::Csv => {
-                println!("# {} — {}", e.id(), e.description());
-                println!("{}", out.render_csv());
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| fail(&format!("cannot create `{}`: {e}", dir.display())));
+            for (entry, artifact) in selected.iter().zip(&artifacts) {
+                let path = dir.join(format!("{}.{}", entry.key, options.format.extension()));
+                std::fs::write(&path, artifact)
+                    .unwrap_or_else(|e| fail(&format!("cannot write `{}`: {e}", path.display())));
+                emit(format_args!("wrote {}", path.display()));
             }
         }
     }

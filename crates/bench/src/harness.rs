@@ -1,0 +1,131 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! Offline stand-in for Criterion: each benchmark warms up, then runs
+//! batches until a time budget is spent, and reports the per-iteration
+//! mean/min over the measured batches. Good enough to (a) exercise every
+//! model end to end under `cargo bench` and (b) spot order-of-magnitude
+//! regressions; it does not attempt Criterion's statistical rigor.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Result of one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Total iterations measured.
+    pub iterations: u64,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest observed batch, per iteration.
+    pub min: Duration,
+}
+
+impl Measurement {
+    fn format_duration(d: Duration) -> String {
+        let nanos = d.as_nanos();
+        if nanos < 10_000 {
+            format!("{nanos} ns")
+        } else if nanos < 10_000_000 {
+            format!("{:.1} us", nanos as f64 / 1e3)
+        } else if nanos < 10_000_000_000 {
+            format!("{:.1} ms", nanos as f64 / 1e6)
+        } else {
+            format!("{:.2} s", nanos as f64 / 1e9)
+        }
+    }
+}
+
+/// Runs groups of named benchmarks and prints one line per benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    group: String,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// A benchmark group named `group` with the default 200 ms budget per
+    /// benchmark.
+    #[must_use]
+    pub fn group(group: impl Into<String>) -> Self {
+        Self {
+            group: group.into(),
+            budget: Duration::from_millis(200),
+        }
+    }
+
+    /// Overrides the per-benchmark time budget.
+    #[must_use]
+    pub fn budget(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Times `f`, prints `group/name: <mean> per iter`, and returns the
+    /// measurement. The closure's return value is passed through
+    /// [`black_box`] so the optimizer cannot elide the work.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) -> Measurement {
+        // Warm-up: one untimed call (fills caches, triggers lazy statics).
+        black_box(f());
+
+        // Size batches so each batch is ~10% of the budget.
+        let probe = Instant::now();
+        black_box(f());
+        let per_iter = probe.elapsed().max(Duration::from_nanos(1));
+        let batch = ((self.budget.as_secs_f64() / 10.0 / per_iter.as_secs_f64()).ceil() as u64)
+            .clamp(1, 1_000_000);
+
+        let mut iterations = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min_per_iter = Duration::MAX;
+        let started = Instant::now();
+        while started.elapsed() < self.budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            iterations += batch;
+            total += elapsed;
+            min_per_iter = min_per_iter.min(elapsed / u32::try_from(batch).unwrap_or(u32::MAX));
+        }
+        let mean = total / u32::try_from(iterations.max(1)).unwrap_or(u32::MAX);
+        let m = Measurement {
+            iterations,
+            mean,
+            min: min_per_iter,
+        };
+        println!(
+            "{:40} {:>12} per iter (min {:>12}, {} iters)",
+            format!("{}/{}", self.group, name),
+            Measurement::format_duration(m.mean),
+            Measurement::format_duration(m.min),
+            m.iterations
+        );
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_cheap_work() {
+        let b = Bencher::group("test").budget(Duration::from_millis(20));
+        let m = b.bench("noop-ish", || 2u64.wrapping_mul(3));
+        assert!(m.iterations > 0);
+        assert!(m.mean > Duration::ZERO);
+        assert!(m.min <= m.mean * 2);
+    }
+
+    #[test]
+    fn duration_formatting_spans_scales() {
+        assert_eq!(
+            Measurement::format_duration(Duration::from_nanos(50)),
+            "50 ns"
+        );
+        assert!(Measurement::format_duration(Duration::from_micros(50)).ends_with("us"));
+        assert!(Measurement::format_duration(Duration::from_millis(50)).ends_with("ms"));
+        assert!(Measurement::format_duration(Duration::from_secs(50)).ends_with(" s"));
+    }
+}

@@ -1,15 +1,22 @@
 //! # cc-bench
 //!
-//! The benchmark harness: Criterion benches (one group per paper figure and
-//! table, plus ablations) and the `repro` binary that regenerates any
-//! experiment's rows from the command line:
+//! The benchmark harness (a small self-contained timing framework — the
+//! workspace builds offline, so no Criterion) and the `repro` binary that
+//! regenerates any experiment's rows from the command line:
 //!
 //! ```text
-//! repro            # run everything
-//! repro --list     # list experiment keys
-//! repro fig10      # regenerate one artifact
+//! repro                        # run everything, paper scenario
+//! repro --list                 # list experiment keys
+//! repro fig10                  # regenerate one artifact
+//! repro --scenario green.toml --set device.lifetime=5 fig10
+//! repro --jobs 8 --json --out out/   # parallel run, one JSON per artifact
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
 
 pub use cc_core::experiments;
+
+pub use harness::Bencher;

@@ -1,0 +1,180 @@
+//! Integration smoke tests for the `repro` binary: list/JSON modes, scenario
+//! files, per-key overrides, tag filtering, artifact output and the parallel
+//! runner.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn stdout_of(output: std::process::Output) -> String {
+    assert!(
+        output.status.success(),
+        "repro failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn list_prints_all_25_keys() {
+    let out = stdout_of(repro().arg("--list").output().unwrap());
+    let keys: Vec<&str> = out.lines().collect();
+    assert_eq!(keys.len(), 25);
+    assert!(keys.contains(&"fig10"));
+    assert!(keys.contains(&"table4"));
+    assert!(keys.contains(&"ext-mc"));
+}
+
+#[test]
+fn list_respects_tag_filters() {
+    let out = stdout_of(
+        repro()
+            .args(["--list", "--tag", "extension"])
+            .output()
+            .unwrap(),
+    );
+    assert_eq!(out.lines().count(), 6);
+    assert!(out.lines().all(|k| k.starts_with("ext-")));
+
+    let out = stdout_of(
+        repro()
+            .args(["--list", "--tag", "figure", "--tag", "mobile"])
+            .output()
+            .unwrap(),
+    );
+    assert!(out.lines().count() >= 2);
+    assert!(out.contains("fig10"));
+}
+
+#[test]
+fn json_artifact_carries_scenario_tables_series_notes() {
+    let out = stdout_of(repro().args(["--json", "fig10"]).output().unwrap());
+    assert!(out.contains(r#""key":"fig10""#));
+    assert!(out.contains(r#""title":"Figure 10""#));
+    assert!(out.contains(r#""tags":["figure","mobile"]"#));
+    assert!(out.contains(r#""name":"paper""#));
+    assert!(out.contains(r#""intensity_g_per_kwh":380.0"#));
+    assert!(out.contains(r#""name":"breakeven-days""#));
+    assert!(out.contains(r#""notes":["#));
+}
+
+#[test]
+fn list_json_is_a_metadata_index() {
+    let out = stdout_of(repro().args(["--list", "--json"]).output().unwrap());
+    assert!(out.starts_with('['));
+    assert!(out.contains(r#""key":"fig01""#));
+    assert!(out.contains(r#""description":"#));
+}
+
+#[test]
+fn scenario_file_and_overrides_change_fig10() {
+    let dir = std::env::temp_dir().join(format!("cc-repro-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let scenario_path = dir.join("green.toml");
+    std::fs::write(
+        &scenario_path,
+        "name = \"green\"\n[grid]\nintensity_g_per_kwh = 24\n[device]\nlifetime_years = 5\n",
+    )
+    .unwrap();
+
+    let paper = stdout_of(repro().args(["--json", "fig10"]).output().unwrap());
+    let green = stdout_of(
+        repro()
+            .args([
+                "--scenario",
+                scenario_path.to_str().unwrap(),
+                "--json",
+                "fig10",
+            ])
+            .output()
+            .unwrap(),
+    );
+    assert_ne!(paper, green, "a custom scenario must change the artifact");
+    assert!(green.contains(r#""intensity_g_per_kwh":24.0"#));
+
+    let overridden = stdout_of(
+        repro()
+            .args([
+                "--set",
+                "grid.intensity=24",
+                "--set",
+                "device.lifetime=5",
+                "--json",
+                "fig10",
+            ])
+            .output()
+            .unwrap(),
+    );
+    // --set composes to the same scenario as the file, apart from the name
+    // (which appears both in the scenario object and in the table title).
+    assert_eq!(
+        overridden
+            .replace(r#""name":"paper""#, r#""name":"green""#)
+            .replace("scenario `paper`", "scenario `green`"),
+        green
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn parallel_run_writes_one_artifact_per_experiment() {
+    let dir = std::env::temp_dir().join(format!("cc-repro-out-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let out = stdout_of(
+        repro()
+            .args(["--jobs", "8", "--json", "--out", dir.to_str().unwrap()])
+            .output()
+            .unwrap(),
+    );
+    assert_eq!(out.lines().count(), 25, "one `wrote …` line per experiment");
+    let mut files: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 25);
+    assert!(files.contains(&"fig10.json".to_string()));
+    assert!(files.contains(&"ext-mc.json".to_string()));
+    // Parallel output must byte-match a sequential run of the same artifact.
+    let sequential = stdout_of(repro().args(["--json", "fig14"]).output().unwrap());
+    let parallel_artifact = std::fs::read_to_string(dir.join("fig14.json")).unwrap();
+    assert_eq!(sequential.trim_end(), parallel_artifact);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn energy_source_names_resolve_to_intensities() {
+    let out = stdout_of(
+        repro()
+            .args(["--set", "grid.source=wind", "--json", "fig10"])
+            .output()
+            .unwrap(),
+    );
+    assert!(out.contains(r#""source":"wind""#));
+    assert!(out.contains(r#""intensity_g_per_kwh":11.0"#));
+}
+
+#[test]
+fn bad_inputs_exit_nonzero_with_diagnostics() {
+    let unknown_key = repro().arg("fig99").output().unwrap();
+    assert_eq!(unknown_key.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&unknown_key.stderr).contains("unknown experiment"));
+
+    let unknown_tag = repro().args(["--tag", "nope"]).output().unwrap();
+    assert_eq!(unknown_tag.status.code(), Some(2));
+
+    let bad_set = repro()
+        .args(["--set", "grid.intensity=dirty", "fig10"])
+        .output()
+        .unwrap();
+    assert_eq!(bad_set.status.code(), Some(2));
+
+    let invalid = repro()
+        .args(["--set", "grid.renewable_fraction=2", "fig10"])
+        .output()
+        .unwrap();
+    assert_eq!(invalid.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&invalid.stderr).contains("renewable_fraction"));
+}

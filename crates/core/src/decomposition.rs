@@ -21,7 +21,7 @@ use cc_units::{CarbonMass, Ratio};
 /// );
 /// assert!((iphone11.capex_share().as_percent() - 86.0).abs() < 0.1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CarbonDecomposition {
     opex: CarbonMass,
     capex: CarbonMass,
@@ -37,13 +37,19 @@ impl CarbonDecomposition {
     /// From a life-cycle footprint.
     #[must_use]
     pub fn from_footprint(fp: &cc_lca::Footprint) -> Self {
-        Self { opex: fp.opex(), capex: fp.capex() }
+        Self {
+            opex: fp.opex(),
+            capex: fp.capex(),
+        }
     }
 
     /// From a corporate inventory (market-based Scope 2).
     #[must_use]
     pub fn from_inventory(inv: &cc_ghg::CorporateInventory, method: cc_ghg::Scope2Method) -> Self {
-        Self { opex: inv.opex(method), capex: inv.capex() }
+        Self {
+            opex: inv.opex(method),
+            capex: inv.capex(),
+        }
     }
 
     /// Opex carbon.
@@ -91,7 +97,10 @@ impl CarbonDecomposition {
     /// Sum of two decompositions (aggregate systems).
     #[must_use]
     pub fn combined(&self, other: &Self) -> Self {
-        Self { opex: self.opex + other.opex, capex: self.capex + other.capex }
+        Self {
+            opex: self.opex + other.opex,
+            capex: self.capex + other.capex,
+        }
     }
 }
 

@@ -2,7 +2,20 @@
 //! (the ACT-style forward model).
 
 use cc_fab::{DieModel, ProcessNode};
-use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+
+/// The process node closest (by nanometres) to the scenario's `fab.node_nm`.
+fn nearest_node(node_nm: f64) -> ProcessNode {
+    ProcessNode::ALL
+        .into_iter()
+        .min_by(|a, b| {
+            (a.nanometres() - node_nm)
+                .abs()
+                .partial_cmp(&(b.nanometres() - node_nm).abs())
+                .expect("node distances are finite")
+        })
+        .expect("ProcessNode::ALL is non-empty")
+}
+use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Table};
 
 /// Sweeps die area and node, showing how provisioning decisions translate to
 /// embodied carbon ("judiciously provisioning resources, scaling down
@@ -19,7 +32,7 @@ impl Experiment for ExtDieCarbon {
         "Die-level embodied carbon by process node and die area (yield-aware)"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
         let mut t = Table::new([
             "Node",
@@ -28,9 +41,20 @@ impl Experiment for ExtDieCarbon {
             "Good dies/wafer",
             "Embodied (kg CO2e/die)",
         ]);
-        for node in [ProcessNode::N14, ProcessNode::N10, ProcessNode::N7, ProcessNode::N5] {
+        // The models' baseline defect density is 0.1 /cm²; the scenario's
+        // yield factor scales it (a >1 factor models a worse-yielding fab).
+        let d0 = 0.1 * ctx.fab_yield_factor();
+        for node in [
+            ProcessNode::N14,
+            ProcessNode::N10,
+            ProcessNode::N7,
+            ProcessNode::N5,
+        ] {
             for area in [50.0, 100.0, 200.0, 400.0] {
-                let m = DieModel::new(node, area).expect("valid area");
+                let m = DieModel::new(node, area)
+                    .expect("valid area")
+                    .with_defect_density(d0)
+                    .expect("non-negative defect density");
                 t.row([
                     node.to_string(),
                     num(area, 0),
@@ -40,11 +64,30 @@ impl Experiment for ExtDieCarbon {
                 ]);
             }
         }
-        out.table("Embodied carbon per die (TSMC wafer baseline)", t);
+        out.table(
+            format!("Embodied carbon per die (TSMC wafer baseline, D0 = {d0:.2} /cm2)"),
+            t,
+        );
         out.note(
             "embodied carbon grows superlinearly with die area because yield decays \
              exponentially — the quantitative case for the paper's 'scale down hardware'",
         );
+        // The scenario's featured node, at a Pixel-3-class 100 mm2 SoC die.
+        let featured = nearest_node(ctx.fab_node_nm());
+        let featured_die = DieModel::new(featured, 100.0)
+            .expect("100 mm2 fits the wafer")
+            .with_defect_density(d0)
+            .expect("non-negative defect density");
+        out.note(format!(
+            "scenario fab.node = {} nm (nearest modeled node {featured}): a 100 mm2 die \
+             embodies {:.2} kg CO2e at {:.0}% yield, from a {:.1} MWh/wafer process \
+             (the wafer carbon baseline is node-independent in this model; node energy \
+             feeds the ext-fab fab-level analysis)",
+            ctx.fab_node_nm(),
+            featured_die.embodied_carbon().as_kg(),
+            featured_die.yield_fraction() * 100.0,
+            featured.energy_per_wafer().as_kwh() / 1e3
+        ));
         out
     }
 }
@@ -55,7 +98,7 @@ mod tests {
 
     #[test]
     fn sixteen_rows_with_superlinear_area_cost() {
-        let out = ExtDieCarbon.run();
+        let out = ExtDieCarbon.run(&RunContext::paper());
         let t = &out.tables[0].1;
         assert_eq!(t.len(), 16);
         // Within one node, 8x area must cost more than 8x carbon.

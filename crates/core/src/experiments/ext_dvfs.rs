@@ -3,7 +3,9 @@
 
 use cc_data::ai_models::CnnModel;
 use cc_lca::AmortizationAnalysis;
-use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{
+    table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Series, Table,
+};
 use cc_socsim::{dvfs, Network, Soc, UnitKind};
 use cc_units::{Energy, TimeSpan};
 
@@ -21,14 +23,14 @@ impl Experiment for ExtDvfs {
         "DVFS sweep on the Pixel 3 CPU: latency vs energy vs amortization time"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
         let cpu = *Soc::snapdragon_845().unit(UnitKind::Cpu).expect("cpu");
         let network = Network::build(CnnModel::MobileNetV3);
         let scales = [0.4, 0.6, 0.8, 1.0, 1.2, 1.4];
         let analysis = AmortizationAnalysis::new(
-            crate::experiments::fig10::pixel3_soc_budget(),
-            cc_data::us_grid_intensity(),
+            crate::experiments::fig10::pixel3_soc_budget(ctx.soc_budget_share()),
+            ctx.effective_grid_intensity(),
         );
 
         let mut t = Table::new([
@@ -38,6 +40,8 @@ impl Experiment for ExtDvfs {
             "Breakeven images",
             "Breakeven days",
         ]);
+        let mut energy_series = Series::new("energy-per-image", "frequency scale", "mJ");
+        let mut days_series = Series::new("breakeven-days", "frequency scale", "days");
         for (scale, latency_s, energy_j) in dvfs::sweep(&cpu, &network, &scales) {
             let be = analysis
                 .breakeven(
@@ -45,6 +49,8 @@ impl Experiment for ExtDvfs {
                     TimeSpan::from_seconds(latency_s),
                 )
                 .expect("positive energy");
+            energy_series.push(scale, energy_j * 1e3);
+            days_series.push(scale, be.days);
             t.row([
                 format!("{scale:.1}x"),
                 num(latency_s * 1e3, 2),
@@ -54,6 +60,7 @@ impl Experiment for ExtDvfs {
             ]);
         }
         out.table("MobileNet v3 on the Pixel 3 CPU under DVFS", t);
+        out.series(energy_series).series(days_series);
 
         let opt = dvfs::energy_optimal_scale(&cpu, &network, &scales).expect("nonempty sweep");
         out.note(format!(
@@ -70,13 +77,13 @@ mod tests {
 
     #[test]
     fn six_sweep_rows() {
-        let out = ExtDvfs.run();
+        let out = ExtDvfs.run(&RunContext::paper());
         assert_eq!(out.tables[0].1.len(), 6);
     }
 
     #[test]
     fn lower_frequency_means_more_breakeven_days() {
-        let out = ExtDvfs.run();
+        let out = ExtDvfs.run(&RunContext::paper());
         let days: Vec<f64> = out.tables[0]
             .1
             .rows()

@@ -1,7 +1,7 @@
 //! Extension: fleet heterogeneity / specialization (Section VI, systems).
 
 use cc_dcsim::heterogeneity::{provision, SkuCapability};
-use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Table};
 use cc_units::CarbonIntensity;
 
 /// Compares general-purpose and accelerator fleets across grids and demand
@@ -18,7 +18,7 @@ impl Experiment for ExtHeterogeneity {
         "Specialized accelerators vs general-purpose fleets: yearly opex+capex carbon"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
         let mut t = Table::new([
             "Grid",
@@ -28,8 +28,20 @@ impl Experiment for ExtHeterogeneity {
             "Advantage",
             "Accel capex share",
         ]);
-        for (grid_name, g) in [("US 380", 380.0), ("Wind 11", 11.0)] {
-            for demand in [1_000.0, 10_000.0, 100_000.0] {
+        // Row block one is the scenario grid (the paper's US 380 g/kWh by
+        // default); block two is the all-wind endpoint for contrast.
+        let scenario_g = ctx.effective_grid_intensity().as_g_per_kwh();
+        let scenario_label = format!(
+            "{} {:.0}",
+            if ctx.is_paper() { "US" } else { "Scenario" },
+            scenario_g
+        );
+        for (grid_name, g) in [(scenario_label.as_str(), scenario_g), ("Wind 11", 11.0)] {
+            for demand in [
+                1_000.0 * ctx.fleet_scale(),
+                10_000.0 * ctx.fleet_scale(),
+                100_000.0 * ctx.fleet_scale(),
+            ] {
                 let grid = CarbonIntensity::from_g_per_kwh(g);
                 let (_, general) = provision(&SkuCapability::general_purpose(), demand, grid, 1.1);
                 let (_, special) = provision(&SkuCapability::accelerator(), demand, grid, 1.1);
@@ -39,10 +51,7 @@ impl Experiment for ExtHeterogeneity {
                     num(general.total().as_tonnes(), 0),
                     num(special.total().as_tonnes(), 0),
                     format!("{:.1}x", general.total() / special.total()),
-                    format!(
-                        "{:.0}%",
-                        100.0 * (special.capex_per_year / special.total())
-                    ),
+                    format!("{:.0}%", 100.0 * (special.capex_per_year / special.total())),
                 ]);
             }
         }
@@ -61,7 +70,7 @@ mod tests {
 
     #[test]
     fn six_rows_all_with_advantage_above_one() {
-        let out = ExtHeterogeneity.run();
+        let out = ExtHeterogeneity.run(&RunContext::paper());
         let t = &out.tables[0].1;
         assert_eq!(t.len(), 6);
         for row in t.rows() {
@@ -72,7 +81,7 @@ mod tests {
 
     #[test]
     fn capex_share_rises_on_wind() {
-        let out = ExtHeterogeneity.run();
+        let out = ExtHeterogeneity.run(&RunContext::paper());
         let t = &out.tables[0].1;
         let us_share: f64 = t.rows()[1][5].trim_end_matches('%').parse().unwrap();
         let wind_share: f64 = t.rows()[4][5].trim_end_matches('%').parse().unwrap();

@@ -2,7 +2,7 @@
 //! disclosure-level input uncertainty.
 
 use cc_analysis::uncertainty::{propagate, Triangular};
-use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Table};
 
 /// Propagates triangular input uncertainty through three headline results:
 /// the Fig 10 break-even, the Fig 11 capex/opex ratio, and the Fig 14 wafer
@@ -19,21 +19,22 @@ impl Experiment for ExtMonteCarlo {
         "Monte-Carlo robustness of the headline claims under input uncertainty"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
         let mut t = Table::new(["Headline", "Median", "90% band", "Claim survives?"]);
 
         // 1. Fig 10: MobileNet v3 CPU break-even images.
         //    budget +/-20%, grid +/-15%, energy/image +/-25%.
-        let soc_budget = super::fig10::pixel3_soc_budget().as_grams();
+        let trials = ctx.mc_samples();
+        let soc_budget = super::fig10::pixel3_soc_budget(ctx.soc_budget_share()).as_grams();
         let be = propagate(
             &[
                 Triangular::around(soc_budget, 0.20),
-                Triangular::around(cc_data::US_GRID_G_PER_KWH, 0.15),
+                Triangular::around(ctx.effective_grid_intensity().as_g_per_kwh(), 0.15),
                 Triangular::around(0.0447, 0.25),
             ],
-            20_000,
-            10,
+            trials,
+            ctx.mc_seed(),
             |x| x[0] / ((x[2] / 3.6e6) * x[1]),
         );
         let survives = be.p05 > 10.0 * cc_data::ai_models::IMAGENET_TRAIN_IMAGES as f64;
@@ -52,8 +53,8 @@ impl Experiment for ExtMonteCarlo {
                 Triangular::around(fb.scope3_mt, 0.30),
                 Triangular::around(fb.scope1_mt + fb.scope2_market_mt, 0.10),
             ],
-            20_000,
-            11,
+            trials,
+            ctx.mc_seed().wrapping_add(1),
             |x| x[0] / x[1],
         );
         t.row([
@@ -67,15 +68,20 @@ impl Experiment for ExtMonteCarlo {
         //    to +/-5 percentage points.
         let reduction = propagate(
             &[Triangular::new(0.59, 0.64, 0.69)],
-            20_000,
-            12,
+            trials,
+            ctx.mc_seed().wrapping_add(2),
             |x| 1.0 / ((1.0 - x[0]) + x[0] / 64.0),
         );
         t.row([
             "Fig 14 reduction at 64x".to_string(),
             format!("{}x", num(reduction.p50, 2)),
             format!("{}x..{}x", num(reduction.p05, 2), num(reduction.p95, 2)),
-            (if reduction.p05 > 2.0 && reduction.p95 < 3.5 { "yes" } else { "no" }).to_string(),
+            (if reduction.p05 > 2.0 && reduction.p95 < 3.5 {
+                "yes"
+            } else {
+                "no"
+            })
+            .to_string(),
         ]);
 
         out.table("Headline robustness under triangular input uncertainty", t);
@@ -93,7 +99,7 @@ mod tests {
 
     #[test]
     fn all_claims_survive() {
-        let out = ExtMonteCarlo.run();
+        let out = ExtMonteCarlo.run(&RunContext::paper());
         let t = &out.tables[0].1;
         assert_eq!(t.len(), 3);
         for row in t.rows() {

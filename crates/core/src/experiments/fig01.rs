@@ -1,7 +1,9 @@
 //! Figure 1: projected growth of global ICT energy consumption.
 
 use cc_data::ict::{self, Scenario, Segment};
-use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{
+    table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Series, Table,
+};
 
 /// Reproduces Fig 1's optimistic and expected ICT-energy projections.
 #[derive(Debug, Clone, Copy, Default)]
@@ -16,7 +18,7 @@ impl Experiment for Fig01IctProjections {
         "Projected global ICT energy consumption 2010-2030, optimistic vs expected"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, _ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
         for scenario in Scenario::ALL {
             let mut t = Table::new([
@@ -43,9 +45,17 @@ impl Experiment for Fig01IctProjections {
                 ]);
             }
             out.table(format!("{scenario} ICT energy projections"), t);
+            out.series(Series::from_pairs(
+                format!("total-twh-{}", scenario.to_string().to_lowercase()),
+                "year",
+                "TWh",
+                ict::YEARS
+                    .iter()
+                    .zip(&totals)
+                    .map(|(&y, &v)| (f64::from(y), v)),
+            ));
         }
-        let opt_2030 =
-            ict::total_twh(Scenario::Optimistic)[4] / ict::GLOBAL_DEMAND_TWH[4];
+        let opt_2030 = ict::total_twh(Scenario::Optimistic)[4] / ict::GLOBAL_DEMAND_TWH[4];
         let exp_2030 = ict::total_twh(Scenario::Expected)[4] / ict::GLOBAL_DEMAND_TWH[4];
         out.note(format!(
             "paper: 7% of global demand by 2030 (optimistic); measured {:.1}%",
@@ -65,7 +75,7 @@ mod tests {
 
     #[test]
     fn produces_two_scenario_tables_with_five_years() {
-        let out = Fig01IctProjections.run();
+        let out = Fig01IctProjections.run(&RunContext::paper());
         assert_eq!(out.tables.len(), 2);
         for (_, table) in &out.tables {
             assert_eq!(table.len(), 5);
@@ -75,10 +85,13 @@ mod tests {
 
     #[test]
     fn shares_hit_paper_anchors() {
-        let out = Fig01IctProjections.run();
+        let out = Fig01IctProjections.run(&RunContext::paper());
         // The last row of each table carries the 2030 share.
         let opt_share = out.tables[0].1.rows().last().unwrap()[5].clone();
-        assert!(opt_share.starts_with("6.") || opt_share.starts_with("7."), "{opt_share}");
+        assert!(
+            opt_share.starts_with("6.") || opt_share.starts_with("7."),
+            "{opt_share}"
+        );
         let exp_share = out.tables[1].1.rows().last().unwrap()[5].clone();
         assert!(exp_share.starts_with("20"), "{exp_share}");
     }

@@ -3,7 +3,9 @@
 //! renewables).
 
 use crate::decomposition::CarbonDecomposition;
-use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{
+    table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Series, Table,
+};
 use cc_units::CarbonMass;
 
 /// Reproduces Fig 2.
@@ -19,7 +21,7 @@ impl Experiment for Fig02EnergyVsCarbon {
         "Prineville energy vs operational carbon; opex/capex pies for iPhones and Facebook"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, _ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
 
         // Left panel: the Prineville scenario, simulated.
@@ -32,7 +34,24 @@ impl Experiment for Fig02EnergyVsCarbon {
                 num(y.market_carbon.as_kt(), 1),
             ]);
         }
-        out.table("Prineville data center: energy vs purchased-energy carbon", t);
+        out.table(
+            "Prineville data center: energy vs purchased-energy carbon",
+            t,
+        );
+        out.series(Series::from_pairs(
+            "prineville-market-carbon",
+            "year",
+            "kt CO2e",
+            years
+                .iter()
+                .map(|y| (f64::from(y.year), y.market_carbon.as_kt())),
+        ));
+        out.series(Series::from_pairs(
+            "prineville-energy",
+            "year",
+            "GWh",
+            years.iter().map(|y| (f64::from(y.year), y.energy.as_gwh())),
+        ));
         let peak = years
             .iter()
             .max_by(|a, b| a.market_carbon.partial_cmp(&b.market_carbon).unwrap())
@@ -95,7 +114,7 @@ mod tests {
 
     #[test]
     fn pies_match_paper() {
-        let out = Fig02EnergyVsCarbon.run();
+        let out = Fig02EnergyVsCarbon.run(&RunContext::paper());
         let pies = &out.tables[1].1;
         assert_eq!(pies.len(), 4);
         // iPhone 11 capex 86%.
@@ -110,7 +129,7 @@ mod tests {
 
     #[test]
     fn prineville_table_spans_2013_to_2019() {
-        let out = Fig02EnergyVsCarbon.run();
+        let out = Fig02EnergyVsCarbon.run(&RunContext::paper());
         let t = &out.tables[0].1;
         assert_eq!(t.rows().first().unwrap()[0], "2013");
         assert_eq!(t.rows().last().unwrap()[0], "2019");

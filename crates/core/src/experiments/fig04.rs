@@ -1,7 +1,7 @@
 //! Figure 4: the hardware life cycle and its opex/capex classification.
 
 use cc_lca::LifecyclePhase;
-use cc_report::{Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{Experiment, ExperimentId, ExperimentOutput, RunContext, Table};
 
 /// Reproduces Fig 4's life-cycle/classification mapping.
 #[derive(Debug, Clone, Copy, Default)]
@@ -16,14 +16,9 @@ impl Experiment for Fig04Lifecycle {
         "Hardware life cycle: production, transport, use, end-of-life -> capex/opex"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, _ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
-        let mut t = Table::new([
-            "Phase",
-            "Class",
-            "Personal computing",
-            "Datacenter",
-        ]);
+        let mut t = Table::new(["Phase", "Class", "Personal computing", "Datacenter"]);
         let personal = [
             "Procure materials, integrated circuits, packaging, assembly",
             "Transport final product to consumer",
@@ -56,7 +51,7 @@ mod tests {
 
     #[test]
     fn four_phases_one_opex() {
-        let out = Fig04Lifecycle.run();
+        let out = Fig04Lifecycle.run(&RunContext::paper());
         let t = &out.tables[0].1;
         assert_eq!(t.len(), 4);
         let opex_rows = t.rows().iter().filter(|r| r[1] == "Opex").count();

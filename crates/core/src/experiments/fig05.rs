@@ -1,7 +1,7 @@
 //! Figure 5: Apple's FY2019 carbon-emission breakdown.
 
 use cc_data::corporate::{apple_2019_group_share, apple_2019_total, APPLE_2019_BREAKDOWN};
-use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Table};
 
 /// Reproduces Fig 5.
 #[derive(Debug, Clone, Copy, Default)]
@@ -16,7 +16,7 @@ impl Experiment for Fig05AppleBreakdown {
         "Apple FY2019 footprint: manufacturing 74%, product use 19%, ICs 33% of total"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, _ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
         let total = apple_2019_total();
         let mut t = Table::new(["Slice", "Group", "Share", "Mt CO2e"]);
@@ -54,7 +54,7 @@ mod tests {
 
     #[test]
     fn sixteen_slices_and_anchor_notes() {
-        let out = Fig05AppleBreakdown.run();
+        let out = Fig05AppleBreakdown.run(&RunContext::paper());
         assert_eq!(out.tables[0].1.len(), 16);
         assert!(out.notes[1].contains('>'));
     }

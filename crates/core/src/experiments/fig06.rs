@@ -2,7 +2,7 @@
 //! categories.
 
 use cc_lca::inventory;
-use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Table};
 
 /// Reproduces Fig 6.
 #[derive(Debug, Clone, Copy, Default)]
@@ -17,7 +17,7 @@ impl Experiment for Fig06DeviceBreakdown {
         "Capex/opex breakdown (top) and absolute footprint (bottom) by device category"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, _ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
         let summaries = inventory::all_categories();
 
@@ -31,7 +31,11 @@ impl Experiment for Fig06DeviceBreakdown {
         for s in &summaries {
             top.row([
                 s.category.to_string(),
-                if s.category.is_battery_operated() { "battery".to_string() } else { "always connected".to_string() },
+                if s.category.is_battery_operated() {
+                    "battery".to_string()
+                } else {
+                    "always connected".to_string()
+                },
                 s.count.to_string(),
                 format!(
                     "{:.0}% +/- {:.0}%",
@@ -67,7 +71,10 @@ impl Experiment for Fig06DeviceBreakdown {
             .iter()
             .filter(|s| s.category.is_battery_operated())
             .collect();
-        let avg_mfg: f64 = battery.iter().map(|s| s.manufacturing_share_mean).sum::<f64>()
+        let avg_mfg: f64 = battery
+            .iter()
+            .map(|s| s.manufacturing_share_mean)
+            .sum::<f64>()
             / battery.len() as f64;
         out.note(format!(
             "paper: manufacturing ~75% for battery-powered devices; measured {:.0}%",
@@ -86,14 +93,14 @@ mod tests {
 
     #[test]
     fn eight_categories_in_both_panels() {
-        let out = Fig06DeviceBreakdown.run();
+        let out = Fig06DeviceBreakdown.run(&RunContext::paper());
         assert_eq!(out.tables[0].1.len(), 8);
         assert_eq!(out.tables[1].1.len(), 8);
     }
 
     #[test]
     fn battery_manufacturing_share_is_about_75_percent() {
-        let out = Fig06DeviceBreakdown.run();
+        let out = Fig06DeviceBreakdown.run(&RunContext::paper());
         let note = &out.notes[0];
         let measured: f64 = note
             .rsplit_once("measured ")

@@ -1,7 +1,9 @@
 //! Figure 7: emissions across iPhone, Apple Watch and iPad generations.
 
 use cc_lca::generational::Family;
-use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{
+    table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Series, Table,
+};
 
 /// Reproduces Fig 7.
 #[derive(Debug, Clone, Copy, Default)]
@@ -16,7 +18,7 @@ impl Experiment for Fig07Generations {
         "Generational trends: manufacturing share rises across iPhones, Watches, iPads"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, _ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
         for family in Family::fig7_families() {
             let mut t = Table::new([
@@ -40,6 +42,15 @@ impl Experiment for Fig07Generations {
             out.table(format!("{} generations", family.name), t);
 
             let share = family.manufacturing_share_series();
+            out.series(Series::from_pairs(
+                format!(
+                    "manufacturing-share-{}",
+                    family.name.to_lowercase().replace(' ', "-")
+                ),
+                "year",
+                "manufacturing share",
+                share.iter().map(|(y, v)| (f64::from(y), v)),
+            ));
             let (first, last) = (
                 share.values().next().unwrap_or(0.0),
                 share.values().last().unwrap_or(0.0),
@@ -62,14 +73,14 @@ mod tests {
 
     #[test]
     fn three_family_tables() {
-        let out = Fig07Generations.run();
+        let out = Fig07Generations.run(&RunContext::paper());
         assert_eq!(out.tables.len(), 3);
         assert!(out.tables[0].0.contains("iPhone"));
     }
 
     #[test]
     fn share_notes_show_increase() {
-        let out = Fig07Generations.run();
+        let out = Fig07Generations.run(&RunContext::paper());
         for note in out.notes.iter().take(3) {
             let (a, b) = note
                 .rsplit_once("share ")

@@ -3,7 +3,7 @@
 
 use cc_analysis::pareto::{benefit_shift, frontier, Point};
 use cc_data::phone_perf;
-use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Table};
 
 /// Reproduces Fig 8.
 #[derive(Debug, Clone, Copy, Default)]
@@ -24,7 +24,7 @@ impl Experiment for Fig08Pareto {
         "MobileNet v1 throughput vs manufacturing CO2e; Pareto frontiers 2017 vs 2019"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, _ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
 
         let mut points = Table::new([
@@ -79,12 +79,15 @@ mod tests {
         let f19 = frontier(&cohort_points(2019));
         let best17 = f17.iter().map(|p| p.benefit).fold(0.0, f64::max);
         let best19 = f19.iter().map(|p| p.benefit).fold(0.0, f64::max);
-        assert!(best19 > best17 * 1.8, "2019 frontier should roughly double peak throughput");
+        assert!(
+            best19 > best17 * 1.8,
+            "2019 frontier should roughly double peak throughput"
+        );
     }
 
     #[test]
     fn output_has_points_and_two_frontiers() {
-        let out = Fig08Pareto.run();
+        let out = Fig08Pareto.run(&RunContext::paper());
         assert_eq!(out.tables.len(), 3);
         assert_eq!(out.tables[0].1.len(), phone_perf::ALL.len());
     }

@@ -2,7 +2,7 @@
 //! simulated on the Pixel-3-class SoC.
 
 use cc_data::ai_models::CnnModel;
-use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Table};
 use cc_socsim::{ExecutionModel, Network, UnitKind};
 
 /// Reproduces Fig 9 by running the SoC simulator.
@@ -18,7 +18,7 @@ impl Experiment for Fig09InferencePerf {
         "Inference latency (top) and energy (bottom) per CNN and compute unit on Pixel 3"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, _ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
         let model = ExecutionModel::pixel3();
 
@@ -81,7 +81,7 @@ mod tests {
 
     #[test]
     fn twelve_rows_four_notes() {
-        let out = Fig09InferencePerf.run();
+        let out = Fig09InferencePerf.run(&RunContext::paper());
         assert_eq!(out.tables[0].1.len(), 12);
         assert_eq!(out.notes.len(), 4);
     }
@@ -90,8 +90,12 @@ mod tests {
     fn mobilenets_beat_classics_on_every_unit() {
         let model = ExecutionModel::pixel3();
         for unit in UnitKind::ALL {
-            let heavy = model.run(&Network::build(CnnModel::InceptionV3), unit).unwrap();
-            let light = model.run(&Network::build(CnnModel::MobileNetV3), unit).unwrap();
+            let heavy = model
+                .run(&Network::build(CnnModel::InceptionV3), unit)
+                .unwrap();
+            let light = model
+                .run(&Network::build(CnnModel::MobileNetV3), unit)
+                .unwrap();
             assert!(light.latency < heavy.latency);
             assert!(light.energy < heavy.energy);
         }

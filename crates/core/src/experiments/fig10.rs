@@ -2,27 +2,33 @@
 //! Pixel 3, end to end through the simulator.
 //!
 //! Pipeline: `cc-socsim` produces per-inference energy and latency for each
-//! CNN × unit; the SoC manufacturing budget is half the Pixel 3's production
-//! footprint (the paper's assumption, via Fig 5's IC share); the
-//! `cc-lca` amortization solver converts both into break-even images and days
-//! on the average US grid (380 g CO₂e/kWh).
+//! CNN × unit; the SoC manufacturing budget is the scenario's share of the
+//! Pixel 3's production footprint (the paper assumed one half, via Fig 5's IC
+//! share); the `cc-lca` amortization solver converts both into break-even
+//! images and days on the scenario's grid (paper: the 380 g CO₂e/kWh average
+//! US grid). Grid intensity, SoC budget share and device lifetime all come
+//! from the [`RunContext`], so `repro --scenario` re-answers the figure under
+//! any assumptions.
 
 use cc_data::ai_models::CnnModel;
 use cc_lca::AmortizationAnalysis;
-use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{
+    table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Series, Table,
+};
 use cc_socsim::{ExecutionModel, Network, UnitKind};
+#[cfg(test)]
 use cc_units::TimeSpan;
 
 /// Reproduces Fig 10.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig10Breakeven;
 
-/// The Pixel 3 SoC manufacturing budget: half of the device's production
-/// carbon.
+/// The Pixel 3 SoC manufacturing budget: `share` of the device's production
+/// carbon (the paper used one half).
 #[must_use]
-pub fn pixel3_soc_budget() -> cc_units::CarbonMass {
+pub fn pixel3_soc_budget(share: f64) -> cc_units::CarbonMass {
     let pixel3 = cc_data::devices::find("Pixel 3").expect("device dataset");
-    pixel3.production() * 0.5
+    pixel3.production() * share
 }
 
 impl Experiment for Fig10Breakeven {
@@ -34,19 +40,23 @@ impl Experiment for Fig10Breakeven {
         "Inferences (top) and days (bottom) until operational carbon equals SoC manufacturing"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
         let model = ExecutionModel::pixel3();
-        let analysis = AmortizationAnalysis::new(pixel3_soc_budget(), cc_data::us_grid_intensity());
-        let lifetime = TimeSpan::from_years(3.0);
+        let analysis = AmortizationAnalysis::new(
+            pixel3_soc_budget(ctx.soc_budget_share()),
+            ctx.effective_grid_intensity(),
+        );
+        let lifetime = ctx.device_lifetime();
 
         let mut t = Table::new([
-            "Network",
-            "Unit",
-            "Breakeven images",
-            "Breakeven days (continuous)",
-            "Beyond 3-yr lifetime?",
+            "Network".to_string(),
+            "Unit".to_string(),
+            "Breakeven images".to_string(),
+            "Breakeven days (continuous)".to_string(),
+            format!("Beyond {}-yr lifetime?", lifetime.as_years()),
         ]);
+        let mut days_series = Series::new("breakeven-days", "network x unit index", "days");
         let mut mnv3 = Vec::new();
         for cnn in CnnModel::FIG9 {
             let network = Network::build(cnn);
@@ -57,6 +67,11 @@ impl Experiment for Fig10Breakeven {
                 if cnn == CnnModel::MobileNetV3 {
                     mnv3.push((report.unit, be));
                 }
+                days_series.push_labeled(
+                    days_series.len() as f64,
+                    format!("{cnn}/{}", report.unit),
+                    be.days,
+                );
                 t.row([
                     cnn.to_string(),
                     report.unit.to_string(),
@@ -68,12 +83,14 @@ impl Experiment for Fig10Breakeven {
         }
         out.table(
             format!(
-                "Break-even on Pixel 3 (SoC budget {}, grid {})",
+                "Break-even on Pixel 3 (scenario `{}`: SoC budget {}, grid {})",
+                ctx.scenario().name,
                 analysis.manufacturing(),
-                cc_data::us_grid_intensity()
+                ctx.effective_grid_intensity()
             ),
             t,
         );
+        out.series(days_series);
 
         let cpu = mnv3.iter().find(|(u, _)| *u == UnitKind::Cpu).unwrap().1;
         let dsp = mnv3.iter().find(|(u, _)| *u == UnitKind::Dsp).unwrap().1;
@@ -105,7 +122,7 @@ mod tests {
     fn breakeven(cnn: CnnModel, unit: UnitKind) -> cc_lca::Breakeven {
         let model = ExecutionModel::pixel3();
         let report = model.run(&Network::build(cnn), unit).unwrap();
-        AmortizationAnalysis::new(pixel3_soc_budget(), cc_data::us_grid_intensity())
+        AmortizationAnalysis::new(pixel3_soc_budget(0.5), cc_data::us_grid_intensity())
             .breakeven(report.energy, report.latency)
             .unwrap()
     }
@@ -116,14 +133,22 @@ mod tests {
         let inception = breakeven(CnnModel::InceptionV3, UnitKind::Cpu);
         // Paper: 200M and 150M respectively. Same order of magnitude, with
         // Inception needing fewer (it burns more energy per image).
-        assert!(resnet.operations > 1e8 && resnet.operations < 1e9, "{}", resnet.operations);
+        assert!(
+            resnet.operations > 1e8 && resnet.operations < 1e9,
+            "{}",
+            resnet.operations
+        );
         assert!(inception.operations < resnet.operations);
     }
 
     #[test]
     fn mobilenet_v3_cpu_is_billions_of_images_and_about_a_year() {
         let be = breakeven(CnnModel::MobileNetV3, UnitKind::Cpu);
-        assert!(be.operations > 3e9 && be.operations < 9e9, "{}", be.operations);
+        assert!(
+            be.operations > 3e9 && be.operations < 9e9,
+            "{}",
+            be.operations
+        );
         assert!(be.days > 250.0 && be.days < 500.0, "{}", be.days);
     }
 
@@ -136,12 +161,33 @@ mod tests {
             be.days
         );
         let cpu = breakeven(CnnModel::MobileNetV3, UnitKind::Cpu);
-        assert!(be.days > cpu.days * 2.0, "DSP should lengthen amortization substantially");
+        assert!(
+            be.days > cpu.days * 2.0,
+            "DSP should lengthen amortization substantially"
+        );
     }
 
     #[test]
     fn soc_budget_is_about_25_kg() {
-        assert!((pixel3_soc_budget().as_kg() - 24.85).abs() < 0.5);
+        assert!((pixel3_soc_budget(0.5).as_kg() - 24.85).abs() < 0.5);
+    }
+
+    #[test]
+    fn greener_grid_lengthens_breakeven() {
+        use cc_report::Scenario;
+        let paper = Fig10Breakeven.run(&RunContext::paper());
+        let wind = Fig10Breakeven.run(&RunContext::new(
+            Scenario::builder()
+                .name("wind")
+                .grid_intensity(11.0)
+                .build(),
+        ));
+        let p = paper.find_series("breakeven-days").unwrap();
+        let w = wind.find_series("breakeven-days").unwrap();
+        // On an 11 g/kWh grid every break-even horizon stretches ~35x.
+        for (pp, wp) in p.points.iter().zip(&w.points) {
+            assert!(wp.y > pp.y * 20.0, "{:?} {:?}", pp, wp);
+        }
     }
 
     #[test]

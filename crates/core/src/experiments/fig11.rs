@@ -1,7 +1,9 @@
 //! Figure 11: Facebook and Google carbon footprints by scope over time.
 
 use cc_ghg::{CorporateInventory, Scope2Method};
-use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{
+    table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Series, Table,
+};
 
 /// Reproduces Fig 11.
 #[derive(Debug, Clone, Copy, Default)]
@@ -36,7 +38,7 @@ impl Experiment for Fig11CorporateFootprints {
         "Facebook (2014-2019) and Google (2013-2018) footprints by scope"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, _ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
         out.table(
             "Facebook carbon footprint",
@@ -46,6 +48,17 @@ impl Experiment for Fig11CorporateFootprints {
             "Google carbon footprint",
             series_table("Google", &cc_data::corporate::GOOGLE),
         );
+        for (name, data) in [
+            ("facebook", &cc_data::corporate::FACEBOOK[..]),
+            ("google", &cc_data::corporate::GOOGLE[..]),
+        ] {
+            out.series(Series::from_pairs(
+                format!("{name}-scope3"),
+                "year",
+                "Mt CO2e",
+                data.iter().map(|y| (f64::from(y.year), y.scope3_mt)),
+            ));
+        }
 
         let fb2019 = CorporateInventory::from_scope_year(
             cc_data::corporate::year_of(&cc_data::corporate::FACEBOOK, 2019).unwrap(),
@@ -81,7 +94,7 @@ mod tests {
 
     #[test]
     fn two_series_tables() {
-        let out = Fig11CorporateFootprints.run();
+        let out = Fig11CorporateFootprints.run(&RunContext::paper());
         assert_eq!(out.tables.len(), 2);
         assert_eq!(out.tables[0].1.len(), 6);
         assert_eq!(out.tables[1].1.len(), 6);
@@ -89,7 +102,7 @@ mod tests {
 
     #[test]
     fn ratio_notes_match_paper_band() {
-        let out = Fig11CorporateFootprints.run();
+        let out = Fig11CorporateFootprints.run(&RunContext::paper());
         assert!(out.notes[0].contains("23.0x") || out.notes[0].contains("23.1x"));
         assert!(out.notes[1].contains("20.") || out.notes[1].contains("21."));
     }

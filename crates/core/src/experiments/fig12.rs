@@ -1,6 +1,6 @@
 //! Figure 12: Facebook's 2019 Scope 3 category breakdown.
 
-use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Table};
 use cc_units::CarbonMass;
 
 /// Reproduces Fig 12.
@@ -16,7 +16,7 @@ impl Experiment for Fig12Scope3Breakdown {
         "Facebook 2019 Scope 3: capital goods 48%, purchased goods 39%, travel 10%, other 3%"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, _ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
         let scope3 = CarbonMass::from_mt(
             cc_data::corporate::year_of(&cc_data::corporate::FACEBOOK, 2019)
@@ -52,7 +52,7 @@ mod tests {
 
     #[test]
     fn four_categories_with_capital_goods_at_48() {
-        let out = Fig12Scope3Breakdown.run();
+        let out = Fig12Scope3Breakdown.run(&RunContext::paper());
         let t = &out.tables[0].1;
         assert_eq!(t.len(), 4);
         assert_eq!(t.rows()[0][0], "Capital goods");

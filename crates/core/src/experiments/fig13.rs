@@ -10,7 +10,7 @@
 use cc_data::corporate::LifecycleComponent;
 use cc_data::energy_sources::EnergySource;
 use cc_data::grids::Region;
-use cc_report::{Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{Experiment, ExperimentId, ExperimentOutput, RunContext, Series, Table};
 
 /// Reproduces Fig 13.
 #[derive(Debug, Clone, Copy, Default)]
@@ -23,12 +23,30 @@ pub fn sweep_points() -> Vec<(&'static str, f64)> {
         ("World Avg", Region::World.carbon_intensity().as_g_per_kwh()),
         ("Coal", EnergySource::Coal.carbon_intensity().as_g_per_kwh()),
         ("Gas", EnergySource::Gas.carbon_intensity().as_g_per_kwh()),
-        ("America Avg", Region::UnitedStates.carbon_intensity().as_g_per_kwh()),
-        ("Biomass", EnergySource::Biomass.carbon_intensity().as_g_per_kwh()),
-        ("Solar", EnergySource::Solar.carbon_intensity().as_g_per_kwh()),
-        ("Geothermal", EnergySource::Geothermal.carbon_intensity().as_g_per_kwh()),
-        ("Hydropower", EnergySource::Hydropower.carbon_intensity().as_g_per_kwh()),
-        ("Nuclear", EnergySource::Nuclear.carbon_intensity().as_g_per_kwh()),
+        (
+            "America Avg",
+            Region::UnitedStates.carbon_intensity().as_g_per_kwh(),
+        ),
+        (
+            "Biomass",
+            EnergySource::Biomass.carbon_intensity().as_g_per_kwh(),
+        ),
+        (
+            "Solar",
+            EnergySource::Solar.carbon_intensity().as_g_per_kwh(),
+        ),
+        (
+            "Geothermal",
+            EnergySource::Geothermal.carbon_intensity().as_g_per_kwh(),
+        ),
+        (
+            "Hydropower",
+            EnergySource::Hydropower.carbon_intensity().as_g_per_kwh(),
+        ),
+        (
+            "Nuclear",
+            EnergySource::Nuclear.carbon_intensity().as_g_per_kwh(),
+        ),
         ("Wind", EnergySource::Wind.carbon_intensity().as_g_per_kwh()),
     ];
     // Keep the figure's left-to-right ordering (it is not strictly sorted,
@@ -50,7 +68,11 @@ pub fn rescaled_shares(
         .map(|c| {
             (
                 c.label,
-                if c.scales_with_use_energy { c.share * scale } else { c.share },
+                if c.scales_with_use_energy {
+                    c.share * scale
+                } else {
+                    c.share
+                },
             )
         })
         .collect();
@@ -58,18 +80,25 @@ pub fn rescaled_shares(
     raw.into_iter().map(|(l, v)| (l, v / total)).collect()
 }
 
-fn vendor_table(_name: &str, baseline: &[LifecycleComponent]) -> (Table, f64, f64) {
+fn vendor_table(
+    baseline: &[LifecycleComponent],
+    extra_points: &[(&'static str, f64)],
+) -> (Table, Series, f64, f64) {
     let mut header: Vec<String> = vec!["Energy source".into(), "g CO2e/kWh".into()];
     header.extend(baseline.iter().map(|c| c.label.to_string()));
     let mut t = Table::new(header);
+    let mut hw_use = Series::new("hw-use-share", "g CO2e/kWh", "share of life cycle");
     let mut hw_use_baseline = 0.0;
     let mut hw_use_wind = 0.0;
-    for (label, g) in sweep_points() {
+    let mut points = sweep_points();
+    points.extend_from_slice(extra_points);
+    for (label, g) in points {
         let shares = rescaled_shares(baseline, g);
         let mut row = vec![label.to_string(), format!("{g:.0}")];
         for (component, share) in &shares {
             row.push(format!("{:.0}%", share * 100.0));
             if *component == "HW use" {
+                hw_use.push_labeled(g, label, *share);
                 if label == "America Avg" {
                     hw_use_baseline = *share;
                 }
@@ -80,7 +109,7 @@ fn vendor_table(_name: &str, baseline: &[LifecycleComponent]) -> (Table, f64, f6
         }
         t.row(row);
     }
-    (t, hw_use_baseline, hw_use_wind)
+    (t, hw_use, hw_use_baseline, hw_use_wind)
 }
 
 impl Experiment for Fig13EnergySourceSweep {
@@ -92,13 +121,28 @@ impl Experiment for Fig13EnergySourceSweep {
         "Intel/AMD life-cycle breakdown as hardware use shifts to greener energy"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
-        let (intel, intel_base, intel_wind) =
-            vendor_table("Intel", &cc_data::corporate::INTEL_LIFECYCLE);
+        // Non-paper scenarios contribute their own grid as an extra sweep
+        // point, so the figure answers "where does *my* grid land?".
+        let extra: Vec<(&'static str, f64)> = if ctx.is_paper() {
+            Vec::new()
+        } else {
+            vec![(
+                "Scenario grid",
+                ctx.effective_grid_intensity().as_g_per_kwh(),
+            )]
+        };
+        let (intel, mut intel_series, intel_base, intel_wind) =
+            vendor_table(&cc_data::corporate::INTEL_LIFECYCLE, &extra);
         out.table("Intel life-cycle breakdown by energy source", intel);
-        let (amd, amd_base, amd_wind) = vendor_table("AMD", &cc_data::corporate::AMD_LIFECYCLE);
+        intel_series.name = "intel-hw-use-share".to_string();
+        out.series(intel_series);
+        let (amd, mut amd_series, amd_base, amd_wind) =
+            vendor_table(&cc_data::corporate::AMD_LIFECYCLE, &extra);
         out.table("AMD life-cycle breakdown by energy source", amd);
+        amd_series.name = "amd-hw-use-share".to_string();
+        out.series(amd_series);
 
         out.note(format!(
             "paper: ~60% of Intel's and ~45% of AMD's life-cycle emissions are hardware use on \
@@ -151,7 +195,7 @@ mod tests {
     #[test]
     fn sweep_has_ten_points() {
         assert_eq!(sweep_points().len(), 10);
-        let out = Fig13EnergySourceSweep.run();
+        let out = Fig13EnergySourceSweep.run(&RunContext::paper());
         assert_eq!(out.tables[0].1.len(), 10);
         assert_eq!(out.tables[1].1.len(), 10);
     }

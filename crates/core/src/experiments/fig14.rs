@@ -1,7 +1,7 @@
 //! Figure 14: TSMC wafer-manufacturing carbon vs renewable-energy scaling.
 
 use cc_fab::wafer::{WaferFootprint, FIG14_FACTORS};
-use cc_report::{Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{Experiment, ExperimentId, ExperimentOutput, RunContext, Series, Table};
 
 /// Reproduces Fig 14 by sweeping the wafer model.
 #[derive(Debug, Clone, Copy, Default)]
@@ -16,7 +16,7 @@ impl Experiment for Fig14WaferSweep {
         "TSMC wafer footprint under 1x-64x greener electricity; ~2.7x overall reduction"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, _ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
         let wafer = WaferFootprint::tsmc_300mm();
 
@@ -24,8 +24,14 @@ impl Experiment for Fig14WaferSweep {
         header.extend(wafer.components().map(|(l, _, _)| l.to_string()));
         let mut t = Table::new(header);
         let base_total = wafer.total();
+        let mut normalized = Series::new(
+            "wafer-total-normalized",
+            "renewable factor",
+            "fraction of baseline",
+        );
         for &factor in &FIG14_FACTORS {
             let scaled = wafer.with_renewable_scaling(factor);
+            normalized.push(factor, scaled.total() / base_total);
             let mut row = vec![
                 format!("{factor:.0}x"),
                 format!("{:.3}", scaled.total() / base_total),
@@ -35,7 +41,11 @@ impl Experiment for Fig14WaferSweep {
             }
             t.row(row);
         }
-        out.table("Wafer footprint vs renewable scaling (shares of baseline)", t);
+        out.table(
+            "Wafer footprint vs renewable scaling (shares of baseline)",
+            t,
+        );
+        out.series(normalized);
 
         let reduction = base_total / wafer.with_renewable_scaling(64.0).total();
         out.note(format!(
@@ -56,13 +66,13 @@ mod tests {
 
     #[test]
     fn seven_sweep_rows() {
-        let out = Fig14WaferSweep.run();
+        let out = Fig14WaferSweep.run(&RunContext::paper());
         assert_eq!(out.tables[0].1.len(), 7);
     }
 
     #[test]
     fn reduction_note_matches_paper() {
-        let out = Fig14WaferSweep.run();
+        let out = Fig14WaferSweep.run(&RunContext::paper());
         let measured: f64 = out.notes[0]
             .rsplit_once("measured ")
             .unwrap()

@@ -1,6 +1,6 @@
 //! Figure 15: cross-stack research directions for reducing carbon.
 
-use cc_report::{Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{Experiment, ExperimentId, ExperimentOutput, RunContext, Table};
 
 /// Reproduces Fig 15's taxonomy, cross-referencing the modules in this
 /// workspace that implement each direction.
@@ -16,7 +16,7 @@ impl Experiment for Fig15ResearchDirections {
         "Cross-layer optimization opportunities across the computing stack"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, _ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
         let mut t = Table::new(["Stack layer", "Opportunity", "Modelled in this repo by"]);
         t.row([
@@ -66,7 +66,7 @@ mod tests {
 
     #[test]
     fn covers_all_seven_stack_layers() {
-        let out = Fig15ResearchDirections.run();
+        let out = Fig15ResearchDirections.run(&RunContext::paper());
         assert_eq!(out.tables[0].1.len(), 7);
     }
 }

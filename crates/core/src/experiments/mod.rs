@@ -1,9 +1,11 @@
 //! One experiment per paper figure/table, plus extensions.
 //!
-//! Every module implements [`cc_report::Experiment`]; the [`all`] registry
+//! Every module implements [`cc_report::Experiment`]; the [`entries`]
+//! registry — metadata-carrying entries with stable keys and topic tags —
 //! drives the `repro` binary and the benchmark harness. Each experiment's
-//! `run` executes the *models* (not hard-coded answers): e.g. Fig 10 runs the
-//! SoC simulator and the amortization solver end to end.
+//! `run` executes the *models* under a [`cc_report::RunContext`] (not
+//! hard-coded answers): e.g. Fig 10 runs the SoC simulator and the
+//! amortization solver end to end against the context's grid and lifetime.
 
 pub mod ext_die;
 pub mod ext_dvfs;
@@ -59,49 +61,208 @@ pub use table4::Table4MacPro;
 
 use cc_report::Experiment;
 
-/// Every experiment in presentation order: figures 1–15, tables I–IV, then
-/// extensions.
-#[must_use]
-pub fn all() -> Vec<Box<dyn Experiment>> {
-    vec![
-        Box::new(Fig01IctProjections),
-        Box::new(Fig02EnergyVsCarbon),
-        Box::new(Fig03GhgScopes),
-        Box::new(Fig04Lifecycle),
-        Box::new(Fig05AppleBreakdown),
-        Box::new(Fig06DeviceBreakdown),
-        Box::new(Fig07Generations),
-        Box::new(Fig08Pareto),
-        Box::new(Fig09InferencePerf),
-        Box::new(Fig10Breakeven),
-        Box::new(Fig11CorporateFootprints),
-        Box::new(Fig12Scope3Breakdown),
-        Box::new(Fig13EnergySourceSweep),
-        Box::new(Fig14WaferSweep),
-        Box::new(Fig15ResearchDirections),
-        Box::new(Table1Scopes),
-        Box::new(Table2EnergySources),
-        Box::new(Table3Grids),
-        Box::new(Table4MacPro),
-        Box::new(ExtCarbonAwareScheduling),
-        Box::new(ExtDieCarbon),
-        Box::new(ExtDvfs),
-        Box::new(ExtHeterogeneity),
-        Box::new(ExtFabDecarbonization),
-        Box::new(ExtMonteCarlo),
-    ]
+/// Topic tags for registry filtering (`repro --tag mobile`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tag {
+    /// A paper figure.
+    Figure,
+    /// A paper table.
+    Table,
+    /// An extension beyond the paper's evaluation.
+    Extension,
+    /// Mobile/SoC experiments.
+    Mobile,
+    /// Warehouse-scale/datacenter experiments.
+    Datacenter,
+    /// Semiconductor-manufacturing experiments.
+    Fab,
+    /// Corporate sustainability-report experiments.
+    Corporate,
+    /// Energy-source and grid experiments.
+    Energy,
+    /// Consumer-device LCA experiments.
+    Device,
 }
 
-/// Finds an experiment by its command-line key (`fig10`, `table2`,
-/// `ext-sched`).
+impl Tag {
+    /// Every tag, for enumeration in help text.
+    pub const ALL: [Self; 9] = [
+        Self::Figure,
+        Self::Table,
+        Self::Extension,
+        Self::Mobile,
+        Self::Datacenter,
+        Self::Fab,
+        Self::Corporate,
+        Self::Energy,
+        Self::Device,
+    ];
+
+    /// The tag's lowercase command-line name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Figure => "figure",
+            Self::Table => "table",
+            Self::Extension => "extension",
+            Self::Mobile => "mobile",
+            Self::Datacenter => "datacenter",
+            Self::Fab => "fab",
+            Self::Corporate => "corporate",
+            Self::Energy => "energy",
+            Self::Device => "device",
+        }
+    }
+
+    /// Parses a command-line tag name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|t| t.name() == name)
+    }
+}
+
+impl core::fmt::Display for Tag {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A registry entry: the experiment's stable key, its topic tags, and a
+/// constructor. Entries are `'static`, cheap to scan, and each worker thread
+/// of a parallel run builds its own experiment instance from the
+/// constructor.
+pub struct Entry {
+    /// Stable command-line key (`fig10`, `table2`, `ext-sched`).
+    pub key: &'static str,
+    /// Topic tags for filtering.
+    pub tags: &'static [Tag],
+    ctor: fn() -> Box<dyn Experiment>,
+}
+
+impl Entry {
+    /// Instantiates the experiment.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn Experiment> {
+        (self.ctor)()
+    }
+
+    /// The presentation title, e.g. `Figure 10`.
+    #[must_use]
+    pub fn title(&self) -> String {
+        self.build().id().to_string()
+    }
+
+    /// The one-line description.
+    #[must_use]
+    pub fn description(&self) -> &'static str {
+        self.build().description()
+    }
+
+    /// Whether the entry carries `tag`.
+    #[must_use]
+    pub fn has_tag(&self, tag: Tag) -> bool {
+        self.tags.contains(&tag)
+    }
+}
+
+impl core::fmt::Debug for Entry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Entry")
+            .field("key", &self.key)
+            .field("tags", &self.tags)
+            .finish_non_exhaustive()
+    }
+}
+
+macro_rules! entry {
+    ($key:literal, $ty:ty, [$($tag:ident),+ $(,)?]) => {
+        Entry {
+            key: $key,
+            tags: &[$(Tag::$tag),+],
+            ctor: || Box::new(<$ty>::default()),
+        }
+    };
+}
+
+static ENTRIES: [Entry; 25] = [
+    entry!("fig01", Fig01IctProjections, [Figure, Energy]),
+    entry!(
+        "fig02",
+        Fig02EnergyVsCarbon,
+        [Figure, Datacenter, Corporate]
+    ),
+    entry!("fig03", Fig03GhgScopes, [Figure, Corporate]),
+    entry!("fig04", Fig04Lifecycle, [Figure, Device]),
+    entry!("fig05", Fig05AppleBreakdown, [Figure, Corporate]),
+    entry!("fig06", Fig06DeviceBreakdown, [Figure, Device]),
+    entry!("fig07", Fig07Generations, [Figure, Device]),
+    entry!("fig08", Fig08Pareto, [Figure, Mobile, Device]),
+    entry!("fig09", Fig09InferencePerf, [Figure, Mobile]),
+    entry!("fig10", Fig10Breakeven, [Figure, Mobile]),
+    entry!(
+        "fig11",
+        Fig11CorporateFootprints,
+        [Figure, Corporate, Datacenter]
+    ),
+    entry!("fig12", Fig12Scope3Breakdown, [Figure, Corporate]),
+    entry!("fig13", Fig13EnergySourceSweep, [Figure, Energy, Corporate]),
+    entry!("fig14", Fig14WaferSweep, [Figure, Fab]),
+    entry!("fig15", Fig15ResearchDirections, [Figure]),
+    entry!("table1", Table1Scopes, [Table, Corporate]),
+    entry!("table2", Table2EnergySources, [Table, Energy]),
+    entry!("table3", Table3Grids, [Table, Energy]),
+    entry!("table4", Table4MacPro, [Table, Device]),
+    entry!(
+        "ext-sched",
+        ExtCarbonAwareScheduling,
+        [Extension, Datacenter]
+    ),
+    entry!("ext-die", ExtDieCarbon, [Extension, Fab]),
+    entry!("ext-dvfs", ExtDvfs, [Extension, Mobile]),
+    entry!("ext-hetero", ExtHeterogeneity, [Extension, Datacenter]),
+    entry!("ext-fab", ExtFabDecarbonization, [Extension, Fab]),
+    entry!("ext-mc", ExtMonteCarlo, [Extension]),
+];
+
+/// Every registry entry, in presentation order: figures 1–15, tables I–IV,
+/// then extensions.
+#[must_use]
+pub fn entries() -> &'static [Entry] {
+    &ENTRIES
+}
+
+/// Finds a registry entry by its command-line key.
+#[must_use]
+pub fn find_entry(key: &str) -> Option<&'static Entry> {
+    ENTRIES.iter().find(|e| e.key == key)
+}
+
+/// Entries carrying every tag in `tags` (all entries when `tags` is empty).
+#[must_use]
+pub fn with_tags(tags: &[Tag]) -> Vec<&'static Entry> {
+    ENTRIES
+        .iter()
+        .filter(|e| tags.iter().all(|&t| e.has_tag(t)))
+        .collect()
+}
+
+/// Every experiment instantiated, in presentation order.
+#[must_use]
+pub fn all() -> Vec<Box<dyn Experiment>> {
+    ENTRIES.iter().map(Entry::build).collect()
+}
+
+/// Finds and instantiates an experiment by its command-line key (`fig10`,
+/// `table2`, `ext-sched`).
 #[must_use]
 pub fn find(key: &str) -> Option<Box<dyn Experiment>> {
-    all().into_iter().find(|e| e.id().key() == key)
+    find_entry(key).map(Entry::build)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cc_report::RunContext;
 
     #[test]
     fn registry_is_complete() {
@@ -129,9 +290,61 @@ mod tests {
     }
 
     #[test]
+    fn entry_keys_match_experiment_ids() {
+        for entry in entries() {
+            let built = entry.build();
+            assert_eq!(entry.key, built.id().key(), "stale key for {}", entry.key);
+            // Keys registered here must also parse at the report layer.
+            assert_eq!(
+                cc_report::ExperimentId::parse(entry.key),
+                Some(built.id()),
+                "{} does not round-trip through ExperimentId::parse",
+                entry.key
+            );
+            assert!(!entry.title().is_empty());
+            assert!(!entry.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn every_entry_has_a_kind_tag() {
+        for entry in entries() {
+            let kinds = [Tag::Figure, Tag::Table, Tag::Extension];
+            assert_eq!(
+                entry.tags.iter().filter(|t| kinds.contains(t)).count(),
+                1,
+                "{} must have exactly one kind tag",
+                entry.key
+            );
+        }
+    }
+
+    #[test]
+    fn tag_filtering_selects_subsets() {
+        assert_eq!(with_tags(&[Tag::Figure]).len(), 15);
+        assert_eq!(with_tags(&[Tag::Table]).len(), 4);
+        assert_eq!(with_tags(&[Tag::Extension]).len(), 6);
+        assert_eq!(with_tags(&[]).len(), 25);
+        let mobile_figures = with_tags(&[Tag::Figure, Tag::Mobile]);
+        assert!(mobile_figures.iter().any(|e| e.key == "fig10"));
+        assert!(mobile_figures.iter().all(|e| e.has_tag(Tag::Figure)));
+        assert!(with_tags(&[Tag::Mobile, Tag::Datacenter]).is_empty());
+    }
+
+    #[test]
+    fn tag_names_round_trip() {
+        for tag in Tag::ALL {
+            assert_eq!(Tag::parse(tag.name()), Some(tag));
+            assert_eq!(tag.to_string(), tag.name());
+        }
+        assert_eq!(Tag::parse("nope"), None);
+    }
+
+    #[test]
     fn every_experiment_produces_output() {
+        let ctx = RunContext::paper();
         for e in all() {
-            let out = e.run();
+            let out = e.run(&ctx);
             assert!(
                 !out.tables.is_empty() || !out.notes.is_empty(),
                 "{} produced nothing",

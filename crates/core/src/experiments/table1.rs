@@ -1,7 +1,7 @@
 //! Table I: salient Scope 1/2/3 emissions by company archetype.
 
 use cc_ghg::scope::{CompanyKind, Scope};
-use cc_report::{Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{Experiment, ExperimentId, ExperimentOutput, RunContext, Table};
 
 /// Reproduces Table I.
 #[derive(Debug, Clone, Copy, Default)]
@@ -16,7 +16,7 @@ impl Experiment for Table1Scopes {
         "Salient Scope 1/2/3 emissions for chip manufacturers, mobile vendors, DC operators"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, _ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
         let mut t = Table::new(["Technology company", "Scope 1", "Scope 2", "Scope 3"]);
         for kind in CompanyKind::ALL {
@@ -42,7 +42,7 @@ mod tests {
 
     #[test]
     fn three_archetypes() {
-        let out = Table1Scopes.run();
+        let out = Table1Scopes.run(&RunContext::paper());
         let t = &out.tables[0].1;
         assert_eq!(t.len(), 3);
         assert!(t.rows()[0][1].contains("PFCs"));

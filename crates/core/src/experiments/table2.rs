@@ -1,7 +1,7 @@
 //! Table II: carbon efficiency of energy sources.
 
 use cc_data::energy_sources::EnergySource;
-use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Table};
 
 /// Reproduces Table II.
 #[derive(Debug, Clone, Copy, Default)]
@@ -16,9 +16,13 @@ impl Experiment for Table2EnergySources {
         "Carbon intensity and energy-payback time per generation source"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, _ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
-        let mut t = Table::new(["Source", "Carbon intensity (g CO2e/kWh)", "Energy payback (months)"]);
+        let mut t = Table::new([
+            "Source",
+            "Carbon intensity (g CO2e/kWh)",
+            "Energy payback (months)",
+        ]);
         for source in EnergySource::ALL {
             t.row([
                 source.to_string(),
@@ -41,7 +45,7 @@ mod tests {
 
     #[test]
     fn eight_sources_ordered() {
-        let out = Table2EnergySources.run();
+        let out = Table2EnergySources.run(&RunContext::paper());
         let t = &out.tables[0].1;
         assert_eq!(t.len(), 8);
         assert_eq!(t.rows()[0][0], "Coal");

@@ -1,7 +1,7 @@
 //! Table III: global carbon efficiency of energy production.
 
 use cc_data::grids::Region;
-use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Table};
 
 /// Reproduces Table III.
 #[derive(Debug, Clone, Copy, Default)]
@@ -16,7 +16,7 @@ impl Experiment for Table3Grids {
         "Average grid carbon intensity by geography with dominant source"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, _ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
         let mut t = Table::new(["Geographic average", "g CO2e/kWh", "Dominant source"]);
         for region in Region::ALL {
@@ -26,7 +26,10 @@ impl Experiment for Table3Grids {
                 region.dominant_source().unwrap_or("-").to_string(),
             ]);
         }
-        out.table("Table III: global carbon efficiency of energy production", t);
+        out.table(
+            "Table III: global carbon efficiency of energy production",
+            t,
+        );
         out.note("the US average (380 g/kWh) is the baseline for the Fig 10 break-even analysis");
         out
     }
@@ -38,7 +41,7 @@ mod tests {
 
     #[test]
     fn nine_regions_with_us_at_380() {
-        let out = Table3Grids.run();
+        let out = Table3Grids.run(&RunContext::paper());
         let t = &out.tables[0].1;
         assert_eq!(t.len(), 9);
         let us = t.rows().iter().find(|r| r[0] == "United States").unwrap();

@@ -1,7 +1,7 @@
 //! Table IV: the two Mac Pro configurations.
 
 use cc_data::mac_pro::{MAC_PRO_1, MAC_PRO_2};
-use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, Table};
+use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Table};
 
 /// Reproduces Table IV.
 #[derive(Debug, Clone, Copy, Default)]
@@ -16,7 +16,7 @@ impl Experiment for Table4MacPro {
         "Mac Pro base vs scaled-up configuration: 2.7x manufacturing CO2"
     }
 
-    fn run(&self) -> ExperimentOutput {
+    fn run(&self, _ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
         let mut t = Table::new(["Parameter", MAC_PRO_1.name, MAC_PRO_2.name]);
         t.row([
@@ -70,7 +70,7 @@ mod tests {
 
     #[test]
     fn seven_parameters() {
-        let out = Table4MacPro.run();
+        let out = Table4MacPro.run(&RunContext::paper());
         assert_eq!(out.tables[0].1.len(), 7);
         assert!(out.notes[0].contains("2.7"));
     }

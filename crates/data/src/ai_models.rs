@@ -7,8 +7,7 @@
 //! more than an order of magnitude).
 
 /// A convolutional-network workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-         serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CnnModel {
     /// ResNet-50 (He et al., 2016).
     ResNet50,
@@ -140,7 +139,11 @@ mod tests {
 
     #[test]
     fn mobilenets_are_small() {
-        for m in [CnnModel::MobileNetV1, CnnModel::MobileNetV2, CnnModel::MobileNetV3] {
+        for m in [
+            CnnModel::MobileNetV1,
+            CnnModel::MobileNetV2,
+            CnnModel::MobileNetV3,
+        ] {
             assert!(m.gmacs() < 1.0);
             assert!(m.params_millions() < 6.0);
             assert!(m.depthwise_mac_fraction() > 0.0);

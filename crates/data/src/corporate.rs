@@ -29,7 +29,7 @@ use cc_units::CarbonMass;
 // ---------------------------------------------------------------------------
 
 /// One slice of Apple's FY2019 footprint (share of the company total).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AppleSlice {
     /// Slice label as shown in Fig 5.
     pub label: &'static str,
@@ -50,22 +50,86 @@ pub fn apple_2019_total() -> CarbonMass {
 /// Manufacturing sums to 0.74, product use to 0.19, and integrated circuits
 /// alone are 0.33 — the three shares the paper quotes.
 pub const APPLE_2019_BREAKDOWN: [AppleSlice; 16] = [
-    AppleSlice { label: "Integrated circuits", group: "Manufacturing", share: 0.33 },
-    AppleSlice { label: "Boards & flexes", group: "Manufacturing", share: 0.10 },
-    AppleSlice { label: "Aluminum", group: "Manufacturing", share: 0.09 },
-    AppleSlice { label: "Displays", group: "Manufacturing", share: 0.07 },
-    AppleSlice { label: "Electronics", group: "Manufacturing", share: 0.05 },
-    AppleSlice { label: "Assembly", group: "Manufacturing", share: 0.04 },
-    AppleSlice { label: "Steel", group: "Manufacturing", share: 0.03 },
-    AppleSlice { label: "Other manufacturing", group: "Manufacturing", share: 0.03 },
-    AppleSlice { label: "iOS device use", group: "Product Use", share: 0.11 },
-    AppleSlice { label: "macOS active use", group: "Product Use", share: 0.04 },
-    AppleSlice { label: "macOS idle use", group: "Product Use", share: 0.02 },
-    AppleSlice { label: "Other product use", group: "Product Use", share: 0.02 },
-    AppleSlice { label: "Product transport", group: "Transport", share: 0.05 },
-    AppleSlice { label: "Corporate facilities", group: "Facilities", share: 0.013 },
-    AppleSlice { label: "Recycling", group: "End-of-life", share: 0.004 },
-    AppleSlice { label: "Business travel", group: "Facilities", share: 0.003 },
+    AppleSlice {
+        label: "Integrated circuits",
+        group: "Manufacturing",
+        share: 0.33,
+    },
+    AppleSlice {
+        label: "Boards & flexes",
+        group: "Manufacturing",
+        share: 0.10,
+    },
+    AppleSlice {
+        label: "Aluminum",
+        group: "Manufacturing",
+        share: 0.09,
+    },
+    AppleSlice {
+        label: "Displays",
+        group: "Manufacturing",
+        share: 0.07,
+    },
+    AppleSlice {
+        label: "Electronics",
+        group: "Manufacturing",
+        share: 0.05,
+    },
+    AppleSlice {
+        label: "Assembly",
+        group: "Manufacturing",
+        share: 0.04,
+    },
+    AppleSlice {
+        label: "Steel",
+        group: "Manufacturing",
+        share: 0.03,
+    },
+    AppleSlice {
+        label: "Other manufacturing",
+        group: "Manufacturing",
+        share: 0.03,
+    },
+    AppleSlice {
+        label: "iOS device use",
+        group: "Product Use",
+        share: 0.11,
+    },
+    AppleSlice {
+        label: "macOS active use",
+        group: "Product Use",
+        share: 0.04,
+    },
+    AppleSlice {
+        label: "macOS idle use",
+        group: "Product Use",
+        share: 0.02,
+    },
+    AppleSlice {
+        label: "Other product use",
+        group: "Product Use",
+        share: 0.02,
+    },
+    AppleSlice {
+        label: "Product transport",
+        group: "Transport",
+        share: 0.05,
+    },
+    AppleSlice {
+        label: "Corporate facilities",
+        group: "Facilities",
+        share: 0.013,
+    },
+    AppleSlice {
+        label: "Recycling",
+        group: "End-of-life",
+        share: 0.004,
+    },
+    AppleSlice {
+        label: "Business travel",
+        group: "Facilities",
+        share: 0.003,
+    },
 ];
 
 /// Sum of the shares for one Fig 5 group.
@@ -83,7 +147,7 @@ pub fn apple_2019_group_share(group: &str) -> f64 {
 // ---------------------------------------------------------------------------
 
 /// One year of a corporate GHG inventory, in million metric tons CO₂e.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScopeYear {
     /// Reporting year.
     pub year: u16,
@@ -122,12 +186,48 @@ impl ScopeYear {
 /// hardware-footprint disclosure practice changed (see Fig 11 annotation);
 /// [`FACEBOOK_2018_SCOPE3_LEGACY_MT`] preserves the pre-change comparable.
 pub const FACEBOOK: [ScopeYear; 6] = [
-    ScopeYear { year: 2014, scope1_mt: 0.010, scope2_location_mt: 0.36, scope2_market_mt: 0.28, scope3_mt: 0.45 },
-    ScopeYear { year: 2015, scope1_mt: 0.013, scope2_location_mt: 0.48, scope2_market_mt: 0.33, scope3_mt: 0.62 },
-    ScopeYear { year: 2016, scope1_mt: 0.017, scope2_location_mt: 0.72, scope2_market_mt: 0.41, scope3_mt: 0.86 },
-    ScopeYear { year: 2017, scope1_mt: 0.022, scope2_location_mt: 1.04, scope2_market_mt: 0.60, scope3_mt: 1.20 },
-    ScopeYear { year: 2018, scope1_mt: 0.036, scope2_location_mt: 1.55, scope2_market_mt: 0.39, scope3_mt: 2.00 },
-    ScopeYear { year: 2019, scope1_mt: 0.046, scope2_location_mt: 2.20, scope2_market_mt: 0.252, scope3_mt: 5.80 },
+    ScopeYear {
+        year: 2014,
+        scope1_mt: 0.010,
+        scope2_location_mt: 0.36,
+        scope2_market_mt: 0.28,
+        scope3_mt: 0.45,
+    },
+    ScopeYear {
+        year: 2015,
+        scope1_mt: 0.013,
+        scope2_location_mt: 0.48,
+        scope2_market_mt: 0.33,
+        scope3_mt: 0.62,
+    },
+    ScopeYear {
+        year: 2016,
+        scope1_mt: 0.017,
+        scope2_location_mt: 0.72,
+        scope2_market_mt: 0.41,
+        scope3_mt: 0.86,
+    },
+    ScopeYear {
+        year: 2017,
+        scope1_mt: 0.022,
+        scope2_location_mt: 1.04,
+        scope2_market_mt: 0.60,
+        scope3_mt: 1.20,
+    },
+    ScopeYear {
+        year: 2018,
+        scope1_mt: 0.036,
+        scope2_location_mt: 1.55,
+        scope2_market_mt: 0.39,
+        scope3_mt: 2.00,
+    },
+    ScopeYear {
+        year: 2019,
+        scope1_mt: 0.046,
+        scope2_location_mt: 2.20,
+        scope2_market_mt: 0.252,
+        scope3_mt: 5.80,
+    },
 ];
 
 /// Facebook's 2018 Scope 3 under the pre-change disclosure practice, used by
@@ -137,12 +237,48 @@ pub const FACEBOOK_2018_SCOPE3_LEGACY_MT: f64 = 0.86;
 /// Google's inventory, 2013–2018. The 2018 Scope 3 jump is the
 /// hardware-footprint disclosure change the paper discusses.
 pub const GOOGLE: [ScopeYear; 6] = [
-    ScopeYear { year: 2013, scope1_mt: 0.02, scope2_location_mt: 1.60, scope2_market_mt: 1.10, scope3_mt: 2.00 },
-    ScopeYear { year: 2014, scope1_mt: 0.03, scope2_location_mt: 1.90, scope2_market_mt: 0.90, scope3_mt: 2.20 },
-    ScopeYear { year: 2015, scope1_mt: 0.04, scope2_location_mt: 2.30, scope2_market_mt: 0.70, scope3_mt: 2.40 },
-    ScopeYear { year: 2016, scope1_mt: 0.05, scope2_location_mt: 2.90, scope2_market_mt: 0.60, scope3_mt: 2.60 },
-    ScopeYear { year: 2017, scope1_mt: 0.07, scope2_location_mt: 3.80, scope2_market_mt: 0.65, scope3_mt: 2.80 },
-    ScopeYear { year: 2018, scope1_mt: 0.08, scope2_location_mt: 5.00, scope2_market_mt: 0.684, scope3_mt: 14.00 },
+    ScopeYear {
+        year: 2013,
+        scope1_mt: 0.02,
+        scope2_location_mt: 1.60,
+        scope2_market_mt: 1.10,
+        scope3_mt: 2.00,
+    },
+    ScopeYear {
+        year: 2014,
+        scope1_mt: 0.03,
+        scope2_location_mt: 1.90,
+        scope2_market_mt: 0.90,
+        scope3_mt: 2.20,
+    },
+    ScopeYear {
+        year: 2015,
+        scope1_mt: 0.04,
+        scope2_location_mt: 2.30,
+        scope2_market_mt: 0.70,
+        scope3_mt: 2.40,
+    },
+    ScopeYear {
+        year: 2016,
+        scope1_mt: 0.05,
+        scope2_location_mt: 2.90,
+        scope2_market_mt: 0.60,
+        scope3_mt: 2.60,
+    },
+    ScopeYear {
+        year: 2017,
+        scope1_mt: 0.07,
+        scope2_location_mt: 3.80,
+        scope2_market_mt: 0.65,
+        scope3_mt: 2.80,
+    },
+    ScopeYear {
+        year: 2018,
+        scope1_mt: 0.08,
+        scope2_location_mt: 5.00,
+        scope2_market_mt: 0.684,
+        scope3_mt: 14.00,
+    },
 ];
 
 /// Looks a year up in a scope series.
@@ -156,7 +292,7 @@ pub fn year_of(series: &[ScopeYear], year: u16) -> Option<&ScopeYear> {
 // ---------------------------------------------------------------------------
 
 /// One category of Facebook's 2019 Scope 3 emissions.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scope3Category {
     /// Category label (GHG Protocol category grouping used by Fig 12).
     pub label: &'static str,
@@ -170,10 +306,26 @@ pub struct Scope3Category {
 /// infrastructure, construction) 48%, purchased goods 39%, travel 10%,
 /// other 3%.
 pub const FACEBOOK_2019_SCOPE3: [Scope3Category; 4] = [
-    Scope3Category { label: "Capital goods", share: 0.48, is_capex: true },
-    Scope3Category { label: "Purchased goods", share: 0.39, is_capex: true },
-    Scope3Category { label: "Travel", share: 0.10, is_capex: false },
-    Scope3Category { label: "Other", share: 0.03, is_capex: false },
+    Scope3Category {
+        label: "Capital goods",
+        share: 0.48,
+        is_capex: true,
+    },
+    Scope3Category {
+        label: "Purchased goods",
+        share: 0.39,
+        is_capex: true,
+    },
+    Scope3Category {
+        label: "Travel",
+        share: 0.10,
+        is_capex: false,
+    },
+    Scope3Category {
+        label: "Other",
+        share: 0.03,
+        is_capex: false,
+    },
 ];
 
 // ---------------------------------------------------------------------------
@@ -182,7 +334,7 @@ pub const FACEBOOK_2019_SCOPE3: [Scope3Category; 4] = [
 
 /// One component of a chip vendor's reported product-life-cycle footprint,
 /// at the baseline (US average) grid.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LifecycleComponent {
     /// Component label as in Fig 13.
     pub label: &'static str,
@@ -197,25 +349,77 @@ pub struct LifecycleComponent {
 /// top). Hardware use is ≈ 60% of the total; fab energy is mostly renewable
 /// already (only 9.7% non-renewable), so "indirect emission" is small.
 pub const INTEL_LIFECYCLE: [LifecycleComponent; 7] = [
-    LifecycleComponent { label: "HW use", share: 0.60, scales_with_use_energy: true },
-    LifecycleComponent { label: "Direct emission", share: 0.15, scales_with_use_energy: false },
-    LifecycleComponent { label: "Raw materials", share: 0.08, scales_with_use_energy: false },
-    LifecycleComponent { label: "Indirect emission", share: 0.05, scales_with_use_energy: false },
-    LifecycleComponent { label: "HW transport", share: 0.04, scales_with_use_energy: false },
-    LifecycleComponent { label: "Travel", share: 0.03, scales_with_use_energy: false },
-    LifecycleComponent { label: "Other", share: 0.05, scales_with_use_energy: false },
+    LifecycleComponent {
+        label: "HW use",
+        share: 0.60,
+        scales_with_use_energy: true,
+    },
+    LifecycleComponent {
+        label: "Direct emission",
+        share: 0.15,
+        scales_with_use_energy: false,
+    },
+    LifecycleComponent {
+        label: "Raw materials",
+        share: 0.08,
+        scales_with_use_energy: false,
+    },
+    LifecycleComponent {
+        label: "Indirect emission",
+        share: 0.05,
+        scales_with_use_energy: false,
+    },
+    LifecycleComponent {
+        label: "HW transport",
+        share: 0.04,
+        scales_with_use_energy: false,
+    },
+    LifecycleComponent {
+        label: "Travel",
+        share: 0.03,
+        scales_with_use_energy: false,
+    },
+    LifecycleComponent {
+        label: "Other",
+        share: 0.05,
+        scales_with_use_energy: false,
+    },
 ];
 
 /// AMD's reported life-cycle breakdown at the US-grid baseline (Fig 13,
 /// bottom). Hardware use is ≈ 45%; raw materials & manufacturing dominate
 /// the rest (AMD is fabless, so manufacturing shows up as purchased goods).
 pub const AMD_LIFECYCLE: [LifecycleComponent; 6] = [
-    LifecycleComponent { label: "HW use", share: 0.45, scales_with_use_energy: true },
-    LifecycleComponent { label: "Raw materials & manufacturing", share: 0.40, scales_with_use_energy: false },
-    LifecycleComponent { label: "HW transport", share: 0.05, scales_with_use_energy: false },
-    LifecycleComponent { label: "Travel", share: 0.04, scales_with_use_energy: false },
-    LifecycleComponent { label: "Indirect emission", share: 0.04, scales_with_use_energy: false },
-    LifecycleComponent { label: "Other", share: 0.02, scales_with_use_energy: false },
+    LifecycleComponent {
+        label: "HW use",
+        share: 0.45,
+        scales_with_use_energy: true,
+    },
+    LifecycleComponent {
+        label: "Raw materials & manufacturing",
+        share: 0.40,
+        scales_with_use_energy: false,
+    },
+    LifecycleComponent {
+        label: "HW transport",
+        share: 0.05,
+        scales_with_use_energy: false,
+    },
+    LifecycleComponent {
+        label: "Travel",
+        share: 0.04,
+        scales_with_use_energy: false,
+    },
+    LifecycleComponent {
+        label: "Indirect emission",
+        share: 0.04,
+        scales_with_use_energy: false,
+    },
+    LifecycleComponent {
+        label: "Other",
+        share: 0.02,
+        scales_with_use_energy: false,
+    },
 ];
 
 /// Fraction of Intel fab energy that is non-renewable ("only 9.7% of the
@@ -323,8 +527,20 @@ mod tests {
         assert!((INTEL_LIFECYCLE[0].share - 0.60).abs() < 1e-9);
         assert!((AMD_LIFECYCLE[0].share - 0.45).abs() < 1e-9);
         // Exactly one component scales with use energy in each table.
-        assert_eq!(INTEL_LIFECYCLE.iter().filter(|c| c.scales_with_use_energy).count(), 1);
-        assert_eq!(AMD_LIFECYCLE.iter().filter(|c| c.scales_with_use_energy).count(), 1);
+        assert_eq!(
+            INTEL_LIFECYCLE
+                .iter()
+                .filter(|c| c.scales_with_use_energy)
+                .count(),
+            1
+        );
+        assert_eq!(
+            AMD_LIFECYCLE
+                .iter()
+                .filter(|c| c.scales_with_use_energy)
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -24,8 +24,7 @@
 use cc_units::{CarbonMass, Ratio, TimeSpan};
 
 /// Device vendor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-         serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Vendor {
     /// Apple Inc.
     Apple,
@@ -68,8 +67,7 @@ impl core::fmt::Display for Vendor {
 }
 
 /// Device category, following Fig 6's grouping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-         serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Category {
     /// Tablets (iPads, Surfaces).
     Tablet,
@@ -106,7 +104,10 @@ impl Category {
     /// always-connected).
     #[must_use]
     pub fn is_battery_operated(self) -> bool {
-        matches!(self, Self::Tablet | Self::Phone | Self::Wearable | Self::Laptop)
+        matches!(
+            self,
+            Self::Tablet | Self::Phone | Self::Wearable | Self::Laptop
+        )
     }
 
     /// Human-readable label, matching Fig 6's axis.
@@ -136,7 +137,7 @@ impl core::fmt::Display for Category {
 /// life-cycle phases of Fig 4.
 ///
 /// Phase shares are fractions of the total and sum to 1 (validated by tests).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProductLca {
     /// Marketing name, e.g. `"iPhone 11"`.
     pub name: &'static str,
@@ -227,6 +228,7 @@ impl ProductLca {
 }
 
 /// Helper to keep the table below readable.
+#[allow(clippy::too_many_arguments)] // one positional row of the published dataset table
 const fn lca(
     name: &'static str,
     vendor: Vendor,
@@ -259,79 +261,684 @@ use Vendor as V;
 /// The full device dataset (40 products).
 pub const ALL: [ProductLca; 40] = [
     // ---- Phones: Apple iPhone generations (Fig 7 anchors) ----------------
-    lca("iPhone 3GS", V::Apple, 2009, C::Phone, 55.0, 0.40, 0.08, 0.51, 0.01, 3.0),
-    lca("iPhone 4", V::Apple, 2010, C::Phone, 45.0, 0.45, 0.08, 0.46, 0.01, 3.0),
-    lca("iPhone 4S", V::Apple, 2011, C::Phone, 55.0, 0.47, 0.08, 0.44, 0.01, 3.0),
-    lca("iPhone 5S", V::Apple, 2013, C::Phone, 65.0, 0.55, 0.07, 0.37, 0.01, 3.0),
-    lca("iPhone 6s", V::Apple, 2015, C::Phone, 54.0, 0.62, 0.06, 0.31, 0.01, 3.0),
-    lca("iPhone 7", V::Apple, 2016, C::Phone, 56.0, 0.67, 0.06, 0.26, 0.01, 3.0),
-    lca("iPhone X", V::Apple, 2017, C::Phone, 79.0, 0.797, 0.05, 0.143, 0.01, 3.0),
-    lca("iPhone XR", V::Apple, 2018, C::Phone, 62.0, 0.74, 0.05, 0.20, 0.01, 3.0),
-    lca("iPhone 11", V::Apple, 2019, C::Phone, 75.0, 0.79, 0.05, 0.14, 0.02, 3.0),
-    lca("iPhone 11 Pro", V::Apple, 2019, C::Phone, 82.0, 0.805, 0.045, 0.13, 0.02, 3.0),
-    lca("iPhone SE (2nd gen)", V::Apple, 2020, C::Phone, 57.0, 0.76, 0.05, 0.17, 0.02, 3.0),
+    lca(
+        "iPhone 3GS",
+        V::Apple,
+        2009,
+        C::Phone,
+        55.0,
+        0.40,
+        0.08,
+        0.51,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "iPhone 4",
+        V::Apple,
+        2010,
+        C::Phone,
+        45.0,
+        0.45,
+        0.08,
+        0.46,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "iPhone 4S",
+        V::Apple,
+        2011,
+        C::Phone,
+        55.0,
+        0.47,
+        0.08,
+        0.44,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "iPhone 5S",
+        V::Apple,
+        2013,
+        C::Phone,
+        65.0,
+        0.55,
+        0.07,
+        0.37,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "iPhone 6s",
+        V::Apple,
+        2015,
+        C::Phone,
+        54.0,
+        0.62,
+        0.06,
+        0.31,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "iPhone 7",
+        V::Apple,
+        2016,
+        C::Phone,
+        56.0,
+        0.67,
+        0.06,
+        0.26,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "iPhone X",
+        V::Apple,
+        2017,
+        C::Phone,
+        79.0,
+        0.797,
+        0.05,
+        0.143,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "iPhone XR",
+        V::Apple,
+        2018,
+        C::Phone,
+        62.0,
+        0.74,
+        0.05,
+        0.20,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "iPhone 11",
+        V::Apple,
+        2019,
+        C::Phone,
+        75.0,
+        0.79,
+        0.05,
+        0.14,
+        0.02,
+        3.0,
+    ),
+    lca(
+        "iPhone 11 Pro",
+        V::Apple,
+        2019,
+        C::Phone,
+        82.0,
+        0.805,
+        0.045,
+        0.13,
+        0.02,
+        3.0,
+    ),
+    lca(
+        "iPhone SE (2nd gen)",
+        V::Apple,
+        2020,
+        C::Phone,
+        57.0,
+        0.76,
+        0.05,
+        0.17,
+        0.02,
+        3.0,
+    ),
     // ---- Phones: Google Pixels -------------------------------------------
-    lca("Pixel 2", V::Google, 2017, C::Phone, 60.0, 0.70, 0.06, 0.23, 0.01, 3.0),
-    lca("Pixel 2 XL", V::Google, 2017, C::Phone, 70.0, 0.71, 0.06, 0.22, 0.01, 3.0),
-    lca("Pixel 3", V::Google, 2018, C::Phone, 70.0, 0.71, 0.06, 0.22, 0.01, 3.0),
-    lca("Pixel 3 XL", V::Google, 2018, C::Phone, 76.0, 0.72, 0.06, 0.21, 0.01, 3.0),
-    lca("Pixel 3a", V::Google, 2019, C::Phone, 63.0, 0.715, 0.06, 0.21, 0.015, 3.0),
-    lca("Pixel 3a XL", V::Google, 2019, C::Phone, 67.0, 0.72, 0.06, 0.21, 0.01, 3.0),
+    lca(
+        "Pixel 2",
+        V::Google,
+        2017,
+        C::Phone,
+        60.0,
+        0.70,
+        0.06,
+        0.23,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "Pixel 2 XL",
+        V::Google,
+        2017,
+        C::Phone,
+        70.0,
+        0.71,
+        0.06,
+        0.22,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "Pixel 3",
+        V::Google,
+        2018,
+        C::Phone,
+        70.0,
+        0.71,
+        0.06,
+        0.22,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "Pixel 3 XL",
+        V::Google,
+        2018,
+        C::Phone,
+        76.0,
+        0.72,
+        0.06,
+        0.21,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "Pixel 3a",
+        V::Google,
+        2019,
+        C::Phone,
+        63.0,
+        0.715,
+        0.06,
+        0.21,
+        0.015,
+        3.0,
+    ),
+    lca(
+        "Pixel 3a XL",
+        V::Google,
+        2019,
+        C::Phone,
+        67.0,
+        0.72,
+        0.06,
+        0.21,
+        0.01,
+        3.0,
+    ),
     // ---- Phones: Huawei ---------------------------------------------------
-    lca("Honor 5C", V::Huawei, 2016, C::Phone, 43.0, 0.70, 0.05, 0.24, 0.01, 3.0),
-    lca("Honor 8 Lite", V::Huawei, 2017, C::Phone, 46.0, 0.70, 0.05, 0.24, 0.01, 3.0),
+    lca(
+        "Honor 5C",
+        V::Huawei,
+        2016,
+        C::Phone,
+        43.0,
+        0.70,
+        0.05,
+        0.24,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "Honor 8 Lite",
+        V::Huawei,
+        2017,
+        C::Phone,
+        46.0,
+        0.70,
+        0.05,
+        0.24,
+        0.01,
+        3.0,
+    ),
     // ---- Tablets: Apple iPad generations (Fig 7 anchors) ------------------
-    lca("iPad (2nd gen)", V::Apple, 2012, C::Tablet, 180.0, 0.60, 0.07, 0.32, 0.01, 3.0),
-    lca("iPad (3rd gen)", V::Apple, 2012, C::Tablet, 165.0, 0.62, 0.07, 0.30, 0.01, 3.0),
-    lca("iPad (5th gen)", V::Apple, 2017, C::Tablet, 125.0, 0.68, 0.07, 0.24, 0.01, 3.0),
-    lca("iPad (6th gen)", V::Apple, 2018, C::Tablet, 110.0, 0.70, 0.07, 0.22, 0.01, 3.0),
-    lca("iPad (7th gen)", V::Apple, 2019, C::Tablet, 100.0, 0.75, 0.06, 0.18, 0.01, 3.0),
-    lca("iPad Air", V::Apple, 2019, C::Tablet, 110.0, 0.74, 0.06, 0.19, 0.01, 3.0),
-    lca("iPad mini", V::Apple, 2019, C::Tablet, 90.0, 0.73, 0.06, 0.20, 0.01, 3.0),
-    lca("iPad Pro 11\"", V::Apple, 2020, C::Tablet, 130.0, 0.76, 0.06, 0.17, 0.01, 3.0),
-    lca("Surface Pro 7", V::Microsoft, 2019, C::Tablet, 140.0, 0.72, 0.06, 0.21, 0.01, 3.0),
+    lca(
+        "iPad (2nd gen)",
+        V::Apple,
+        2012,
+        C::Tablet,
+        180.0,
+        0.60,
+        0.07,
+        0.32,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "iPad (3rd gen)",
+        V::Apple,
+        2012,
+        C::Tablet,
+        165.0,
+        0.62,
+        0.07,
+        0.30,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "iPad (5th gen)",
+        V::Apple,
+        2017,
+        C::Tablet,
+        125.0,
+        0.68,
+        0.07,
+        0.24,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "iPad (6th gen)",
+        V::Apple,
+        2018,
+        C::Tablet,
+        110.0,
+        0.70,
+        0.07,
+        0.22,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "iPad (7th gen)",
+        V::Apple,
+        2019,
+        C::Tablet,
+        100.0,
+        0.75,
+        0.06,
+        0.18,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "iPad Air",
+        V::Apple,
+        2019,
+        C::Tablet,
+        110.0,
+        0.74,
+        0.06,
+        0.19,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "iPad mini",
+        V::Apple,
+        2019,
+        C::Tablet,
+        90.0,
+        0.73,
+        0.06,
+        0.20,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "iPad Pro 11\"",
+        V::Apple,
+        2020,
+        C::Tablet,
+        130.0,
+        0.76,
+        0.06,
+        0.17,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "Surface Pro 7",
+        V::Microsoft,
+        2019,
+        C::Tablet,
+        140.0,
+        0.72,
+        0.06,
+        0.21,
+        0.01,
+        3.0,
+    ),
     // ---- Wearables: Apple Watch generations (Fig 7 anchors) ---------------
-    lca("Apple Watch Series 1", V::Apple, 2016, C::Wearable, 33.0, 0.60, 0.08, 0.31, 0.01, 3.0),
-    lca("Apple Watch Series 2", V::Apple, 2016, C::Wearable, 35.0, 0.63, 0.08, 0.28, 0.01, 3.0),
-    lca("Apple Watch Series 3", V::Apple, 2017, C::Wearable, 34.0, 0.67, 0.08, 0.24, 0.01, 3.0),
-    lca("Apple Watch Series 4", V::Apple, 2018, C::Wearable, 36.0, 0.71, 0.07, 0.21, 0.01, 3.0),
-    lca("Apple Watch Series 5", V::Apple, 2019, C::Wearable, 36.0, 0.75, 0.07, 0.17, 0.01, 3.0),
+    lca(
+        "Apple Watch Series 1",
+        V::Apple,
+        2016,
+        C::Wearable,
+        33.0,
+        0.60,
+        0.08,
+        0.31,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "Apple Watch Series 2",
+        V::Apple,
+        2016,
+        C::Wearable,
+        35.0,
+        0.63,
+        0.08,
+        0.28,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "Apple Watch Series 3",
+        V::Apple,
+        2017,
+        C::Wearable,
+        34.0,
+        0.67,
+        0.08,
+        0.24,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "Apple Watch Series 4",
+        V::Apple,
+        2018,
+        C::Wearable,
+        36.0,
+        0.71,
+        0.07,
+        0.21,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "Apple Watch Series 5",
+        V::Apple,
+        2019,
+        C::Wearable,
+        36.0,
+        0.75,
+        0.07,
+        0.17,
+        0.01,
+        3.0,
+    ),
     // ---- Laptops -----------------------------------------------------------
-    lca("MacBook Air 13\" Retina", V::Apple, 2020, C::Laptop, 210.0, 0.74, 0.05, 0.19, 0.02, 4.0),
-    lca("MacBook Pro 16\"", V::Apple, 2019, C::Laptop, 290.0, 0.70, 0.05, 0.23, 0.02, 4.0),
-    lca("Pixelbook Go", V::Google, 2019, C::Laptop, 220.0, 0.72, 0.06, 0.20, 0.02, 4.0),
+    lca(
+        "MacBook Air 13\" Retina",
+        V::Apple,
+        2020,
+        C::Laptop,
+        210.0,
+        0.74,
+        0.05,
+        0.19,
+        0.02,
+        4.0,
+    ),
+    lca(
+        "MacBook Pro 16\"",
+        V::Apple,
+        2019,
+        C::Laptop,
+        290.0,
+        0.70,
+        0.05,
+        0.23,
+        0.02,
+        4.0,
+    ),
+    lca(
+        "Pixelbook Go",
+        V::Google,
+        2019,
+        C::Laptop,
+        220.0,
+        0.72,
+        0.06,
+        0.20,
+        0.02,
+        4.0,
+    ),
     // ---- Always-connected --------------------------------------------------
-    lca("HomePod", V::Apple, 2018, C::Speaker, 110.0, 0.42, 0.07, 0.50, 0.01, 4.0),
-    lca("Google Home", V::Google, 2016, C::Speaker, 70.0, 0.40, 0.07, 0.52, 0.01, 4.0),
-    lca("iMac 27\"", V::Apple, 2019, C::DesktopWithDisplay, 580.0, 0.52, 0.04, 0.42, 0.02, 4.0),
-    lca("Xbox One X", V::Microsoft, 2017, C::GameConsole, 1_200.0, 0.30, 0.05, 0.64, 0.01, 5.0),
+    lca(
+        "HomePod",
+        V::Apple,
+        2018,
+        C::Speaker,
+        110.0,
+        0.42,
+        0.07,
+        0.50,
+        0.01,
+        4.0,
+    ),
+    lca(
+        "Google Home",
+        V::Google,
+        2016,
+        C::Speaker,
+        70.0,
+        0.40,
+        0.07,
+        0.52,
+        0.01,
+        4.0,
+    ),
+    lca(
+        "iMac 27\"",
+        V::Apple,
+        2019,
+        C::DesktopWithDisplay,
+        580.0,
+        0.52,
+        0.04,
+        0.42,
+        0.02,
+        4.0,
+    ),
+    lca(
+        "Xbox One X",
+        V::Microsoft,
+        2017,
+        C::GameConsole,
+        1_200.0,
+        0.30,
+        0.05,
+        0.64,
+        0.01,
+        5.0,
+    ),
 ];
 
 /// Extra always-connected devices kept separate from [`ALL`] so the main
 /// table matches the paper's "more than 30" product count without double
 /// weighting desktops. Used by Fig 6's desktop/speaker averages.
 pub const ALWAYS_CONNECTED_EXTRA: [ProductLca; 5] = [
-    lca("Google Home Mini", V::Google, 2017, C::Speaker, 35.0, 0.38, 0.07, 0.54, 0.01, 4.0),
-    lca("Google Home Hub", V::Google, 2018, C::Speaker, 75.0, 0.41, 0.07, 0.51, 0.01, 4.0),
-    lca("Mac mini", V::Apple, 2018, C::Desktop, 250.0, 0.50, 0.05, 0.43, 0.02, 4.0),
-    lca("Mac Pro", V::Apple, 2019, C::Desktop, 1_400.0, 0.50, 0.03, 0.45, 0.02, 4.0),
-    lca("Xbox One S", V::Microsoft, 2017, C::GameConsole, 900.0, 0.32, 0.05, 0.62, 0.01, 5.0),
+    lca(
+        "Google Home Mini",
+        V::Google,
+        2017,
+        C::Speaker,
+        35.0,
+        0.38,
+        0.07,
+        0.54,
+        0.01,
+        4.0,
+    ),
+    lca(
+        "Google Home Hub",
+        V::Google,
+        2018,
+        C::Speaker,
+        75.0,
+        0.41,
+        0.07,
+        0.51,
+        0.01,
+        4.0,
+    ),
+    lca(
+        "Mac mini",
+        V::Apple,
+        2018,
+        C::Desktop,
+        250.0,
+        0.50,
+        0.05,
+        0.43,
+        0.02,
+        4.0,
+    ),
+    lca(
+        "Mac Pro",
+        V::Apple,
+        2019,
+        C::Desktop,
+        1_400.0,
+        0.50,
+        0.03,
+        0.45,
+        0.02,
+        4.0,
+    ),
+    lca(
+        "Xbox One S",
+        V::Microsoft,
+        2017,
+        C::GameConsole,
+        900.0,
+        0.32,
+        0.05,
+        0.62,
+        0.01,
+        5.0,
+    ),
 ];
 
 /// Later-generation devices extending the catalog past the paper's core set
 /// (same vendors, same LCA methodology). Kept separate so tests pinned to the
 /// paper's exact cohort remain stable.
 pub const EXTENDED: [ProductLca; 10] = [
-    lca("iPhone 11 Pro Max", V::Apple, 2019, C::Phone, 86.0, 0.80, 0.045, 0.135, 0.02, 3.0),
-    lca("Pixel 4", V::Google, 2019, C::Phone, 70.0, 0.73, 0.06, 0.20, 0.01, 3.0),
-    lca("Pixel 4 XL", V::Google, 2019, C::Phone, 76.0, 0.74, 0.06, 0.19, 0.01, 3.0),
-    lca("iPad Pro 12.9\"", V::Apple, 2020, C::Tablet, 150.0, 0.76, 0.06, 0.17, 0.01, 3.0),
-    lca("Surface Go 2", V::Microsoft, 2020, C::Tablet, 100.0, 0.71, 0.06, 0.22, 0.01, 3.0),
-    lca("Apple Watch SE", V::Apple, 2020, C::Wearable, 33.0, 0.76, 0.07, 0.16, 0.01, 3.0),
-    lca("MacBook Pro 13\"", V::Apple, 2020, C::Laptop, 230.0, 0.72, 0.05, 0.21, 0.02, 4.0),
-    lca("Surface Laptop 3", V::Microsoft, 2019, C::Laptop, 250.0, 0.70, 0.06, 0.22, 0.02, 4.0),
-    lca("Google Nest Mini", V::Google, 2019, C::Speaker, 32.0, 0.39, 0.07, 0.53, 0.01, 4.0),
-    lca("Surface Studio 2", V::Microsoft, 2018, C::DesktopWithDisplay, 700.0, 0.50, 0.04, 0.44, 0.02, 4.0),
+    lca(
+        "iPhone 11 Pro Max",
+        V::Apple,
+        2019,
+        C::Phone,
+        86.0,
+        0.80,
+        0.045,
+        0.135,
+        0.02,
+        3.0,
+    ),
+    lca(
+        "Pixel 4",
+        V::Google,
+        2019,
+        C::Phone,
+        70.0,
+        0.73,
+        0.06,
+        0.20,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "Pixel 4 XL",
+        V::Google,
+        2019,
+        C::Phone,
+        76.0,
+        0.74,
+        0.06,
+        0.19,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "iPad Pro 12.9\"",
+        V::Apple,
+        2020,
+        C::Tablet,
+        150.0,
+        0.76,
+        0.06,
+        0.17,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "Surface Go 2",
+        V::Microsoft,
+        2020,
+        C::Tablet,
+        100.0,
+        0.71,
+        0.06,
+        0.22,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "Apple Watch SE",
+        V::Apple,
+        2020,
+        C::Wearable,
+        33.0,
+        0.76,
+        0.07,
+        0.16,
+        0.01,
+        3.0,
+    ),
+    lca(
+        "MacBook Pro 13\"",
+        V::Apple,
+        2020,
+        C::Laptop,
+        230.0,
+        0.72,
+        0.05,
+        0.21,
+        0.02,
+        4.0,
+    ),
+    lca(
+        "Surface Laptop 3",
+        V::Microsoft,
+        2019,
+        C::Laptop,
+        250.0,
+        0.70,
+        0.06,
+        0.22,
+        0.02,
+        4.0,
+    ),
+    lca(
+        "Google Nest Mini",
+        V::Google,
+        2019,
+        C::Speaker,
+        32.0,
+        0.39,
+        0.07,
+        0.53,
+        0.01,
+        4.0,
+    ),
+    lca(
+        "Surface Studio 2",
+        V::Microsoft,
+        2018,
+        C::DesktopWithDisplay,
+        700.0,
+        0.50,
+        0.04,
+        0.44,
+        0.02,
+        4.0,
+    ),
 ];
 
 /// Iterates over every record in the dataset ([`ALL`],
@@ -371,14 +978,21 @@ mod tests {
     #[test]
     fn all_shares_sum_to_one() {
         for d in iter() {
-            assert!(d.shares_are_consistent(), "{} shares do not sum to 1", d.name);
+            assert!(
+                d.shares_are_consistent(),
+                "{} shares do not sum to 1",
+                d.name
+            );
         }
     }
 
     #[test]
     fn dataset_is_larger_than_30_products() {
         assert!(iter().count() > 30, "paper analyzes >30 products");
-        assert_eq!(iter().count(), ALL.len() + ALWAYS_CONNECTED_EXTRA.len() + EXTENDED.len());
+        assert_eq!(
+            iter().count(),
+            ALL.len() + ALWAYS_CONNECTED_EXTRA.len() + EXTENDED.len()
+        );
     }
 
     #[test]
@@ -430,7 +1044,10 @@ mod tests {
         let iphone = find("iPhone 11").unwrap();
         let total_ratio = mac.total() / iphone.total();
         let mfg_ratio = mac.production() / iphone.production();
-        assert!(total_ratio > 2.3 && total_ratio < 3.6, "total ratio {total_ratio}");
+        assert!(
+            total_ratio > 2.3 && total_ratio < 3.6,
+            "total ratio {total_ratio}"
+        );
         assert!(mfg_ratio > 2.3 && mfg_ratio < 3.6, "mfg ratio {mfg_ratio}");
     }
 

@@ -7,8 +7,7 @@
 use cc_units::{CarbonIntensity, TimeSpan};
 
 /// An electricity-generation technology from Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-         serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum EnergySource {
     /// Coal-fired generation (820 g CO₂e/kWh) — the dirtiest source in the
     /// table and the baseline of Fig 14's renewable sweep.
@@ -149,9 +148,18 @@ mod tests {
 
     #[test]
     fn payback_times_match_table() {
-        assert_eq!(EnergySource::Geothermal.energy_payback().as_months().round(), 72.0);
+        assert_eq!(
+            EnergySource::Geothermal
+                .energy_payback()
+                .as_months()
+                .round(),
+            72.0
+        );
         assert_eq!(EnergySource::Gas.energy_payback().as_months().round(), 1.0);
-        assert_eq!(EnergySource::Solar.energy_payback().as_months().round(), 36.0);
+        assert_eq!(
+            EnergySource::Solar.energy_payback().as_months().round(),
+            36.0
+        );
     }
 
     #[test]

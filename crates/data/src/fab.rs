@@ -15,7 +15,7 @@
 use cc_units::Energy;
 
 /// One component of the per-wafer carbon footprint.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WaferComponent {
     /// Component label as in Fig 14's legend.
     pub label: &'static str,
@@ -32,12 +32,36 @@ pub struct WaferComponent {
 /// Energy is 64% (paper: "over 63%"); PFC & diffusive plus chemicals & gases
 /// total 29% (paper: "nearly 30%").
 pub const TSMC_WAFER: [WaferComponent; 6] = [
-    WaferComponent { label: "Energy", share: 0.64, is_energy: true },
-    WaferComponent { label: "PFC & diffusive emissions", share: 0.17, is_energy: false },
-    WaferComponent { label: "Chemicals & gases", share: 0.12, is_energy: false },
-    WaferComponent { label: "Wafers", share: 0.03, is_energy: false },
-    WaferComponent { label: "Bulk gas", share: 0.03, is_energy: false },
-    WaferComponent { label: "Other", share: 0.01, is_energy: false },
+    WaferComponent {
+        label: "Energy",
+        share: 0.64,
+        is_energy: true,
+    },
+    WaferComponent {
+        label: "PFC & diffusive emissions",
+        share: 0.17,
+        is_energy: false,
+    },
+    WaferComponent {
+        label: "Chemicals & gases",
+        share: 0.12,
+        is_energy: false,
+    },
+    WaferComponent {
+        label: "Wafers",
+        share: 0.03,
+        is_energy: false,
+    },
+    WaferComponent {
+        label: "Bulk gas",
+        share: 0.03,
+        is_energy: false,
+    },
+    WaferComponent {
+        label: "Other",
+        share: 0.01,
+        is_energy: false,
+    },
 ];
 
 /// Absolute baseline footprint of one 300 mm wafer at an advanced node, in
@@ -67,7 +91,11 @@ mod tests {
 
     #[test]
     fn energy_share_matches_paper() {
-        let energy: f64 = TSMC_WAFER.iter().filter(|c| c.is_energy).map(|c| c.share).sum();
+        let energy: f64 = TSMC_WAFER
+            .iter()
+            .filter(|c| c.is_energy)
+            .map(|c| c.share)
+            .sum();
         assert!(energy > 0.63, "paper: energy is over 63%");
         assert!(energy < 0.66);
     }
@@ -79,17 +107,27 @@ mod tests {
             .filter(|c| c.label.contains("PFC") || c.label.contains("Chemicals"))
             .map(|c| c.share)
             .sum();
-        assert!((pfc_chem - 0.29).abs() < 0.02, "paper: nearly 30%, got {pfc_chem}");
+        assert!(
+            (pfc_chem - 0.29).abs() < 0.02,
+            "paper: nearly 30%, got {pfc_chem}"
+        );
     }
 
     #[test]
     fn renewable_64x_gives_2_7x_reduction() {
         // The headline arithmetic of Fig 14, straight from the shares.
-        let energy: f64 = TSMC_WAFER.iter().filter(|c| c.is_energy).map(|c| c.share).sum();
+        let energy: f64 = TSMC_WAFER
+            .iter()
+            .filter(|c| c.is_energy)
+            .map(|c| c.share)
+            .sum();
         let rest = 1.0 - energy;
         let scaled_total = rest + energy / 64.0;
         let reduction = 1.0 / scaled_total;
-        assert!((reduction - 2.7).abs() < 0.1, "paper: ~2.7x, got {reduction}");
+        assert!(
+            (reduction - 2.7).abs() < 0.1,
+            "paper: ~2.7x, got {reduction}"
+        );
     }
 
     #[test]

@@ -7,8 +7,7 @@
 use cc_units::CarbonIntensity;
 
 /// A geographic electricity grid from Table III.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-         serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Region {
     /// World average (301 g CO₂e/kWh).
     World,
@@ -107,7 +106,10 @@ mod tests {
 
     #[test]
     fn us_is_paper_baseline() {
-        assert_eq!(Region::UnitedStates.carbon_intensity().as_g_per_kwh(), 380.0);
+        assert_eq!(
+            Region::UnitedStates.carbon_intensity().as_g_per_kwh(),
+            380.0
+        );
     }
 
     #[test]

@@ -12,8 +12,7 @@
 //!   (optimistic) and 20% (expected).
 
 /// An ICT segment tracked by Fig 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-         serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Segment {
     /// Consumer devices (PCs, phones, TVs, home entertainment).
     ConsumerDevices,
@@ -45,7 +44,7 @@ impl core::fmt::Display for Segment {
 }
 
 /// Projection scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scenario {
     /// Andrae & Edler "best case": efficiency gains mostly offset demand
     /// growth; ICT reaches ~7% of global demand by 2030.

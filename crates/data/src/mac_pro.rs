@@ -8,7 +8,7 @@
 use cc_units::{CarbonMass, Power};
 
 /// One Mac Pro configuration (Table IV column).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MacProConfig {
     /// Configuration label.
     pub name: &'static str,
@@ -78,7 +78,10 @@ mod tests {
     #[test]
     fn scale_up_ratios_match_table_iv() {
         assert!((MAC_PRO_2.gpu_tflops / MAC_PRO_1.gpu_tflops - 4.58).abs() < 0.1);
-        assert_eq!((MAC_PRO_2.gpu_mem_bw_gbps / MAC_PRO_1.gpu_mem_bw_gbps) as u32, 8);
+        assert_eq!(
+            (MAC_PRO_2.gpu_mem_bw_gbps / MAC_PRO_1.gpu_mem_bw_gbps) as u32,
+            8
+        );
         assert_eq!(MAC_PRO_2.dram_gb / MAC_PRO_1.dram_gb, 48);
         assert_eq!(MAC_PRO_2.storage_gb / MAC_PRO_1.storage_gb, 16);
     }

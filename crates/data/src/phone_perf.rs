@@ -17,7 +17,7 @@ use crate::devices::{self, ProductLca};
 use cc_units::CarbonMass;
 
 /// A (throughput, manufacturing-footprint) point on the Fig 8 scatter plot.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhonePerfPoint {
     /// Device name; must exist in [`crate::devices`].
     pub device: &'static str,
@@ -27,17 +27,50 @@ pub struct PhonePerfPoint {
 
 /// The Fig 8 measurement set.
 pub const ALL: [PhonePerfPoint; 11] = [
-    PhonePerfPoint { device: "Honor 5C", throughput_ips: 4.0 },
-    PhonePerfPoint { device: "Honor 8 Lite", throughput_ips: 5.0 },
-    PhonePerfPoint { device: "iPhone 6s", throughput_ips: 8.0 },
-    PhonePerfPoint { device: "iPhone 7", throughput_ips: 12.0 },
-    PhonePerfPoint { device: "Pixel 3", throughput_ips: 15.0 },
-    PhonePerfPoint { device: "Pixel 3a", throughput_ips: 20.0 },
-    PhonePerfPoint { device: "iPhone X", throughput_ips: 35.0 },
-    PhonePerfPoint { device: "iPhone XR", throughput_ips: 45.0 },
-    PhonePerfPoint { device: "iPhone 11", throughput_ips: 70.0 },
-    PhonePerfPoint { device: "iPhone 11 Pro", throughput_ips: 75.0 },
-    PhonePerfPoint { device: "iPhone SE (2nd gen)", throughput_ips: 60.0 },
+    PhonePerfPoint {
+        device: "Honor 5C",
+        throughput_ips: 4.0,
+    },
+    PhonePerfPoint {
+        device: "Honor 8 Lite",
+        throughput_ips: 5.0,
+    },
+    PhonePerfPoint {
+        device: "iPhone 6s",
+        throughput_ips: 8.0,
+    },
+    PhonePerfPoint {
+        device: "iPhone 7",
+        throughput_ips: 12.0,
+    },
+    PhonePerfPoint {
+        device: "Pixel 3",
+        throughput_ips: 15.0,
+    },
+    PhonePerfPoint {
+        device: "Pixel 3a",
+        throughput_ips: 20.0,
+    },
+    PhonePerfPoint {
+        device: "iPhone X",
+        throughput_ips: 35.0,
+    },
+    PhonePerfPoint {
+        device: "iPhone XR",
+        throughput_ips: 45.0,
+    },
+    PhonePerfPoint {
+        device: "iPhone 11",
+        throughput_ips: 70.0,
+    },
+    PhonePerfPoint {
+        device: "iPhone 11 Pro",
+        throughput_ips: 75.0,
+    },
+    PhonePerfPoint {
+        device: "iPhone SE (2nd gen)",
+        throughput_ips: 60.0,
+    },
 ];
 
 impl PhonePerfPoint {

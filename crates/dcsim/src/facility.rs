@@ -5,7 +5,7 @@ use cc_ghg::{CorporateInventory, PpaPortfolio};
 use cc_units::{CarbonMass, Energy, TimeSpan};
 
 /// One simulated year of a facility.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FacilityYear {
     /// Calendar year.
     pub year: u16,
@@ -264,7 +264,11 @@ mod tests {
     fn inventory_view() {
         let years = facility().simulate(6);
         let inv = years[5].inventory();
-        assert!(inv.capex_share(cc_ghg::Scope2Method::MarketBased).as_percent() > 50.0);
+        assert!(
+            inv.capex_share(cc_ghg::Scope2Method::MarketBased)
+                .as_percent()
+                > 50.0
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::server::ServerConfig;
 use cc_units::{CarbonIntensity, CarbonMass, TimeSpan};
 
 /// A server SKU annotated with how many workload units one box serves.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SkuCapability {
     /// The hardware.
     pub sku: ServerConfig,
@@ -23,7 +23,10 @@ impl SkuCapability {
     /// A general-purpose CPU server: 1 unit each.
     #[must_use]
     pub fn general_purpose() -> Self {
-        Self { sku: ServerConfig::web(), units_per_server: 1.0 }
+        Self {
+            sku: ServerConfig::web(),
+            units_per_server: 1.0,
+        }
     }
 
     /// An inference accelerator: ~10 units each at 4× the power and ~3× the
@@ -43,7 +46,7 @@ impl SkuCapability {
 }
 
 /// A provisioned fleet slice: a SKU and a server count.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetSlice {
     /// The SKU with its capability.
     pub capability: SkuCapability,
@@ -52,7 +55,7 @@ pub struct FleetSlice {
 }
 
 /// Yearly carbon cost of a fleet: operational plus amortized embodied.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FleetCarbon {
     /// Operational (energy) carbon per year.
     pub opex_per_year: CarbonMass,
@@ -84,13 +87,18 @@ pub fn provision(
     assert!(demand_units >= 0.0, "demand must be non-negative");
     assert!(pue >= 1.0, "PUE is a multiplier >= 1");
     let servers = (demand_units / capability.units_per_server).ceil();
-    let energy =
-        capability.sku.average_power() * servers * TimeSpan::from_years(1.0) * pue;
+    let energy = capability.sku.average_power() * servers * TimeSpan::from_years(1.0) * pue;
     let carbon = FleetCarbon {
         opex_per_year: energy * grid,
         capex_per_year: capability.sku.embodied_per_year() * servers,
     };
-    (FleetSlice { capability: capability.clone(), servers }, carbon)
+    (
+        FleetSlice {
+            capability: capability.clone(),
+            servers,
+        },
+        carbon,
+    )
 }
 
 /// Compares a general-purpose fleet against an accelerator fleet for the same

@@ -67,8 +67,7 @@ mod tests {
     #[test]
     fn capex_dominates_by_2019() {
         let last = simulate().pop().unwrap();
-        let capex_share = last.capex_carbon
-            / (last.capex_carbon + last.market_carbon);
+        let capex_share = last.capex_carbon / (last.capex_carbon + last.market_carbon);
         assert!(capex_share > 0.75, "capex share {capex_share}");
     }
 }

@@ -12,7 +12,7 @@
 use cc_units::{CarbonIntensity, CarbonMass, Energy};
 
 /// A 24-hour profile of grid carbon intensity and hourly load.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DayProfile {
     /// Grid intensity per hour (g CO₂e/kWh).
     pub intensity: [f64; 24],
@@ -64,7 +64,7 @@ impl DayProfile {
 }
 
 /// How batch energy was placed across the day.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     /// Batch energy placed per hour.
     pub batch_per_hour: [Energy; 24],
@@ -114,7 +114,11 @@ impl CarbonAwareScheduler {
     #[must_use]
     pub fn carbon_aware(profile: &DayProfile) -> Schedule {
         let mut hours: Vec<usize> = (0..24).collect();
-        hours.sort_by(|&a, &b| profile.intensity[a].partial_cmp(&profile.intensity[b]).unwrap());
+        hours.sort_by(|&a, &b| {
+            profile.intensity[a]
+                .partial_cmp(&profile.intensity[b])
+                .unwrap()
+        });
         let mut remaining = profile.batch_energy;
         let mut batch = [Energy::ZERO; 24];
         for h in hours {
@@ -169,7 +173,10 @@ mod tests {
     #[test]
     fn both_schedules_place_all_batch_energy() {
         let p = profile();
-        for schedule in [CarbonAwareScheduler::uniform(&p), CarbonAwareScheduler::carbon_aware(&p)] {
+        for schedule in [
+            CarbonAwareScheduler::uniform(&p),
+            CarbonAwareScheduler::carbon_aware(&p),
+        ] {
             let placed: Energy = schedule.batch_per_hour.iter().copied().sum();
             assert!((placed / p.batch_energy - 1.0).abs() < 1e-9);
         }
@@ -180,7 +187,10 @@ mod tests {
         let p = profile();
         let s = CarbonAwareScheduler::carbon_aware(&p);
         for h in 0..24 {
-            assert!(p.base_load[h] + s.batch_per_hour[h] <= p.hourly_capacity + Energy::from_joules(1.0));
+            assert!(
+                p.base_load[h] + s.batch_per_hour[h]
+                    <= p.hourly_capacity + Energy::from_joules(1.0)
+            );
         }
     }
 
@@ -193,11 +203,11 @@ mod tests {
         // Batch-attributable carbon drops by >30% on a solar-shaped grid.
         let cut = 1.0 - aware.batch_carbon(&p) / uniform.batch_carbon(&p);
         assert!(cut > 0.30, "cut {cut}");
-        assert!((CarbonAwareScheduler::savings(&p)
-            / (uniform.total_carbon - aware.total_carbon)
-            - 1.0)
-            .abs()
-            < 1e-9);
+        assert!(
+            (CarbonAwareScheduler::savings(&p) / (uniform.total_carbon - aware.total_carbon) - 1.0)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

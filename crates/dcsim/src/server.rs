@@ -3,7 +3,7 @@
 use cc_units::{CarbonMass, Power, TimeSpan};
 
 /// A server SKU deployed in the facility.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
     /// SKU name.
     pub name: String,
@@ -82,7 +82,11 @@ mod tests {
 
     #[test]
     fn sku_catalog() {
-        for sku in [ServerConfig::web(), ServerConfig::storage(), ServerConfig::ai_training()] {
+        for sku in [
+            ServerConfig::web(),
+            ServerConfig::storage(),
+            ServerConfig::ai_training(),
+        ] {
             assert!(sku.average_power().as_watts() > 0.0);
             assert!(sku.embodied() > CarbonMass::ZERO);
             assert!(sku.lifetime().as_years() >= 3.0 && sku.lifetime().as_years() <= 4.0);

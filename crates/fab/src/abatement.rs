@@ -45,16 +45,15 @@ pub fn decarbonize(
     renewable_factor: f64,
     pfc_destruction: f64,
 ) -> WaferFootprint {
-    abate_pfc(&wafer.with_renewable_scaling(renewable_factor), pfc_destruction)
+    abate_pfc(
+        &wafer.with_renewable_scaling(renewable_factor),
+        pfc_destruction,
+    )
 }
 
 /// Carbon removed by a decarbonization recipe relative to the baseline.
 #[must_use]
-pub fn savings(
-    wafer: &WaferFootprint,
-    renewable_factor: f64,
-    pfc_destruction: f64,
-) -> CarbonMass {
+pub fn savings(wafer: &WaferFootprint, renewable_factor: f64, pfc_destruction: f64) -> CarbonMass {
     wafer.total() - decarbonize(wafer, renewable_factor, pfc_destruction).total()
 }
 
@@ -94,8 +93,10 @@ mod tests {
     fn savings_accounting() {
         let wafer = WaferFootprint::tsmc_300mm();
         let s = savings(&wafer, 64.0, 0.9);
-        assert!((s + decarbonize(&wafer, 64.0, 0.9).total() - wafer.total()).abs()
-            < CarbonMass::from_grams(1e-6));
+        assert!(
+            (s + decarbonize(&wafer, 64.0, 0.9).total() - wafer.total()).abs()
+                < CarbonMass::from_grams(1e-6)
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ const WAFER_AREA_MM2: f64 = 70_000.0;
 /// let per_die = model.embodied_carbon();
 /// assert!(per_die.as_kg() > 0.3 && per_die.as_kg() < 3.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DieModel {
     node: ProcessNode,
     die_area_mm2: f64,
@@ -104,7 +104,11 @@ impl DieModel {
             // Zero-carbon electricity: keep process emissions only.
             let mut fp = WaferFootprint::new();
             for (label, carbon, is_energy) in self.wafer.components() {
-                fp.add_component(label, if is_energy { CarbonMass::ZERO } else { carbon }, is_energy);
+                fp.add_component(
+                    label,
+                    if is_energy { CarbonMass::ZERO } else { carbon },
+                    is_energy,
+                );
             }
             fp
         } else {

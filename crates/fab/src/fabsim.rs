@@ -10,7 +10,7 @@ use crate::wafer::WaferFootprint;
 use cc_units::{CarbonIntensity, CarbonMass, Energy};
 
 /// A fab operating one process node for a year.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FabModel {
     node: ProcessNode,
     annual_energy: Energy,
@@ -105,7 +105,10 @@ impl FabModel {
     /// Panics when the share is outside `[0, 1]`.
     #[must_use]
     pub fn with_renewable_share(mut self, share: f64) -> Self {
-        assert!((0.0..=1.0).contains(&share), "renewable share must be within [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&share),
+            "renewable share must be within [0, 1]"
+        );
         self.renewable_share = share;
         self
     }

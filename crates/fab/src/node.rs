@@ -9,8 +9,7 @@
 use cc_units::Energy;
 
 /// A logic process node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-         serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ProcessNode {
     /// 28 nm planar.
     N28,
@@ -28,7 +27,14 @@ pub enum ProcessNode {
 
 impl ProcessNode {
     /// All nodes, oldest first.
-    pub const ALL: [Self; 6] = [Self::N28, Self::N14, Self::N10, Self::N7, Self::N5, Self::N3];
+    pub const ALL: [Self; 6] = [
+        Self::N28,
+        Self::N14,
+        Self::N10,
+        Self::N7,
+        Self::N5,
+        Self::N3,
+    ];
 
     /// Nominal feature size in nanometres.
     #[must_use]

@@ -16,7 +16,7 @@ use cc_units::CarbonMass;
 /// let reduction = wafer.total() / greened.total();
 /// assert!((reduction - 2.7).abs() < 0.1); // the paper's headline number
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WaferFootprint {
     components: Vec<(String, CarbonMass, bool)>,
 }
@@ -25,7 +25,9 @@ impl WaferFootprint {
     /// Creates an empty footprint.
     #[must_use]
     pub fn new() -> Self {
-        Self { components: Vec::new() }
+        Self {
+            components: Vec::new(),
+        }
     }
 
     /// The TSMC 300 mm wafer baseline digitized in
@@ -118,7 +120,12 @@ impl Default for WaferFootprint {
 
 impl core::fmt::Display for WaferFootprint {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "wafer {} ({} energy)", self.total(), self.energy_carbon())
+        write!(
+            f,
+            "wafer {} ({} energy)",
+            self.total(),
+            self.energy_carbon()
+        )
     }
 }
 

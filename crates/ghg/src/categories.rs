@@ -2,8 +2,7 @@
 //! capex/opex interpretation for technology companies.
 
 /// A GHG Protocol Scope 3 category.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-         serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Scope3Cat {
     /// 1. Purchased goods and services.
     PurchasedGoods,

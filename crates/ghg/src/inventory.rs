@@ -5,7 +5,7 @@ use crate::scope::Scope;
 use cc_units::{CarbonMass, Ratio};
 
 /// Which Scope 2 accounting method to read.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scope2Method {
     /// Location-based: the local grid's average mix ("often a mix of brown
     /// and green sources").
@@ -31,7 +31,7 @@ pub enum Scope2Method {
 /// let ratio = fb.scope3() / fb.scope2(Scope2Method::MarketBased);
 /// assert!((ratio - 23.0).abs() < 0.1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CorporateInventory {
     scope1: CarbonMass,
     scope2_location: CarbonMass,

@@ -10,8 +10,8 @@
 
 pub mod categories;
 pub mod inventory;
-pub mod reporting;
 pub mod renewables;
+pub mod reporting;
 pub mod scope;
 
 pub use inventory::{CorporateInventory, CorporateInventoryBuilder, Scope2Method};

@@ -10,7 +10,7 @@ use cc_data::energy_sources::EnergySource;
 use cc_units::{CarbonIntensity, CarbonMass, Energy};
 
 /// One power purchase agreement: a yearly energy volume from one source.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Ppa {
     /// Contracted generation source.
     pub source: EnergySource,
@@ -33,7 +33,7 @@ pub struct Ppa {
 /// let intensity = portfolio.market_intensity(Energy::from_gwh(500.0));
 /// assert!(intensity.as_g_per_kwh() < 100.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PpaPortfolio {
     grid: CarbonIntensity,
     contracts: Vec<Ppa>,
@@ -43,12 +43,18 @@ impl PpaPortfolio {
     /// Creates an empty portfolio against the given location grid.
     #[must_use]
     pub fn new(grid: CarbonIntensity) -> Self {
-        Self { grid, contracts: Vec::new() }
+        Self {
+            grid,
+            contracts: Vec::new(),
+        }
     }
 
     /// Adds a contract.
     pub fn contract(&mut self, source: EnergySource, annual_energy: Energy) -> &mut Self {
-        self.contracts.push(Ppa { source, annual_energy });
+        self.contracts.push(Ppa {
+            source,
+            annual_energy,
+        });
         self
     }
 
@@ -83,7 +89,11 @@ impl PpaPortfolio {
             return CarbonMass::ZERO;
         }
         // Scale contract allocation down if contracts exceed demand.
-        let alloc = if contracted > demand { demand / contracted } else { 1.0 };
+        let alloc = if contracted > demand {
+            demand / contracted
+        } else {
+            1.0
+        };
         let green: CarbonMass = self
             .contracts
             .iter()

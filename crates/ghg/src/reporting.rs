@@ -5,7 +5,7 @@ use crate::inventory::{CorporateInventory, Scope2Method};
 use cc_units::CarbonMass;
 
 /// One disclosure line of a rendered report.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReportLine {
     /// Disclosure label (e.g. `"Scope 2 (market-based)"`).
     pub label: String,
@@ -14,7 +14,7 @@ pub struct ReportLine {
 }
 
 /// A rendered sustainability report for one period.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SustainabilityReport {
     /// Organization name.
     pub organization: String,
@@ -54,7 +54,11 @@ impl SustainabilityReport {
                 emissions: inventory.total(Scope2Method::MarketBased),
             },
         ];
-        Self { organization: organization.into(), year, lines }
+        Self {
+            organization: organization.into(),
+            year,
+            lines,
+        }
     }
 
     /// Looks up a line by label.
@@ -128,7 +132,10 @@ mod tests {
     fn headline_reproduces_the_papers_ratio() {
         let report = fb2019();
         let headline = report.headline();
-        assert!(headline.contains("19x") || headline.contains("20x"), "{headline}");
+        assert!(
+            headline.contains("19x") || headline.contains("20x"),
+            "{headline}"
+        );
     }
 
     #[test]

@@ -2,8 +2,7 @@
 //! technology company in Table I.
 
 /// The three GHG Protocol emission scopes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-         serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Scope {
     /// Direct emissions: fuel combustion, refrigerants, and — dominant for
     /// chip manufacturers — burning PFCs, chemicals and gases.
@@ -37,7 +36,7 @@ impl core::fmt::Display for Scope {
 }
 
 /// The three company archetypes of Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CompanyKind {
     /// Semiconductor manufacturer (Intel, TSMC, GlobalFoundries).
     ChipManufacturer,
@@ -123,6 +122,9 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(Scope::Scope3.to_string(), "Scope 3");
-        assert_eq!(CompanyKind::DatacenterOperator.to_string(), "Data-center operator");
+        assert_eq!(
+            CompanyKind::DatacenterOperator.to_string(),
+            "Data-center operator"
+        );
     }
 }

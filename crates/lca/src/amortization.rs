@@ -7,7 +7,7 @@
 use cc_units::{CarbonIntensity, CarbonMass, Energy, TimeSpan};
 
 /// Break-even result for one workload/unit configuration.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Breakeven {
     /// Operations (e.g. inference images) until opex == capex.
     pub operations: f64,
@@ -41,7 +41,7 @@ impl Breakeven {
 /// assert!(be.operations > 4e9 && be.operations < 6e9); // paper: ~5 billion
 /// assert!(be.days > 300.0 && be.days < 400.0);         // paper: ~350 days
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AmortizationAnalysis {
     manufacturing: CarbonMass,
     grid: CarbonIntensity,
@@ -51,7 +51,10 @@ impl AmortizationAnalysis {
     /// Creates an analysis for a manufacturing budget amortized on a grid.
     #[must_use]
     pub fn new(manufacturing: CarbonMass, grid: CarbonIntensity) -> Self {
-        Self { manufacturing, grid }
+        Self {
+            manufacturing,
+            grid,
+        }
     }
 
     /// The manufacturing budget.
@@ -85,7 +88,10 @@ impl AmortizationAnalysis {
             per_op.as_grams(),
         )?;
         let days = ops * latency_per_op.as_days();
-        Some(Breakeven { operations: ops, days })
+        Some(Breakeven {
+            operations: ops,
+            days,
+        })
     }
 
     /// Opex-to-capex ratio after `ops` operations at `energy_per_op`.
@@ -115,8 +121,12 @@ mod tests {
     #[test]
     fn breakeven_counts_scale_inversely_with_energy() {
         let a = pixel3_soc();
-        let small = a.breakeven(Energy::from_joules(0.05), TimeSpan::from_millis(5.0)).unwrap();
-        let large = a.breakeven(Energy::from_joules(0.5), TimeSpan::from_millis(5.0)).unwrap();
+        let small = a
+            .breakeven(Energy::from_joules(0.05), TimeSpan::from_millis(5.0))
+            .unwrap();
+        let large = a
+            .breakeven(Energy::from_joules(0.5), TimeSpan::from_millis(5.0))
+            .unwrap();
         assert!((small.operations / large.operations - 10.0).abs() < 1e-6);
     }
 
@@ -125,15 +135,22 @@ mod tests {
         // Takeaway 6's inversion: better energy efficiency *lengthens*
         // amortization time.
         let a = pixel3_soc();
-        let cpu = a.breakeven(Energy::from_joules(0.047), TimeSpan::from_millis(6.0)).unwrap();
-        let dsp = a.breakeven(Energy::from_joules(0.0142), TimeSpan::from_millis(4.0)).unwrap();
+        let cpu = a
+            .breakeven(Energy::from_joules(0.047), TimeSpan::from_millis(6.0))
+            .unwrap();
+        let dsp = a
+            .breakeven(Energy::from_joules(0.0142), TimeSpan::from_millis(4.0))
+            .unwrap();
         assert!(dsp.operations > cpu.operations);
         assert!(dsp.days > cpu.days);
     }
 
     #[test]
     fn exceeds_lifetime() {
-        let be = Breakeven { operations: 1e10, days: 1_150.0 };
+        let be = Breakeven {
+            operations: 1e10,
+            days: 1_150.0,
+        };
         assert!(be.exceeds(TimeSpan::from_years(3.0)));
         assert!(!be.exceeds(TimeSpan::from_years(4.0)));
     }
@@ -144,7 +161,9 @@ mod tests {
             CarbonMass::from_kg(25.0),
             CarbonIntensity::from_g_per_kwh(0.0),
         );
-        assert!(a.breakeven(Energy::from_joules(0.05), TimeSpan::from_millis(5.0)).is_none());
+        assert!(a
+            .breakeven(Energy::from_joules(0.05), TimeSpan::from_millis(5.0))
+            .is_none());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use cc_units::CarbonMass;
 
 /// A recoverable material with its recovery credit: the virgin-production
 /// carbon displaced per kilogram recovered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Material {
     /// Aluminium enclosures — virgin smelting is extremely carbon-intensive
     /// (~12 kg CO₂e/kg displaced, netting smelter-vs-recycler energy).
@@ -68,7 +68,7 @@ impl Material {
 
 /// An end-of-life plan for one device: processing overhead plus a bill of
 /// recoverable materials.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EolPlan {
     processing: CarbonMass,
     materials: Vec<(Material, f64)>,
@@ -79,7 +79,10 @@ impl EolPlan {
     /// smelting) carbon.
     #[must_use]
     pub fn new(processing: CarbonMass) -> Self {
-        Self { processing, materials: Vec::new() }
+        Self {
+            processing,
+            materials: Vec::new(),
+        }
     }
 
     /// Adds `mass_kg` of a recoverable material contained in the device.
@@ -136,8 +139,8 @@ mod tests {
     #[test]
     fn gold_dominates_phone_credits_despite_tiny_mass() {
         let plan = phone_plan();
-        let gold_credit = Material::Gold.credit_per_kg()
-            * (0.000_034 * Material::Gold.recovery_yield());
+        let gold_credit =
+            Material::Gold.credit_per_kg() * (0.000_034 * Material::Gold.recovery_yield());
         assert!(gold_credit / plan.recovery_credit() > 0.4);
     }
 

@@ -23,7 +23,7 @@ use cc_units::{CarbonMass, Ratio};
 /// assert_eq!(fp.total(), CarbonMass::from_kg(75.0));
 /// assert!(fp.capex_share().as_percent() > 85.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Footprint {
     production: CarbonMass,
     transport: CarbonMass,
@@ -46,7 +46,12 @@ impl Footprint {
         use_phase: CarbonMass,
         end_of_life: CarbonMass,
     ) -> Self {
-        Self { production, transport, use_phase, end_of_life }
+        Self {
+            production,
+            transport,
+            use_phase,
+            end_of_life,
+        }
     }
 
     /// Creates a footprint from a published product LCA record.

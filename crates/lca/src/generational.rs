@@ -7,7 +7,7 @@ use cc_analysis::series::YearSeries;
 use cc_data::devices::{self, ProductLca};
 
 /// A named device family with its generations in release order.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Family {
     /// Family label (Fig 7 panel title).
     pub name: &'static str,
@@ -75,7 +75,10 @@ impl Family {
     /// Resolves members to LCA records, skipping unknown names.
     #[must_use]
     pub fn records(&self) -> Vec<&'static ProductLca> {
-        self.members.iter().filter_map(|n| devices::find(n)).collect()
+        self.members
+            .iter()
+            .filter_map(|n| devices::find(n))
+            .collect()
     }
 
     /// Manufacturing share per generation year (Fig 7 top panel).
@@ -90,7 +93,10 @@ impl Family {
     /// Absolute totals per generation year (Fig 7 bottom panel, ● marker).
     #[must_use]
     pub fn total_series(&self) -> YearSeries {
-        self.records().iter().map(|d| (d.year, d.total_kg)).collect()
+        self.records()
+            .iter()
+            .map(|d| (d.year, d.total_kg))
+            .collect()
     }
 
     /// Absolute manufacturing carbon per generation year (● manufacturing

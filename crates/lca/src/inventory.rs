@@ -7,7 +7,7 @@ use cc_units::CarbonMass;
 
 /// Summary of one device category: mean breakdown shares (with spread) and
 /// mean absolute footprints — the two panels of Fig 6.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CategorySummary {
     /// The category.
     pub category: Category,

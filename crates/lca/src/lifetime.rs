@@ -11,7 +11,7 @@ use cc_units::{CarbonMass, TimeSpan};
 /// Annualized view of a footprint at a given service lifetime: embodied
 /// (capex) carbon is spread across the lifetime while operational carbon is
 /// charged at its yearly rate.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnnualizedFootprint {
     /// Capex carbon per year of service.
     pub capex_per_year: CarbonMass,
@@ -43,8 +43,14 @@ pub fn annualize(
     assessed_lifetime: TimeSpan,
     actual_lifetime: TimeSpan,
 ) -> AnnualizedFootprint {
-    assert!(assessed_lifetime.as_years() > 0.0, "assessed lifetime must be positive");
-    assert!(actual_lifetime.as_years() > 0.0, "actual lifetime must be positive");
+    assert!(
+        assessed_lifetime.as_years() > 0.0,
+        "assessed lifetime must be positive"
+    );
+    assert!(
+        actual_lifetime.as_years() > 0.0,
+        "actual lifetime must be positive"
+    );
     AnnualizedFootprint {
         capex_per_year: footprint.capex() / actual_lifetime.as_years(),
         opex_per_year: footprint.use_phase() / assessed_lifetime.as_years(),
@@ -148,9 +154,7 @@ mod tests {
     fn replacement_can_pay_off_for_opex_dominated_devices() {
         // An always-connected console (64% opex): an efficient replacement
         // with modest embodied carbon can clear the bar.
-        let console = Footprint::from_product_lca(
-            cc_data::devices::find("Xbox One X").unwrap(),
-        );
+        let console = Footprint::from_product_lca(cc_data::devices::find("Xbox One X").unwrap());
         let required = required_replacement_efficiency(
             &console,
             TimeSpan::from_years(5.0),

@@ -1,8 +1,7 @@
 //! Life-cycle phases and their opex/capex classification (Fig 4).
 
 /// The four phases of a hardware life cycle (Fig 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-         serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LifecyclePhase {
     /// Procuring raw materials, integrated circuits, packaging, assembly and
     /// (for data centers) facility construction.
@@ -18,7 +17,12 @@ pub enum LifecyclePhase {
 
 impl LifecyclePhase {
     /// All phases in life-cycle order.
-    pub const ALL: [Self; 4] = [Self::Production, Self::Transport, Self::Use, Self::EndOfLife];
+    pub const ALL: [Self; 4] = [
+        Self::Production,
+        Self::Transport,
+        Self::Use,
+        Self::EndOfLife,
+    ];
 
     /// The paper's opex/capex classification of the phase (Fig 4's bottom
     /// row): everything except use is capex-related.
@@ -54,8 +58,7 @@ impl core::fmt::Display for LifecyclePhase {
 /// operational energy consumption; we define capex-related emissions as
 /// emissions from facility-infrastructure construction and chip
 /// manufacturing" (§I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-         serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ExpenditureClass {
     /// Recurring, operational emissions (hardware use, purchased energy).
     Opex,

@@ -9,7 +9,7 @@
 use cc_units::CarbonMass;
 
 /// A freight mode with its carbon intensity per tonne-kilometre.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FreightMode {
     /// Air freight (~500 g CO₂e/t-km) — how launch-window consumer
     /// electronics actually ship.
@@ -56,7 +56,7 @@ impl core::fmt::Display for FreightMode {
 }
 
 /// One leg of a shipping route.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RouteLeg {
     /// Freight mode for this leg.
     pub mode: FreightMode,
@@ -77,7 +77,7 @@ pub struct RouteLeg {
 /// let carbon = route.carbon();
 /// assert!(carbon.as_kg() > 2.0 && carbon.as_kg() < 3.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShippingRoute {
     shipped_mass_kg: f64,
     legs: Vec<RouteLeg>,
@@ -93,7 +93,10 @@ impl ShippingRoute {
     #[must_use]
     pub fn new(shipped_mass_kg: f64) -> Self {
         assert!(shipped_mass_kg > 0.0, "shipped mass must be positive");
-        Self { shipped_mass_kg, legs: Vec::new() }
+        Self {
+            shipped_mass_kg,
+            legs: Vec::new(),
+        }
     }
 
     /// Adds a leg (consuming builder: routes are usually literals).

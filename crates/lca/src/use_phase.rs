@@ -28,7 +28,7 @@ use cc_units::{CarbonIntensity, CarbonMass, Energy, Power, Ratio, TimeSpan};
 /// let carbon = server.lifetime_carbon();
 /// assert!(carbon.as_tonnes() > 2.0 && carbon.as_tonnes() < 4.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UsePhase {
     active_power: Power,
     idle_power: Power,

@@ -1,11 +1,19 @@
 //! The experiment abstraction: every paper figure/table is an [`Experiment`]
-//! that produces tables and commentary.
+//! that consumes a [`RunContext`] and produces tables, typed series and
+//! commentary.
 
+use crate::json::JsonValue;
+use crate::scenario::RunContext;
+use crate::series::Series;
 use crate::table::Table;
 
+/// Extension experiments known to the workspace, registered here so that
+/// `ExperimentId::parse` can round-trip `ext-…` keys without allocating.
+/// (`ExperimentId` stays `Copy` by holding `&'static str` names.)
+pub const KNOWN_EXTENSIONS: [&str; 6] = ["sched", "die", "dvfs", "hetero", "fab", "mc"];
+
 /// Identifier of a paper artifact being reproduced.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-         serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ExperimentId {
     /// A numbered figure.
     Figure(u8),
@@ -26,7 +34,9 @@ impl ExperimentId {
         }
     }
 
-    /// Parses a command-line key.
+    /// Parses a command-line key. Every key emitted by [`Self::key`] parses
+    /// back, including `ext-…` keys for the extensions listed in
+    /// [`KNOWN_EXTENSIONS`].
     #[must_use]
     pub fn parse(key: &str) -> Option<Self> {
         if let Some(rest) = key.strip_prefix("fig") {
@@ -35,31 +45,62 @@ impl ExperimentId {
         if let Some(rest) = key.strip_prefix("table") {
             return rest.parse().ok().map(Self::Table);
         }
-        // Extensions are matched by the registry against known names, so
-        // parsing returns None here.
+        if let Some(rest) = key.strip_prefix("ext-") {
+            return KNOWN_EXTENSIONS
+                .iter()
+                .find(|&&name| name == rest)
+                .map(|&name| Self::Extension(name));
+        }
         None
     }
+}
+
+/// Formats `n` as a roman numeral (any `u8`; `0` stays `"0"` since roman
+/// numerals have no zero).
+fn roman(n: u8) -> String {
+    if n == 0 {
+        return "0".to_string();
+    }
+    const DIGITS: [(u8, &str); 9] = [
+        (100, "C"),
+        (90, "XC"),
+        (50, "L"),
+        (40, "XL"),
+        (10, "X"),
+        (9, "IX"),
+        (5, "V"),
+        (4, "IV"),
+        (1, "I"),
+    ];
+    let mut n = n;
+    let mut out = String::new();
+    for (value, digit) in DIGITS {
+        while n >= value {
+            out.push_str(digit);
+            n -= value;
+        }
+    }
+    out
 }
 
 impl core::fmt::Display for ExperimentId {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             Self::Figure(n) => write!(f, "Figure {n}"),
-            Self::Table(n) => {
-                const ROMAN: [&str; 6] = ["0", "I", "II", "III", "IV", "V"];
-                write!(f, "Table {}", ROMAN.get(*n as usize).copied().unwrap_or("?"))
-            }
+            Self::Table(n) => write!(f, "Table {}", roman(*n)),
             Self::Extension(name) => write!(f, "Extension `{name}`"),
         }
     }
 }
 
-/// The output of running an experiment: named tables plus free-form notes
-/// recording paper-vs-measured anchors.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+/// The output of running an experiment: named tables, typed series, plus
+/// free-form notes recording paper-vs-measured anchors.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ExperimentOutput {
     /// Titled tables, in presentation order.
     pub tables: Vec<(String, Table)>,
+    /// Typed series artifacts, in presentation order.
+    pub series: Vec<Series>,
     /// Commentary lines: what the paper reports vs what this run measured.
     pub notes: Vec<String>,
 }
@@ -77,14 +118,26 @@ impl ExperimentOutput {
         self
     }
 
+    /// Adds a typed series.
+    pub fn series(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
     /// Adds a commentary line.
     pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
         self.notes.push(note.into());
         self
     }
 
+    /// Finds an attached series by name.
+    #[must_use]
+    pub fn find_series(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
     /// Renders everything as Markdown (tables become GFM tables, notes a
-    /// bullet list).
+    /// bullet list; series are artifact data and are skipped).
     #[must_use]
     pub fn render_markdown(&self) -> String {
         let mut out = String::new();
@@ -123,6 +176,49 @@ impl ExperimentOutput {
         out
     }
 
+    /// The output as a JSON object: `tables`, `series`, `notes`.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            (
+                "tables",
+                JsonValue::array(self.tables.iter().map(|(title, table)| {
+                    JsonValue::object([
+                        ("title", JsonValue::from(title.as_str())),
+                        (
+                            "header",
+                            JsonValue::array(
+                                table.header().iter().map(|h| JsonValue::from(h.as_str())),
+                            ),
+                        ),
+                        (
+                            "rows",
+                            JsonValue::array(table.rows().iter().map(|row| {
+                                JsonValue::array(
+                                    row.iter().map(|cell| JsonValue::from(cell.as_str())),
+                                )
+                            })),
+                        ),
+                    ])
+                })),
+            ),
+            (
+                "series",
+                JsonValue::array(self.series.iter().map(Series::to_json)),
+            ),
+            (
+                "notes",
+                JsonValue::array(self.notes.iter().map(|n| JsonValue::from(n.as_str()))),
+            ),
+        ])
+    }
+
+    /// Renders the output as a compact JSON string.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        self.to_json().render()
+    }
+
     /// Renders everything to text.
     #[must_use]
     pub fn render(&self) -> String {
@@ -142,7 +238,11 @@ impl ExperimentOutput {
     }
 }
 
-/// A reproducible paper artifact.
+/// A reproducible paper artifact, parameterized by a scenario.
+///
+/// Implementations must be deterministic functions of the context: the same
+/// `ctx` always yields the same output (`ext-mc` derives its randomness from
+/// the context's seed).
 pub trait Experiment {
     /// Which figure/table this reproduces.
     fn id(&self) -> ExperimentId;
@@ -150,8 +250,10 @@ pub trait Experiment {
     /// One-line description (the figure caption, abbreviated).
     fn description(&self) -> &'static str;
 
-    /// Runs the models and produces the artifact's rows/series.
-    fn run(&self) -> ExperimentOutput;
+    /// Runs the models under `ctx`'s scenario and produces the artifact's
+    /// rows/series. With [`RunContext::paper`] the output reproduces the
+    /// paper's numbers.
+    fn run(&self, ctx: &RunContext) -> ExperimentOutput;
 }
 
 #[cfg(test)]
@@ -166,6 +268,12 @@ mod tests {
         assert_eq!(ExperimentId::parse("table2"), Some(ExperimentId::Table(2)));
         assert_eq!(ExperimentId::parse("nope"), None);
         assert_eq!(ExperimentId::Extension("sched").key(), "ext-sched");
+        // Extensions round-trip through parse too.
+        for name in KNOWN_EXTENSIONS {
+            let id = ExperimentId::Extension(name);
+            assert_eq!(ExperimentId::parse(&id.key()), Some(id), "ext `{name}`");
+        }
+        assert_eq!(ExperimentId::parse("ext-unknown"), None);
     }
 
     #[test]
@@ -173,6 +281,27 @@ mod tests {
         assert_eq!(ExperimentId::Table(4).to_string(), "Table IV");
         assert_eq!(ExperimentId::Figure(10).to_string(), "Figure 10");
         assert_eq!(ExperimentId::Extension("x").to_string(), "Extension `x`");
+    }
+
+    #[test]
+    fn roman_numerals_beyond_the_paper_range() {
+        for (n, expect) in [
+            (0, "0"),
+            (1, "I"),
+            (4, "IV"),
+            (6, "VI"),
+            (9, "IX"),
+            (14, "XIV"),
+            (40, "XL"),
+            (99, "XCIX"),
+            (148, "CXLVIII"),
+            (255, "CCLV"),
+        ] {
+            assert_eq!(
+                ExperimentId::Table(n).to_string(),
+                format!("Table {expect}")
+            );
+        }
     }
 
     #[test]
@@ -196,9 +325,26 @@ mod tests {
         let mut out = ExperimentOutput::new();
         let mut t = Table::new(["a"]);
         t.row(["1"]);
-        out.table("My table", t).note("paper: 2.7x; measured: 2.70x");
+        out.table("My table", t)
+            .note("paper: 2.7x; measured: 2.70x");
         let text = out.render();
         assert!(text.contains("My table"));
         assert!(text.contains("note: paper"));
+    }
+
+    #[test]
+    fn output_json_includes_tables_series_and_notes() {
+        let mut out = ExperimentOutput::new();
+        let mut t = Table::new(["a"]);
+        t.row(["1"]);
+        let mut s = Series::new("trend", "year", "kg");
+        s.push(2020.0, 5.0);
+        out.table("T", t).series(s).note("anchor");
+        let json = out.render_json();
+        assert!(json.contains(r#""title":"T""#));
+        assert!(json.contains(r#""name":"trend""#));
+        assert!(json.contains(r#""notes":["anchor"]"#));
+        assert_eq!(out.find_series("trend").unwrap().len(), 1);
+        assert!(out.find_series("missing").is_none());
     }
 }

@@ -1,15 +1,27 @@
 //! # cc-report
 //!
-//! Presentation layer for the reproduction: ASCII tables, CSV emission, text
-//! bar charts, and the [`Experiment`] abstraction keyed by the paper's
-//! figure/table ids.
+//! Presentation layer for the reproduction: ASCII tables, CSV/JSON emission,
+//! text bar charts, typed series artifacts, scenario parameters and the
+//! [`Experiment`] abstraction keyed by the paper's figure/table ids.
+//!
+//! The scenario API is what turns the workspace from a fixed paper replay
+//! into a modeling tool: a [`Scenario`] makes every assumption the paper
+//! baked in (grid intensity, device lifetime, fab powering, fleet scale)
+//! explicit and overridable, and a [`RunContext`] carries one scenario into
+//! every experiment run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chart;
 pub mod experiment;
+pub mod json;
+pub mod scenario;
+pub mod series;
 pub mod table;
 
-pub use experiment::{Experiment, ExperimentId, ExperimentOutput};
+pub use experiment::{Experiment, ExperimentId, ExperimentOutput, KNOWN_EXTENSIONS};
+pub use json::JsonValue;
+pub use scenario::{RunContext, Scenario, ScenarioBuilder, ScenarioError};
+pub use series::{Series, SeriesPoint};
 pub use table::Table;

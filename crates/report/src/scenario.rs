@@ -1,0 +1,912 @@
+//! Scenario parameters and the experiment run context.
+//!
+//! The paper's headline conclusion — computing's carbon footprint is shifting
+//! from operational (opex) to embodied (capex) emissions — is a function of a
+//! handful of scenario parameters: how dirty the operational grid is, how
+//! long hardware lives, how the fab is powered, how large the fleet is. A
+//! [`Scenario`] captures exactly those knobs; a [`RunContext`] carries one
+//! scenario (plus typed accessors) into every [`crate::Experiment::run`]
+//! call. [`Scenario::paper_defaults`] pins the values Gupta et al. used, so
+//! the default context regenerates the paper verbatim while any other
+//! scenario answers a "what if?".
+//!
+//! Scenarios round-trip through a small TOML subset (tables, `key = value`
+//! pairs with number/string/bool values, `#` comments) so they can live in
+//! version-controlled files, and every field is addressable by a dotted path
+//! (`grid.intensity`) for one-off command-line overrides.
+
+use crate::json::JsonValue;
+use cc_units::{CarbonIntensity, TimeSpan};
+
+/// Carbon intensity assumed for renewable power purchases when blending
+/// `grid.renewable_fraction` into the effective operational intensity
+/// (wind, Table II).
+pub const RENEWABLE_PPA_G_PER_KWH: f64 = 11.0;
+
+/// Operational-energy parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridParams {
+    /// Grid carbon intensity in g CO₂e/kWh (paper baseline: the 380 g/kWh
+    /// average US grid, Table III).
+    pub intensity_g_per_kwh: f64,
+    /// Optional energy-source label (`"wind"`, `"coal"`, …). Informational:
+    /// the CLI resolves it to an intensity from the Table II dataset; the
+    /// models only read `intensity_g_per_kwh`.
+    pub source: Option<String>,
+    /// Fraction of operational energy covered by renewable purchases,
+    /// blended at [`RENEWABLE_PPA_G_PER_KWH`].
+    pub renewable_fraction: f64,
+}
+
+/// Device parameters for the amortization analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceParams {
+    /// Assumed device lifetime in years (paper: 3-year smartphone lifetime).
+    pub lifetime_years: f64,
+    /// Share of a device's production carbon attributed to its SoC (paper:
+    /// one half, via Fig 5's integrated-circuit share).
+    pub soc_budget_share: f64,
+}
+
+/// Fab parameters for the manufacturing-side experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabParams {
+    /// Featured process node in nanometres (paper: the projected 3 nm fab).
+    pub node_nm: f64,
+    /// Multiplier on the baseline defect density (1.0 = the models'
+    /// 0.1 /cm²); >1 models a worse-yielding fab.
+    pub yield_factor: f64,
+    /// Share of fab electricity from renewables (paper: TSMC's 20% target).
+    pub renewable_share: f64,
+}
+
+/// Datacenter-fleet parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetParams {
+    /// Demand multiplier applied to fleet-sizing experiments.
+    pub scale: f64,
+}
+
+/// Monte-Carlo parameters for `ext-mc`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McParams {
+    /// Base RNG seed; an experiment deriving several streams offsets it.
+    pub seed: u64,
+    /// Trials per propagated headline.
+    pub samples: u32,
+}
+
+/// A complete experiment scenario: every model parameter the paper fixed,
+/// made explicit.
+///
+/// ```
+/// use cc_report::Scenario;
+///
+/// let wind = Scenario::builder()
+///     .name("wind-grid")
+///     .grid_intensity(11.0)
+///     .lifetime_years(4.0)
+///     .build();
+/// let toml = wind.to_toml();
+/// assert_eq!(Scenario::from_toml(&toml).unwrap(), wind);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Human-readable scenario name (appears in artifacts).
+    pub name: String,
+    /// Operational-energy parameters.
+    pub grid: GridParams,
+    /// Device parameters.
+    pub device: DeviceParams,
+    /// Fab parameters.
+    pub fab: FabParams,
+    /// Fleet parameters.
+    pub fleet: FleetParams,
+    /// Monte-Carlo parameters.
+    pub mc: McParams,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+impl Scenario {
+    /// The exact parameter values the paper's evaluation used.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        Self {
+            name: "paper".to_string(),
+            grid: GridParams {
+                intensity_g_per_kwh: 380.0,
+                source: None,
+                renewable_fraction: 0.0,
+            },
+            device: DeviceParams {
+                lifetime_years: 3.0,
+                soc_budget_share: 0.5,
+            },
+            fab: FabParams {
+                node_nm: 3.0,
+                yield_factor: 1.0,
+                renewable_share: 0.2,
+            },
+            fleet: FleetParams { scale: 1.0 },
+            mc: McParams {
+                seed: 10,
+                samples: 20_000,
+            },
+        }
+    }
+
+    /// Starts a builder seeded with the paper defaults.
+    #[must_use]
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder {
+            scenario: Self::paper_defaults(),
+        }
+    }
+
+    /// Sets one field by its dotted path, parsing `value` as the field's
+    /// type. This backs both the TOML reader and `--set key=value` command
+    /// line overrides.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::UnknownKey`] for an unrecognized path and
+    /// [`ScenarioError::InvalidValue`] when `value` does not parse.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), ScenarioError> {
+        fn f64_of(key: &str, value: &str) -> Result<f64, ScenarioError> {
+            value
+                .trim()
+                .parse()
+                .map_err(|_| ScenarioError::InvalidValue {
+                    key: key.to_string(),
+                    value: value.to_string(),
+                })
+        }
+        fn u64_of(key: &str, value: &str) -> Result<u64, ScenarioError> {
+            value
+                .trim()
+                .parse()
+                .map_err(|_| ScenarioError::InvalidValue {
+                    key: key.to_string(),
+                    value: value.to_string(),
+                })
+        }
+        match key {
+            "name" => self.name = unquote(value),
+            "grid.intensity" | "grid.intensity_g_per_kwh" => {
+                self.grid.intensity_g_per_kwh = f64_of(key, value)?;
+            }
+            "grid.source" => {
+                let v = unquote(value);
+                self.grid.source = if v.is_empty() { None } else { Some(v) };
+            }
+            "grid.renewable_fraction" => self.grid.renewable_fraction = f64_of(key, value)?,
+            "device.lifetime" | "device.lifetime_years" => {
+                self.device.lifetime_years = f64_of(key, value)?;
+            }
+            "device.soc_budget_share" => self.device.soc_budget_share = f64_of(key, value)?,
+            "fab.node" | "fab.node_nm" => self.fab.node_nm = f64_of(key, value)?,
+            "fab.yield_factor" => self.fab.yield_factor = f64_of(key, value)?,
+            "fab.renewable_share" => self.fab.renewable_share = f64_of(key, value)?,
+            "fleet.scale" => self.fleet.scale = f64_of(key, value)?,
+            "mc.seed" => self.mc.seed = u64_of(key, value)?,
+            "mc.samples" => {
+                self.mc.samples = u32::try_from(u64_of(key, value)?).map_err(|_| {
+                    ScenarioError::InvalidValue {
+                        key: key.to_string(),
+                        value: value.to_string(),
+                    }
+                })?;
+            }
+            _ => return Err(ScenarioError::UnknownKey(key.to_string())),
+        }
+        Ok(())
+    }
+
+    /// Parses a scenario from the TOML subset written by [`Self::to_toml`]:
+    /// `[section]` tables, `key = value` pairs, `#` comments. Unlisted fields
+    /// keep their paper-default values; unknown keys are rejected so typos
+    /// cannot silently run the wrong scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Parse`] for malformed lines, plus the [`Self::set`]
+    /// errors for unknown keys or unparsable values.
+    pub fn from_toml(text: &str) -> Result<Self, ScenarioError> {
+        Self::from_toml_keys(text).map(|(scenario, _)| scenario)
+    }
+
+    /// Like [`Self::from_toml`], additionally returning the dotted paths the
+    /// file explicitly set — callers resolving defaults (e.g. the CLI turning
+    /// `grid.source` into an intensity) need to know whether the file pinned
+    /// `grid.intensity` itself.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::from_toml`].
+    pub fn from_toml_keys(text: &str) -> Result<(Self, Vec<String>), ScenarioError> {
+        let mut scenario = Self::paper_defaults();
+        let mut keys = Vec::new();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(ScenarioError::Parse {
+                        line: line_no,
+                        message: "unterminated table header".to_string(),
+                    });
+                };
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ScenarioError::Parse {
+                    line: line_no,
+                    message: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let path = if section.is_empty() {
+                key.trim().to_string()
+            } else {
+                format!("{section}.{}", key.trim())
+            };
+            scenario.set(&path, value.trim())?;
+            keys.push(path);
+        }
+        Ok((scenario, keys))
+    }
+
+    /// Serializes the scenario to canonical TOML (parseable by
+    /// [`Self::from_toml`]).
+    #[must_use]
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("name = {}\n\n", quote(&self.name)));
+        out.push_str("[grid]\n");
+        out.push_str(&format!(
+            "intensity_g_per_kwh = {:?}\n",
+            self.grid.intensity_g_per_kwh
+        ));
+        if let Some(source) = &self.grid.source {
+            out.push_str(&format!("source = {}\n", quote(source)));
+        }
+        out.push_str(&format!(
+            "renewable_fraction = {:?}\n",
+            self.grid.renewable_fraction
+        ));
+        out.push_str("\n[device]\n");
+        out.push_str(&format!(
+            "lifetime_years = {:?}\n",
+            self.device.lifetime_years
+        ));
+        out.push_str(&format!(
+            "soc_budget_share = {:?}\n",
+            self.device.soc_budget_share
+        ));
+        out.push_str("\n[fab]\n");
+        out.push_str(&format!("node_nm = {:?}\n", self.fab.node_nm));
+        out.push_str(&format!("yield_factor = {:?}\n", self.fab.yield_factor));
+        out.push_str(&format!(
+            "renewable_share = {:?}\n",
+            self.fab.renewable_share
+        ));
+        out.push_str("\n[fleet]\n");
+        out.push_str(&format!("scale = {:?}\n", self.fleet.scale));
+        out.push_str("\n[mc]\n");
+        out.push_str(&format!("seed = {}\n", self.mc.seed));
+        out.push_str(&format!("samples = {}\n", self.mc.samples));
+        out
+    }
+
+    /// The scenario as a JSON object (for `--json` artifacts).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("name", JsonValue::from(self.name.as_str())),
+            (
+                "grid",
+                JsonValue::object([
+                    (
+                        "intensity_g_per_kwh",
+                        JsonValue::from(self.grid.intensity_g_per_kwh),
+                    ),
+                    (
+                        "source",
+                        self.grid
+                            .source
+                            .as_deref()
+                            .map_or(JsonValue::Null, JsonValue::from),
+                    ),
+                    (
+                        "renewable_fraction",
+                        JsonValue::from(self.grid.renewable_fraction),
+                    ),
+                ]),
+            ),
+            (
+                "device",
+                JsonValue::object([
+                    (
+                        "lifetime_years",
+                        JsonValue::from(self.device.lifetime_years),
+                    ),
+                    (
+                        "soc_budget_share",
+                        JsonValue::from(self.device.soc_budget_share),
+                    ),
+                ]),
+            ),
+            (
+                "fab",
+                JsonValue::object([
+                    ("node_nm", JsonValue::from(self.fab.node_nm)),
+                    ("yield_factor", JsonValue::from(self.fab.yield_factor)),
+                    ("renewable_share", JsonValue::from(self.fab.renewable_share)),
+                ]),
+            ),
+            (
+                "fleet",
+                JsonValue::object([("scale", JsonValue::from(self.fleet.scale))]),
+            ),
+            (
+                "mc",
+                JsonValue::object([
+                    ("seed", JsonValue::Integer(self.mc.seed)),
+                    ("samples", JsonValue::Integer(u64::from(self.mc.samples))),
+                ]),
+            ),
+        ])
+    }
+
+    /// Checks every parameter is physically sensible.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Invalid`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let checks: [(&str, bool); 9] = [
+            (
+                "grid.intensity must be finite and positive",
+                self.grid.intensity_g_per_kwh.is_finite() && self.grid.intensity_g_per_kwh > 0.0,
+            ),
+            (
+                "grid.renewable_fraction must lie in [0, 1]",
+                (0.0..=1.0).contains(&self.grid.renewable_fraction),
+            ),
+            (
+                "device.lifetime_years must be finite and positive",
+                self.device.lifetime_years.is_finite() && self.device.lifetime_years > 0.0,
+            ),
+            (
+                "device.soc_budget_share must lie in (0, 1]",
+                self.device.soc_budget_share > 0.0 && self.device.soc_budget_share <= 1.0,
+            ),
+            ("fab.node_nm must be positive", self.fab.node_nm > 0.0),
+            (
+                "fab.yield_factor must be finite and positive",
+                self.fab.yield_factor.is_finite() && self.fab.yield_factor > 0.0,
+            ),
+            (
+                "fab.renewable_share must lie in [0, 1]",
+                (0.0..=1.0).contains(&self.fab.renewable_share),
+            ),
+            (
+                "fleet.scale must be finite and positive",
+                self.fleet.scale.is_finite() && self.fleet.scale > 0.0,
+            ),
+            ("mc.samples must be at least 1", self.mc.samples >= 1),
+        ];
+        for (message, ok) in checks {
+            if !ok {
+                return Err(ScenarioError::Invalid(message.to_string()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent construction of a [`Scenario`], starting from the paper defaults.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Sets the scenario name.
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.scenario.name = name.into();
+        self
+    }
+
+    /// Sets the operational grid intensity (g CO₂e/kWh).
+    #[must_use]
+    pub fn grid_intensity(mut self, g_per_kwh: f64) -> Self {
+        self.scenario.grid.intensity_g_per_kwh = g_per_kwh;
+        self
+    }
+
+    /// Labels the operational energy source.
+    #[must_use]
+    pub fn energy_source(mut self, source: impl Into<String>) -> Self {
+        self.scenario.grid.source = Some(source.into());
+        self
+    }
+
+    /// Sets the renewable-purchase fraction of operational energy.
+    #[must_use]
+    pub fn renewable_fraction(mut self, fraction: f64) -> Self {
+        self.scenario.grid.renewable_fraction = fraction;
+        self
+    }
+
+    /// Sets the device lifetime in years.
+    #[must_use]
+    pub fn lifetime_years(mut self, years: f64) -> Self {
+        self.scenario.device.lifetime_years = years;
+        self
+    }
+
+    /// Sets the SoC share of device production carbon.
+    #[must_use]
+    pub fn soc_budget_share(mut self, share: f64) -> Self {
+        self.scenario.device.soc_budget_share = share;
+        self
+    }
+
+    /// Sets the featured fab process node (nm).
+    #[must_use]
+    pub fn fab_node_nm(mut self, nm: f64) -> Self {
+        self.scenario.fab.node_nm = nm;
+        self
+    }
+
+    /// Sets the defect-density multiplier.
+    #[must_use]
+    pub fn fab_yield_factor(mut self, factor: f64) -> Self {
+        self.scenario.fab.yield_factor = factor;
+        self
+    }
+
+    /// Sets the renewable share of fab electricity.
+    #[must_use]
+    pub fn fab_renewable_share(mut self, share: f64) -> Self {
+        self.scenario.fab.renewable_share = share;
+        self
+    }
+
+    /// Sets the fleet demand multiplier.
+    #[must_use]
+    pub fn fleet_scale(mut self, scale: f64) -> Self {
+        self.scenario.fleet.scale = scale;
+        self
+    }
+
+    /// Sets the Monte-Carlo base seed.
+    #[must_use]
+    pub fn mc_seed(mut self, seed: u64) -> Self {
+        self.scenario.mc.seed = seed;
+        self
+    }
+
+    /// Sets the Monte-Carlo trial count.
+    #[must_use]
+    pub fn mc_samples(mut self, samples: u32) -> Self {
+        self.scenario.mc.samples = samples;
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(self) -> Scenario {
+        self.scenario
+    }
+}
+
+/// Errors from scenario parsing, overrides and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// A dotted path that names no scenario field.
+    UnknownKey(String),
+    /// A value that does not parse as the field's type.
+    InvalidValue {
+        /// The offending path.
+        key: String,
+        /// The raw value text.
+        value: String,
+    },
+    /// A malformed TOML line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A parameter outside its physical range.
+    Invalid(String),
+}
+
+impl core::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::UnknownKey(key) => write!(f, "unknown scenario key `{key}`"),
+            Self::InvalidValue { key, value } => {
+                write!(f, "invalid value `{value}` for scenario key `{key}`")
+            }
+            Self::Parse { line, message } => write!(f, "scenario TOML line {line}: {message}"),
+            Self::Invalid(message) => write!(f, "invalid scenario: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Quotes a TOML basic string, escaping backslashes and double quotes (the
+/// only escapes [`Scenario`] fields can need).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Inverse of [`quote`]: strips one layer of surrounding double quotes and
+/// unescapes `\"` and `\\`. Unquoted input is returned verbatim.
+fn unquote(value: &str) -> String {
+    let value = value.trim();
+    let Some(inner) = value
+        .strip_prefix('"')
+        .and_then(|rest| rest.strip_suffix('"'))
+    else {
+        return value.to_string();
+    };
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Removes a `#` comment, respecting double-quoted strings (including
+/// `\"` escapes inside them).
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// The context every experiment runs in: one scenario plus typed accessors
+/// for the quantities the models consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunContext {
+    scenario: Scenario,
+}
+
+impl Default for RunContext {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl RunContext {
+    /// A context running the given scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scenario fails [`Scenario::validate`] — constructing
+    /// the context is the last moment an unphysical parameter can be named
+    /// precisely; deeper in the models it would surface as an opaque solver
+    /// panic. Use [`Self::try_new`] to handle the error instead.
+    #[must_use]
+    pub fn new(scenario: Scenario) -> Self {
+        Self::try_new(scenario).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// A context running the given scenario, rejecting invalid parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Scenario::validate`] error for unphysical parameters.
+    pub fn try_new(scenario: Scenario) -> Result<Self, ScenarioError> {
+        scenario.validate()?;
+        Ok(Self { scenario })
+    }
+
+    /// The context reproducing the paper exactly.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(Scenario::paper_defaults())
+    }
+
+    /// The underlying scenario.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Whether this context runs the unmodified paper scenario (used to
+    /// label artifacts and keep paper-anchor notes honest).
+    #[must_use]
+    pub fn is_paper(&self) -> bool {
+        self.scenario == Scenario::paper_defaults()
+    }
+
+    /// The raw operational grid intensity.
+    #[must_use]
+    pub fn grid_intensity(&self) -> CarbonIntensity {
+        CarbonIntensity::from_g_per_kwh(self.scenario.grid.intensity_g_per_kwh)
+    }
+
+    /// The operational intensity after blending the renewable fraction at
+    /// [`RENEWABLE_PPA_G_PER_KWH`].
+    #[must_use]
+    pub fn effective_grid_intensity(&self) -> CarbonIntensity {
+        self.grid_intensity().blend(
+            CarbonIntensity::from_g_per_kwh(RENEWABLE_PPA_G_PER_KWH),
+            1.0 - self.scenario.grid.renewable_fraction,
+        )
+    }
+
+    /// The assumed device lifetime.
+    #[must_use]
+    pub fn device_lifetime(&self) -> TimeSpan {
+        TimeSpan::from_years(self.scenario.device.lifetime_years)
+    }
+
+    /// The SoC share of device production carbon.
+    #[must_use]
+    pub fn soc_budget_share(&self) -> f64 {
+        self.scenario.device.soc_budget_share
+    }
+
+    /// The featured fab node in nanometres.
+    #[must_use]
+    pub fn fab_node_nm(&self) -> f64 {
+        self.scenario.fab.node_nm
+    }
+
+    /// The defect-density multiplier.
+    #[must_use]
+    pub fn fab_yield_factor(&self) -> f64 {
+        self.scenario.fab.yield_factor
+    }
+
+    /// The renewable share of fab electricity.
+    #[must_use]
+    pub fn fab_renewable_share(&self) -> f64 {
+        self.scenario.fab.renewable_share
+    }
+
+    /// The fleet demand multiplier.
+    #[must_use]
+    pub fn fleet_scale(&self) -> f64 {
+        self.scenario.fleet.scale
+    }
+
+    /// The Monte-Carlo base seed.
+    #[must_use]
+    pub fn mc_seed(&self) -> u64 {
+        self.scenario.mc.seed
+    }
+
+    /// The Monte-Carlo trial count.
+    #[must_use]
+    pub fn mc_samples(&self) -> u32 {
+        self.scenario.mc.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toml_round_trips_paper_defaults() {
+        let s = Scenario::paper_defaults();
+        let parsed = Scenario::from_toml(&s.to_toml()).unwrap();
+        assert_eq!(parsed, s);
+        // A second emit is byte-identical: canonical form.
+        assert_eq!(parsed.to_toml(), s.to_toml());
+    }
+
+    #[test]
+    fn toml_round_trips_custom_scenario() {
+        let s = Scenario::builder()
+            .name("green-fab")
+            .grid_intensity(50.0)
+            .energy_source("hydropower")
+            .renewable_fraction(0.5)
+            .lifetime_years(4.5)
+            .fab_renewable_share(0.9)
+            .fleet_scale(10.0)
+            .mc_seed(99)
+            .mc_samples(5_000)
+            .build();
+        assert_eq!(Scenario::from_toml(&s.to_toml()).unwrap(), s);
+    }
+
+    #[test]
+    fn partial_toml_keeps_paper_defaults() {
+        let s = Scenario::from_toml("[grid]\nintensity_g_per_kwh = 50 # BPA hydro\n").unwrap();
+        assert_eq!(s.grid.intensity_g_per_kwh, 50.0);
+        assert_eq!(s.device.lifetime_years, 3.0);
+        assert_eq!(s.mc.samples, 20_000);
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_values_are_rejected() {
+        assert!(matches!(
+            Scenario::from_toml("[grid]\nintesnity = 50\n"),
+            Err(ScenarioError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            Scenario::from_toml("[grid]\nintensity_g_per_kwh = dirty\n"),
+            Err(ScenarioError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            Scenario::from_toml("just some words\n"),
+            Err(ScenarioError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            Scenario::from_toml("[grid\nintensity = 1\n"),
+            Err(ScenarioError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn dotted_set_overrides_every_section() {
+        let mut s = Scenario::paper_defaults();
+        for (key, value) in [
+            ("grid.intensity", "11"),
+            ("grid.renewable_fraction", "0.25"),
+            ("device.lifetime", "5"),
+            ("device.soc_budget_share", "0.6"),
+            ("fab.node", "5"),
+            ("fab.yield_factor", "2"),
+            ("fab.renewable_share", "1.0"),
+            ("fleet.scale", "3"),
+            ("mc.seed", "77"),
+            ("mc.samples", "1000"),
+        ] {
+            s.set(key, value).unwrap();
+        }
+        assert_eq!(s.grid.intensity_g_per_kwh, 11.0);
+        assert_eq!(s.device.lifetime_years, 5.0);
+        assert_eq!(s.fab.node_nm, 5.0);
+        assert_eq!(s.mc.seed, 77);
+        assert_eq!(s.mc.samples, 1_000);
+        s.validate().unwrap();
+        assert_eq!(
+            s.set("nope.key", "1"),
+            Err(ScenarioError::UnknownKey("nope.key".to_string()))
+        );
+    }
+
+    #[test]
+    fn validation_rejects_unphysical_parameters() {
+        let mut s = Scenario::paper_defaults();
+        s.validate().unwrap();
+        s.grid.renewable_fraction = 1.5;
+        assert!(matches!(s.validate(), Err(ScenarioError::Invalid(_))));
+        s = Scenario::paper_defaults();
+        s.device.lifetime_years = 0.0;
+        assert!(s.validate().is_err());
+        s = Scenario::paper_defaults();
+        s.grid.intensity_g_per_kwh = f64::NAN;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn contexts_reject_unphysical_scenarios() {
+        let mut s = Scenario::paper_defaults();
+        s.grid.intensity_g_per_kwh = 0.0;
+        assert!(matches!(
+            RunContext::try_new(s.clone()),
+            Err(ScenarioError::Invalid(_))
+        ));
+        let result = std::panic::catch_unwind(|| RunContext::new(s));
+        assert!(
+            result.is_err(),
+            "RunContext::new must reject invalid scenarios"
+        );
+    }
+
+    #[test]
+    fn context_accessors_blend_and_convert() {
+        let ctx = RunContext::paper();
+        assert!(ctx.is_paper());
+        assert_eq!(ctx.grid_intensity().as_g_per_kwh(), 380.0);
+        assert_eq!(ctx.effective_grid_intensity(), ctx.grid_intensity());
+        assert_eq!(ctx.device_lifetime().as_days().round(), 1096.0);
+
+        let half_green = RunContext::new(Scenario::builder().renewable_fraction(0.5).build());
+        assert!(!half_green.is_paper());
+        let blended = half_green.effective_grid_intensity().as_g_per_kwh();
+        assert!((blended - (0.5 * 380.0 + 0.5 * 11.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_with_quotes_and_backslashes_round_trip() {
+        for name in [
+            r#"a "b" c"#,
+            r"back\slash",
+            r#"mix \" end"#,
+            "has # hash",
+            "multi\nline\tname",
+        ] {
+            let s = Scenario::builder().name(name).build();
+            let back = Scenario::from_toml(&s.to_toml()).unwrap();
+            assert_eq!(back.name, name, "emitted: {}", s.to_toml());
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn large_mc_seeds_serialize_losslessly() {
+        let seed = (1u64 << 53) + 1;
+        let s = Scenario::builder().mc_seed(seed).build();
+        assert!(s.to_json().render().contains(&format!("\"seed\":{seed}")));
+        assert_eq!(Scenario::from_toml(&s.to_toml()).unwrap().mc.seed, seed);
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        assert_eq!(
+            ScenarioError::UnknownKey("x.y".to_string()).to_string(),
+            "unknown scenario key `x.y`"
+        );
+        assert!(ScenarioError::Parse {
+            line: 3,
+            message: "m".to_string()
+        }
+        .to_string()
+        .contains("line 3"));
+    }
+}

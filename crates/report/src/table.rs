@@ -12,7 +12,7 @@
 /// assert!(text.contains("Coal"));
 /// assert!(t.to_csv().starts_with("Source,g CO2e/kWh\n"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Table {
     header: Vec<String>,
     rows: Vec<Vec<String>>,
@@ -212,7 +212,7 @@ mod tests {
 
     #[test]
     fn num_helper() {
-        assert_eq!(num(3.14159, 2), "3.14");
+        assert_eq!(num(1.23456, 2), "1.23");
         assert_eq!(num(2.0, 0), "2");
     }
 

@@ -13,7 +13,7 @@ use crate::soc::UnitKind;
 use cc_units::{Energy, TimeSpan};
 
 /// Result of a batched run.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchReport {
     /// The unit used.
     pub unit: UnitKind,
@@ -121,7 +121,10 @@ mod tests {
         let gain_16_to_256 = b256.throughput_ips() / b16.throughput_ips();
         let b1 = run_batch(&model(), &net, UnitKind::Dsp, 1).unwrap();
         let gain_1_to_16 = b16.throughput_ips() / b1.throughput_ips();
-        assert!(gain_1_to_16 > gain_16_to_256, "{gain_1_to_16} vs {gain_16_to_256}");
+        assert!(
+            gain_1_to_16 > gain_16_to_256,
+            "{gain_1_to_16} vs {gain_16_to_256}"
+        );
     }
 
     #[test]

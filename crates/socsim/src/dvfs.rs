@@ -102,7 +102,10 @@ mod tests {
         let (_, lat_half, e_half) = pts[0];
         let (_, lat_full, e_full) = pts[1];
         assert!(lat_half > lat_full, "half frequency must be slower");
-        assert!(e_half < e_full, "half frequency must save energy for compute-bound nets");
+        assert!(
+            e_half < e_full,
+            "half frequency must save energy for compute-bound nets"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::soc::{ComputeUnit, Soc, UnitKind};
 use cc_units::{Energy, Power, TimeSpan};
 
 /// Per-layer simulation output.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerReport {
     /// Layer name.
     pub name: &'static str,
@@ -26,7 +26,7 @@ pub struct LayerReport {
 }
 
 /// End-to-end simulation output for one inference.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InferenceReport {
     /// The unit the inference ran on.
     pub unit: UnitKind,
@@ -90,8 +90,11 @@ impl ExecutionModel {
     /// Returns [`ExecError::UnknownUnit`] when the SoC lacks the unit.
     pub fn run(&self, network: &Network, unit: UnitKind) -> Result<InferenceReport, ExecError> {
         let hw = self.soc.unit(unit).ok_or(ExecError::UnknownUnit { unit })?;
-        let layers: Vec<LayerReport> =
-            network.layers().iter().map(|l| Self::run_layer(hw, l)).collect();
+        let layers: Vec<LayerReport> = network
+            .layers()
+            .iter()
+            .map(|l| Self::run_layer(hw, l))
+            .collect();
         let latency: TimeSpan = layers
             .iter()
             .map(|l| l.latency)
@@ -101,12 +104,21 @@ impl ExecutionModel {
             .map(|l| l.dynamic_energy)
             .fold(Energy::ZERO, |acc, e| acc + e);
         let energy = dynamic + hw.static_power() * latency;
-        Ok(InferenceReport { unit, layers, latency, energy })
+        Ok(InferenceReport {
+            unit,
+            layers,
+            latency,
+            energy,
+        })
     }
 
     fn run_layer(hw: &ComputeUnit, layer: &Layer) -> LayerReport {
         let effective_gmacs = hw.effective_gmacs(layer.kind.is_depthwise());
-        let compute_s = if layer.gmacs > 0.0 { layer.gmacs / effective_gmacs } else { 0.0 };
+        let compute_s = if layer.gmacs > 0.0 {
+            layer.gmacs / effective_gmacs
+        } else {
+            0.0
+        };
         let bytes = (layer.weight_melems + layer.act_melems) * 1e6 * hw.element_bytes;
         let memory_s = bytes / (hw.mem_bw_gbps * 1e9);
         let latency_s = compute_s.max(memory_s);
@@ -166,7 +178,10 @@ mod tests {
         let inception = run(CnnModel::InceptionV3, UnitKind::Cpu);
         let mnv2 = run(CnnModel::MobileNetV2, UnitKind::Cpu);
         let speedup = inception.latency / mnv2.latency;
-        assert!(speedup > 12.0 && speedup < 20.0, "paper: 17x, got {speedup:.1}x");
+        assert!(
+            speedup > 12.0 && speedup < 20.0,
+            "paper: 17x, got {speedup:.1}x"
+        );
     }
 
     #[test]
@@ -184,7 +199,10 @@ mod tests {
         let inception = run(CnnModel::InceptionV3, UnitKind::Cpu);
         let mnv3 = run(CnnModel::MobileNetV3, UnitKind::Cpu);
         let improvement = inception.energy / mnv3.energy;
-        assert!(improvement > 15.0 && improvement < 40.0, "paper: ~30-36x, got {improvement:.0}x");
+        assert!(
+            improvement > 15.0 && improvement < 40.0,
+            "paper: ~30-36x, got {improvement:.0}x"
+        );
     }
 
     #[test]
@@ -192,7 +210,10 @@ mod tests {
         let cpu = run(CnnModel::MobileNetV3, UnitKind::Cpu);
         let dsp = run(CnnModel::MobileNetV3, UnitKind::Dsp);
         let improvement = cpu.energy / dsp.energy;
-        assert!(improvement > 2.0 && improvement < 8.0, "paper: >=2x, got {improvement:.1}x");
+        assert!(
+            improvement > 2.0 && improvement < 8.0,
+            "paper: >=2x, got {improvement:.1}x"
+        );
     }
 
     #[test]
@@ -255,7 +276,12 @@ mod tests {
         let err = model
             .run(&Network::build(CnnModel::MobileNetV1), UnitKind::Dsp)
             .unwrap_err();
-        assert_eq!(err, ExecError::UnknownUnit { unit: UnitKind::Dsp });
+        assert_eq!(
+            err,
+            ExecError::UnknownUnit {
+                unit: UnitKind::Dsp
+            }
+        );
         assert!(err.to_string().contains("DSP"));
     }
 }

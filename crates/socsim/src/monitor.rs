@@ -10,12 +10,11 @@
 //! on the physical instrument.
 
 use crate::exec::InferenceReport;
+use cc_analysis::rng::{Rng, SplitMix64};
 use cc_units::{Energy, Power, TimeSpan};
-use rand::Rng;
-use rand::SeedableRng;
 
 /// A sampled power trace.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerTrace {
     sample_period: TimeSpan,
     samples_w: Vec<f64>,
@@ -74,7 +73,7 @@ impl PowerTrace {
 }
 
 /// The simulated instrument.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerMonitor {
     sample_rate_hz: f64,
     noise_sigma_w: f64,
@@ -85,7 +84,11 @@ impl PowerMonitor {
     /// A Monsoon HV power monitor: 5 kHz sampling, ±50 mW noise.
     #[must_use]
     pub fn monsoon() -> Self {
-        Self { sample_rate_hz: 5_000.0, noise_sigma_w: 0.05, seed: 0x6d6f6e736f6f6e }
+        Self {
+            sample_rate_hz: 5_000.0,
+            noise_sigma_w: 0.05,
+            seed: 0x6d6f6e736f6f6e,
+        }
     }
 
     /// Custom instrument.
@@ -98,7 +101,11 @@ impl PowerMonitor {
     pub fn new(sample_rate_hz: f64, noise_sigma_w: f64, seed: u64) -> Self {
         assert!(sample_rate_hz > 0.0, "sample rate must be positive");
         assert!(noise_sigma_w >= 0.0, "noise must be non-negative");
-        Self { sample_rate_hz, noise_sigma_w, seed }
+        Self {
+            sample_rate_hz,
+            noise_sigma_w,
+            seed,
+        }
     }
 
     /// Samples the power profile of `runs` back-to-back inferences.
@@ -116,14 +123,17 @@ impl PowerMonitor {
             .filter(|l| l.latency > TimeSpan::ZERO)
             .map(|l| {
                 let s = l.latency.as_seconds();
-                (s, static_power.as_watts() + l.dynamic_energy.as_joules() / s)
+                (
+                    s,
+                    static_power.as_watts() + l.dynamic_energy.as_joules() / s,
+                )
             })
             .collect();
         let run_s: f64 = profile.iter().map(|&(d, _)| d).sum();
         let total_s = run_s * f64::from(runs);
         let n = (total_s / period_s).ceil() as usize;
 
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::seed_from_u64(self.seed);
         let mut samples = Vec::with_capacity(n);
         for i in 0..n {
             let t = (i as f64 + 0.5) * period_s;
@@ -138,12 +148,15 @@ impl PowerMonitor {
                 }
             }
             // Box-Muller Gaussian noise.
-            let u1: f64 = rng.gen_range(1e-12..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
+            let u1: f64 = rng.next_f64().max(1e-12);
+            let u2: f64 = rng.next_f64();
             let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
             samples.push((power + z * self.noise_sigma_w).max(0.0));
         }
-        PowerTrace { sample_period: TimeSpan::from_seconds(period_s), samples_w: samples }
+        PowerTrace {
+            sample_period: TimeSpan::from_seconds(period_s),
+            samples_w: samples,
+        }
     }
 
     /// Measures per-inference energy: samples `runs` inferences and divides

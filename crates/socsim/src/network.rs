@@ -9,7 +9,7 @@
 use cc_data::ai_models::CnnModel;
 
 /// The kernel class of a layer, which determines achievable utilization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// Dense spatial convolution (3×3, 5×5, 7×7).
     Standard,
@@ -32,7 +32,7 @@ impl LayerKind {
 }
 
 /// One (stage-aggregated) layer.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Layer {
     /// Stage name, e.g. `"conv4_x"`.
     pub name: &'static str,
@@ -54,12 +54,18 @@ impl Layer {
         weight_melems: f64,
         act_melems: f64,
     ) -> Self {
-        Self { name, kind, gmacs, weight_melems, act_melems }
+        Self {
+            name,
+            kind,
+            gmacs,
+            weight_melems,
+            act_melems,
+        }
     }
 }
 
 /// A network: an ordered list of layers.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Network {
     /// Which published model this graph represents.
     pub model: CnnModel,
@@ -93,14 +99,32 @@ impl Network {
             ],
             CnnModel::MobileNetV1 => vec![
                 Layer::new("conv1 3x3", K::Standard, 0.0109, 0.000864, 1.61),
-                Layer::new("depthwise 3x3 (13 layers)", K::Depthwise, 0.0171, 0.034, 4.20),
-                Layer::new("pointwise 1x1 (13 layers)", K::Pointwise, 0.5400, 3.10, 5.00),
+                Layer::new(
+                    "depthwise 3x3 (13 layers)",
+                    K::Depthwise,
+                    0.0171,
+                    0.034,
+                    4.20,
+                ),
+                Layer::new(
+                    "pointwise 1x1 (13 layers)",
+                    K::Pointwise,
+                    0.5400,
+                    3.10,
+                    5.00,
+                ),
                 Layer::new("avgpool", K::Pool, 0.0, 0.0, 0.002),
                 Layer::new("fc1000", K::Dense, 0.001, 1.025, 0.002),
             ],
             CnnModel::MobileNetV2 => vec![
                 Layer::new("conv1 3x3", K::Standard, 0.0120, 0.000864, 1.61),
-                Layer::new("depthwise 3x3 (17 blocks)", K::Depthwise, 0.0180, 0.060, 5.90),
+                Layer::new(
+                    "depthwise 3x3 (17 blocks)",
+                    K::Depthwise,
+                    0.0180,
+                    0.060,
+                    5.90,
+                ),
                 Layer::new("expand/project 1x1", K::Pointwise, 0.2687, 2.06, 5.50),
                 Layer::new("avgpool", K::Pool, 0.0, 0.0, 0.003),
                 Layer::new("fc1000", K::Dense, 0.0013, 1.28, 0.002),
@@ -201,7 +225,11 @@ mod tests {
             let published = net.model.gmacs();
             let built = net.total_gmacs();
             let err = (built - published).abs() / published;
-            assert!(err < 0.02, "{}: built {built} vs published {published}", net.model);
+            assert!(
+                err < 0.02,
+                "{}: built {built} vs published {published}",
+                net.model
+            );
         }
     }
 
@@ -211,7 +239,11 @@ mod tests {
             let published = net.model.params_millions();
             let built = net.total_weight_melems();
             let err = (built - published).abs() / published;
-            assert!(err < 0.05, "{}: built {built} vs published {published}", net.model);
+            assert!(
+                err < 0.05,
+                "{}: built {built} vs published {published}",
+                net.model
+            );
         }
     }
 

@@ -4,8 +4,7 @@ use cc_units::Power;
 
 /// The kind of compute unit an inference can be dispatched to (Fig 9's
 /// x-axis groups).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-         serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum UnitKind {
     /// The big-core CPU cluster.
     Cpu,
@@ -37,7 +36,7 @@ impl core::fmt::Display for UnitKind {
 }
 
 /// One compute unit of the SoC.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComputeUnit {
     /// Which kind of unit this is.
     pub kind: UnitKind,
@@ -74,13 +73,17 @@ impl ComputeUnit {
     /// Effective MAC throughput for a layer utilization class, GMAC/s.
     #[must_use]
     pub fn effective_gmacs(&self, depthwise: bool) -> f64 {
-        let util = if depthwise { self.depthwise_utilization } else { self.dense_utilization };
+        let util = if depthwise {
+            self.depthwise_utilization
+        } else {
+            self.dense_utilization
+        };
         self.peak_gmacs_per_s * util
     }
 }
 
 /// A mobile SoC: a set of compute units.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Soc {
     /// Marketing name.
     pub name: String,
@@ -100,7 +103,10 @@ impl Soc {
         let len_before = kinds.len();
         kinds.dedup();
         assert_eq!(len_before, kinds.len(), "duplicate unit kinds");
-        Self { name: name.into(), units }
+        Self {
+            name: name.into(),
+            units,
+        }
     }
 
     /// The Snapdragon-845-class SoC of the paper's Pixel 3 testbed.

@@ -8,25 +8,27 @@ use proptest::prelude::*;
 /// A random but physically sensible compute unit.
 fn unit_strategy() -> impl Strategy<Value = cc_socsim::ComputeUnit> {
     (
-        10.0..500.0f64,  // peak GMAC/s
-        2.0..50.0f64,    // mem BW GB/s
-        0.2..0.9f64,     // dense utilization
-        0.05..0.19f64,   // depthwise utilization
-        10.0..500.0f64,  // pJ/MAC
-        5.0..200.0f64,   // pJ/byte
-        0.2..3.0f64,     // static W
+        10.0..500.0f64, // peak GMAC/s
+        2.0..50.0f64,   // mem BW GB/s
+        0.2..0.9f64,    // dense utilization
+        0.05..0.19f64,  // depthwise utilization
+        10.0..500.0f64, // pJ/MAC
+        5.0..200.0f64,  // pJ/byte
+        0.2..3.0f64,    // static W
     )
-        .prop_map(|(peak, bw, dense, dw, pj_mac, pj_byte, static_w)| cc_socsim::ComputeUnit {
-            kind: UnitKind::Cpu,
-            peak_gmacs_per_s: peak,
-            mem_bw_gbps: bw,
-            dense_utilization: dense,
-            depthwise_utilization: dw.min(dense),
-            pj_per_mac: pj_mac,
-            pj_per_byte: pj_byte,
-            static_power_w: static_w,
-            element_bytes: 4.0,
-        })
+        .prop_map(
+            |(peak, bw, dense, dw, pj_mac, pj_byte, static_w)| cc_socsim::ComputeUnit {
+                kind: UnitKind::Cpu,
+                peak_gmacs_per_s: peak,
+                mem_bw_gbps: bw,
+                dense_utilization: dense,
+                depthwise_utilization: dw.min(dense),
+                pj_per_mac: pj_mac,
+                pj_per_byte: pj_byte,
+                static_power_w: static_w,
+                element_bytes: 4.0,
+            },
+        )
 }
 
 /// A random small network.
@@ -42,7 +44,11 @@ fn build_network(layers: &[(f64, f64, f64, bool)]) -> Network {
         .iter()
         .map(|&(gmacs, w, a, dw)| Layer {
             name: "synthetic",
-            kind: if dw { LayerKind::Depthwise } else { LayerKind::Standard },
+            kind: if dw {
+                LayerKind::Depthwise
+            } else {
+                LayerKind::Standard
+            },
             gmacs,
             weight_melems: w,
             act_melems: a,

@@ -1,6 +1,5 @@
 //! The [`Energy`] quantity.
 
-
 quantity! {
     /// An amount of energy, stored canonically in joules.
     ///
@@ -33,13 +32,17 @@ impl Energy {
     /// Creates an energy from watt-hours.
     #[must_use]
     pub fn from_wh(wh: f64) -> Self {
-        Self { joules: wh * 3_600.0 }
+        Self {
+            joules: wh * 3_600.0,
+        }
     }
 
     /// Creates an energy from kilowatt-hours.
     #[must_use]
     pub fn from_kwh(kwh: f64) -> Self {
-        Self { joules: kwh * JOULES_PER_KWH }
+        Self {
+            joules: kwh * JOULES_PER_KWH,
+        }
     }
 
     /// Creates an energy from megawatt-hours.

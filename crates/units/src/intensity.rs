@@ -1,6 +1,5 @@
 //! The [`CarbonIntensity`] quantity.
 
-
 quantity! {
     /// Carbon emitted per unit of energy generated, stored canonically in
     /// grams of CO₂e per kilowatt-hour.
@@ -31,7 +30,9 @@ impl CarbonIntensity {
     /// (numerically identical to g/kWh).
     #[must_use]
     pub fn from_kg_per_mwh(kg_per_mwh: f64) -> Self {
-        Self { g_per_kwh: kg_per_mwh }
+        Self {
+            g_per_kwh: kg_per_mwh,
+        }
     }
 
     /// Intensity in grams of CO₂e per kilowatt-hour.
@@ -54,7 +55,10 @@ impl CarbonIntensity {
     /// Panics in debug builds when `share` is outside `[0, 1]`.
     #[must_use]
     pub fn blend(self, other: Self, share_of_self: f64) -> Self {
-        debug_assert!((0.0..=1.0).contains(&share_of_self), "share must be in [0, 1]");
+        debug_assert!(
+            (0.0..=1.0).contains(&share_of_self),
+            "share must be in [0, 1]"
+        );
         Self {
             g_per_kwh: self.g_per_kwh * share_of_self + other.g_per_kwh * (1.0 - share_of_self),
         }
@@ -111,6 +115,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(CarbonIntensity::from_g_per_kwh(380.0).to_string(), "380.0 g CO2e/kWh");
+        assert_eq!(
+            CarbonIntensity::from_g_per_kwh(380.0).to_string(),
+            "380.0 g CO2e/kWh"
+        );
     }
 }

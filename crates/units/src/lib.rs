@@ -28,8 +28,7 @@
 //! # Design notes
 //!
 //! * Every type is `Copy` and implements the common traits
-//!   (`Debug`/`Clone`/`PartialEq`/`PartialOrd`/`Default`/`Display`) plus
-//!   serde's `Serialize`/`Deserialize`.
+//!   (`Debug`/`Clone`/`PartialEq`/`PartialOrd`/`Default`/`Display`).
 //! * Values are plain `f64` and may be negative (end-of-life recycling credits
 //!   are negative carbon). Constructors accept any `f64`; see [`Validate`] for
 //!   checked construction at data boundaries.
@@ -45,9 +44,7 @@
 macro_rules! quantity {
     ($(#[$meta:meta])* $name:ident, $canonical:ident, $quantity_str:expr) => {
         $(#[$meta])*
-        #[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd,
-                 serde::Serialize, serde::Deserialize)]
-        #[serde(transparent)]
+        #[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
         pub struct $name {
             $canonical: f64,
         }
@@ -179,8 +176,6 @@ macro_rules! quantity {
         }
     };
 }
-
-
 
 mod energy;
 mod intensity;

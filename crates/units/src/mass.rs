@@ -1,6 +1,5 @@
 //! The [`CarbonMass`] quantity.
 
-
 quantity! {
     /// A mass of emitted greenhouse gas, in CO₂-equivalents, stored
     /// canonically in grams.
@@ -35,7 +34,9 @@ impl CarbonMass {
     /// Creates a carbon mass from metric tons of CO₂e.
     #[must_use]
     pub fn from_tonnes(tonnes: f64) -> Self {
-        Self { grams: tonnes * 1e6 }
+        Self {
+            grams: tonnes * 1e6,
+        }
     }
 
     /// Creates a carbon mass from kilotonnes (thousand metric tons) of CO₂e.

@@ -1,6 +1,5 @@
 //! The [`Power`] quantity.
 
-
 quantity! {
     /// An instantaneous rate of energy use, stored canonically in watts.
     ///

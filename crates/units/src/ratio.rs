@@ -1,6 +1,5 @@
 //! The dimensionless [`Ratio`] quantity.
 
-
 quantity! {
     /// A dimensionless ratio or share, stored as a plain fraction
     /// (`1.0` = 100%).
@@ -32,7 +31,9 @@ impl Ratio {
     /// Creates a ratio from a percentage (`74.0` = 74%).
     #[must_use]
     pub fn from_percent(percent: f64) -> Self {
-        Self { fraction: percent / 100.0 }
+        Self {
+            fraction: percent / 100.0,
+        }
     }
 
     /// The ratio as a fraction.
@@ -50,13 +51,17 @@ impl Ratio {
     /// The complement `1 − self` (e.g. opex share from capex share).
     #[must_use]
     pub fn complement(self) -> Self {
-        Self { fraction: 1.0 - self.fraction }
+        Self {
+            fraction: 1.0 - self.fraction,
+        }
     }
 
     /// Clamps the ratio into `[0, 1]`.
     #[must_use]
     pub fn clamp_unit(self) -> Self {
-        Self { fraction: self.fraction.clamp(0.0, 1.0) }
+        Self {
+            fraction: self.fraction.clamp(0.0, 1.0),
+        }
     }
 
     /// Returns `true` when the ratio lies within `[0, 1]`.
@@ -71,7 +76,9 @@ impl core::ops::Mul for Ratio {
     type Output = Self;
 
     fn mul(self, rhs: Self) -> Self {
-        Self { fraction: self.fraction * rhs.fraction }
+        Self {
+            fraction: self.fraction * rhs.fraction,
+        }
     }
 }
 
@@ -100,7 +107,13 @@ macro_rules! ratio_scales {
     )*};
 }
 
-ratio_scales!(crate::Energy, crate::Power, crate::CarbonMass, crate::CarbonIntensity, crate::TimeSpan);
+ratio_scales!(
+    crate::Energy,
+    crate::Power,
+    crate::CarbonMass,
+    crate::CarbonIntensity,
+    crate::TimeSpan
+);
 
 #[cfg(test)]
 mod tests {

@@ -1,6 +1,5 @@
 //! The [`TimeSpan`] quantity.
 
-
 /// Seconds in a (mean Julian) year. Device lifetimes in the paper are quoted
 /// in years ("three to four years"), so the year must be a first-class unit.
 pub(crate) const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3_600.0;
@@ -39,26 +38,34 @@ impl TimeSpan {
     /// Creates a span from hours.
     #[must_use]
     pub fn from_hours(hours: f64) -> Self {
-        Self { seconds: hours * 3_600.0 }
+        Self {
+            seconds: hours * 3_600.0,
+        }
     }
 
     /// Creates a span from days.
     #[must_use]
     pub fn from_days(days: f64) -> Self {
-        Self { seconds: days * 86_400.0 }
+        Self {
+            seconds: days * 86_400.0,
+        }
     }
 
     /// Creates a span from months (1/12 of a year; energy-payback times in
     /// Table II are quoted in months).
     #[must_use]
     pub fn from_months(months: f64) -> Self {
-        Self { seconds: months * SECONDS_PER_YEAR / 12.0 }
+        Self {
+            seconds: months * SECONDS_PER_YEAR / 12.0,
+        }
     }
 
     /// Creates a span from years.
     #[must_use]
     pub fn from_years(years: f64) -> Self {
-        Self { seconds: years * SECONDS_PER_YEAR }
+        Self {
+            seconds: years * SECONDS_PER_YEAR,
+        }
     }
 
     /// The span in seconds.

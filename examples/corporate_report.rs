@@ -22,7 +22,8 @@ fn main() {
 
     // Publish a disclosure for each year, the way Fig 11's sources do.
     for year in &years {
-        let report = SustainabilityReport::from_inventory("ExampleCorp", year.year, &year.inventory());
+        let report =
+            SustainabilityReport::from_inventory("ExampleCorp", year.year, &year.inventory());
         println!("{report}\n");
     }
 

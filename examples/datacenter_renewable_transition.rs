@@ -47,6 +47,8 @@ fn main() {
     println!(
         "\nCarbon-aware batch scheduling on a solar-shaped grid: {} -> {} per day \
          ({:.0}% cut in batch-attributable carbon)",
-        uniform.total_carbon, aware.total_carbon, cut * 100.0
+        uniform.total_carbon,
+        aware.total_carbon,
+        cut * 100.0
     );
 }

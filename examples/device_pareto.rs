@@ -12,13 +12,23 @@ fn main() {
     // Published devices.
     let points: Vec<Point<String>> = phone_perf::ALL
         .iter()
-        .map(|p| Point::new(p.throughput_ips, p.manufacturing().as_kg(), p.device.to_string()))
+        .map(|p| {
+            Point::new(
+                p.throughput_ips,
+                p.manufacturing().as_kg(),
+                p.device.to_string(),
+            )
+        })
         .collect();
 
     let front2017 = frontier(
         &points
             .iter()
-            .filter(|p| phone_perf::ALL.iter().any(|q| q.device == p.tag && q.year() <= 2017))
+            .filter(|p| {
+                phone_perf::ALL
+                    .iter()
+                    .any(|q| q.device == p.tag && q.year() <= 2017)
+            })
             .cloned()
             .collect::<Vec<_>>(),
     );
@@ -43,7 +53,10 @@ fn main() {
     let new_front = frontier(&with_scale_down);
     println!("\nfrontier after adding a scale-down design:");
     for p in &new_front {
-        println!("  {:<22} {:>5.0} img/s  {:>5.1} kg CO2e", p.tag, p.benefit, p.cost);
+        println!(
+            "  {:<22} {:>5.0} img/s  {:>5.1} kg CO2e",
+            p.tag, p.benefit, p.cost
+        );
     }
     let concept_on_front = new_front.iter().any(|p| p.tag == "scale-down concept");
     println!(

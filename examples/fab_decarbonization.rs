@@ -14,7 +14,11 @@ fn main() {
             "  {:<28} {:>14}  {}",
             label,
             carbon.to_string(),
-            if is_energy { "(scales with grid)" } else { "(process)" }
+            if is_energy {
+                "(scales with grid)"
+            } else {
+                "(process)"
+            }
         );
     }
 
@@ -33,7 +37,12 @@ fn main() {
 
     // Die-level embodied carbon: the provisioning decision in kg CO2e.
     println!("\nper-die embodied carbon (mobile SoC, 94 mm2):");
-    for node in [ProcessNode::N14, ProcessNode::N10, ProcessNode::N7, ProcessNode::N5] {
+    for node in [
+        ProcessNode::N14,
+        ProcessNode::N10,
+        ProcessNode::N7,
+        ProcessNode::N5,
+    ] {
         let die = DieModel::new(node, 94.0).expect("valid die");
         println!(
             "  {node}: yield {:.0}%, {:.0} good dies/wafer, {} per die",

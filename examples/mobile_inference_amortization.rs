@@ -22,7 +22,10 @@ fn main() {
         "SoC manufacturing budget: {soc_budget} on a {} grid",
         chasing_carbon::data::us_grid_intensity()
     );
-    println!("break-even operational energy: {}\n", analysis.breakeven_energy());
+    println!(
+        "break-even operational energy: {}\n",
+        analysis.breakeven_energy()
+    );
 
     for cnn in CnnModel::FIG9 {
         let network = Network::build(cnn);

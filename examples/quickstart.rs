@@ -45,4 +45,18 @@ fn main() {
         edge_box.capex_share(),
         green.capex_share()
     );
+
+    // 5. Re-run a whole paper experiment under your own scenario: Fig 10's
+    //    break-even analysis on a hydro grid with a 5-year lifetime.
+    let hydro = Scenario::builder()
+        .name("hydro-5yr")
+        .grid_intensity(24.0)
+        .lifetime_years(5.0)
+        .build();
+    let fig10 = chasing_carbon::core::experiments::find("fig10").expect("registry");
+    let out = fig10.run(&RunContext::new(hydro));
+    println!("\nFig 10 under `hydro-5yr`:");
+    for note in &out.notes {
+        println!("  note: {note}");
+    }
 }

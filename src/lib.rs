@@ -15,7 +15,7 @@
 //! * [`fab`] — wafer manufacturing and die-level embodied carbon
 //! * [`socsim`] — mobile SoC inference performance/energy simulator
 //! * [`dcsim`] — warehouse-scale data-center simulator
-//! * [`report`] — tables, series and the experiment registry
+//! * [`report`] — tables, series, scenarios and the experiment abstraction
 //! * [`core`] — the opex/capex footprint API and all paper experiments
 //!
 //! ## Quickstart
@@ -42,5 +42,6 @@ pub use cc_units as units;
 
 /// Commonly used items across the workspace.
 pub mod prelude {
+    pub use cc_report::{Experiment, RunContext, Scenario, Series};
     pub use cc_units::prelude::*;
 }

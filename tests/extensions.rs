@@ -10,9 +10,8 @@ use chasing_carbon::socsim::{batch, dvfs, ExecutionModel, Network, Soc, UnitKind
 /// compose the way the paper argues they must.
 #[test]
 fn lifetime_extension_and_greening_compose() {
-    let phone = Footprint::from_product_lca(
-        chasing_carbon::data::devices::find("iPhone 11").unwrap(),
-    );
+    let phone =
+        Footprint::from_product_lca(chasing_carbon::data::devices::find("iPhone 11").unwrap());
     let assessed = TimeSpan::from_years(3.0);
     let base = lifetime::annualize(&phone, assessed, assessed).total_per_year();
 
@@ -21,8 +20,7 @@ fn lifetime_extension_and_greening_compose() {
     let green_only = lifetime::annualize(&greened, assessed, assessed).total_per_year();
     let extend_only =
         lifetime::annualize(&phone, assessed, TimeSpan::from_years(5.0)).total_per_year();
-    let both =
-        lifetime::annualize(&greened, assessed, TimeSpan::from_years(5.0)).total_per_year();
+    let both = lifetime::annualize(&greened, assessed, TimeSpan::from_years(5.0)).total_per_year();
     assert!(green_only < base);
     assert!(extend_only < base);
     assert!(both < green_only && both < extend_only);
@@ -97,7 +95,9 @@ fn custom_soc_through_full_pipeline() {
     let dsp_report = ExecutionModel::pixel3()
         .run(&Network::build(CnnModel::MobileNetV3), UnitKind::Dsp)
         .unwrap();
-    let dsp_be = analysis.breakeven(dsp_report.energy, dsp_report.latency).unwrap();
+    let dsp_be = analysis
+        .breakeven(dsp_report.energy, dsp_report.latency)
+        .unwrap();
     assert!(be.operations > dsp_be.operations);
 }
 
@@ -105,10 +105,17 @@ fn custom_soc_through_full_pipeline() {
 /// from the registry.
 #[test]
 fn extension_experiments_run_from_registry() {
-    for key in ["ext-sched", "ext-die", "ext-dvfs", "ext-hetero", "ext-fab", "ext-mc"] {
+    for key in [
+        "ext-sched",
+        "ext-die",
+        "ext-dvfs",
+        "ext-hetero",
+        "ext-fab",
+        "ext-mc",
+    ] {
         let e = chasing_carbon::core::experiments::find(key)
             .unwrap_or_else(|| panic!("{key} missing from registry"));
-        let out = e.run();
+        let out = e.run(&RunContext::paper());
         assert!(!out.tables.is_empty(), "{key} produced no tables");
     }
 }

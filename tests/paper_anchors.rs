@@ -5,6 +5,7 @@ use chasing_carbon::core::experiments;
 use chasing_carbon::core::CarbonDecomposition;
 use chasing_carbon::ghg::Scope2Method;
 use chasing_carbon::lca::Footprint;
+use chasing_carbon::prelude::RunContext;
 
 #[test]
 fn contribution_1_iphone_manufacturing_share_49_to_86() {
@@ -25,9 +26,10 @@ fn contribution_2_pixel3_amortization_takes_years() {
     use chasing_carbon::socsim::{ExecutionModel, Network, UnitKind};
 
     let pixel3 = chasing_carbon::data::devices::find("Pixel 3").unwrap();
+    let ctx = RunContext::paper();
     let analysis = AmortizationAnalysis::new(
-        pixel3.production() * 0.5,
-        chasing_carbon::data::us_grid_intensity(),
+        pixel3.production() * ctx.soc_budget_share(),
+        ctx.effective_grid_intensity(),
     );
     let model = ExecutionModel::pixel3();
     let best = model
@@ -106,7 +108,13 @@ fn takeaway_9_renewables_flip_chip_vendor_breakdowns() {
     let scale = wind / chasing_carbon::data::US_GRID_G_PER_KWH;
     let raw: Vec<f64> = chasing_carbon::data::corporate::INTEL_LIFECYCLE
         .iter()
-        .map(|c| if c.scales_with_use_energy { c.share * scale } else { c.share })
+        .map(|c| {
+            if c.scales_with_use_energy {
+                c.share * scale
+            } else {
+                c.share
+            }
+        })
         .collect();
     let total: f64 = raw.iter().sum();
     let use_share = raw[0] / total;
@@ -125,8 +133,9 @@ fn takeaway_10_fab_renewables_bounded_by_process_emissions() {
 
 #[test]
 fn all_experiments_render_nonempty_reports() {
+    let ctx = RunContext::paper();
     for e in experiments::all() {
-        let out = e.run();
+        let out = e.run(&ctx);
         let text = out.render();
         assert!(text.len() > 40, "{} rendered almost nothing", e.id());
     }
@@ -137,8 +146,61 @@ fn footprints_from_dataset_are_internally_consistent() {
     for d in chasing_carbon::data::devices::iter() {
         let fp = Footprint::from_product_lca(d);
         assert!((fp.total() / d.total() - 1.0).abs() < 1e-9, "{}", d.name);
-        let share_sum =
-            fp.capex_share().as_fraction() + fp.opex_share().as_fraction();
+        let share_sum = fp.capex_share().as_fraction() + fp.opex_share().as_fraction();
         assert!((share_sum - 1.0).abs() < 1e-9, "{}", d.name);
+    }
+}
+
+/// The scenario satellite: `Scenario::paper_defaults()` must regenerate the
+/// paper's Fig 10 anchors exactly — same break-even numbers the seed
+/// hard-coded before the experiment API took a `RunContext`.
+#[test]
+fn paper_default_scenario_reproduces_fig10_anchors() {
+    use chasing_carbon::prelude::Scenario;
+
+    let defaults = Scenario::paper_defaults();
+    assert_eq!(defaults.grid.intensity_g_per_kwh, 380.0); // Table III US average
+    assert_eq!(defaults.device.lifetime_years, 3.0); // §III-C smartphone lifetime
+    assert_eq!(defaults.device.soc_budget_share, 0.5); // Fig 5 IC share assumption
+    defaults.validate().unwrap();
+
+    let ctx = RunContext::new(defaults);
+    assert!(ctx.is_paper());
+    let out = chasing_carbon::core::experiments::find("fig10")
+        .unwrap()
+        .run(&ctx);
+    // Paper: MobileNet v3 CPU ~350 days, DSP ~1200 days (beyond lifetime).
+    let days = out.find_series("breakeven-days").unwrap();
+    let cpu = days.y_for("MobileNet v3/CPU").unwrap();
+    let dsp = days.y_for("MobileNet v3/DSP").unwrap();
+    assert!((250.0..500.0).contains(&cpu), "CPU days {cpu}");
+    assert!(dsp > 900.0, "DSP days {dsp}");
+}
+
+/// A custom scenario must actually change the answers: that is the point of
+/// the redesign.
+#[test]
+fn custom_scenario_changes_fig10_breakeven() {
+    use chasing_carbon::prelude::Scenario;
+
+    let paper = chasing_carbon::core::experiments::find("fig10")
+        .unwrap()
+        .run(&RunContext::paper());
+    let hydro = Scenario::builder()
+        .name("hydro-5yr")
+        .grid_intensity(24.0)
+        .lifetime_years(5.0)
+        .build();
+    let custom = chasing_carbon::core::experiments::find("fig10")
+        .unwrap()
+        .run(&RunContext::new(hydro));
+    let p = paper.find_series("breakeven-days").unwrap();
+    let c = custom.find_series("breakeven-days").unwrap();
+    assert_eq!(p.len(), c.len());
+    for (pp, cc) in p.points.iter().zip(&c.points) {
+        assert!(
+            cc.y > pp.y * 10.0,
+            "cleaner grid must stretch break-even: {pp:?} vs {cc:?}"
+        );
     }
 }

@@ -32,8 +32,7 @@ fn measured_and_analytical_breakeven_agree() {
 /// fab → lca: build a phone footprint whose IC production comes from the die
 /// model, and check the decomposition responds to fab greening.
 #[test]
-fn die_model_feeds_device_footprint()
-{
+fn die_model_feeds_device_footprint() {
     let soc = DieModel::new(ProcessNode::N10, 94.0).unwrap();
     let dram = DieModel::new(ProcessNode::N14, 60.0).unwrap();
     let ics = soc.embodied_carbon() + dram.embodied_carbon() * 2.0;
@@ -66,10 +65,8 @@ fn facility_inventory_matches_reported_shape() {
     let years = chasing_carbon::dcsim::prineville::simulate();
     let last = years.last().unwrap();
     let inv = last.inventory();
-    let d = chasing_carbon::core::CarbonDecomposition::from_inventory(
-        &inv,
-        Scope2Method::MarketBased,
-    );
+    let d =
+        chasing_carbon::core::CarbonDecomposition::from_inventory(&inv, Scope2Method::MarketBased);
     assert!(d.is_capex_dominated());
     // And under the location-based counterfactual, opex is much larger.
     let counterfactual = chasing_carbon::core::CarbonDecomposition::from_inventory(
@@ -92,7 +89,12 @@ fn end_to_end_magnitudes_are_sane() {
     assert!(per_inference.as_grams() < 0.01);
     // A wafer is hundreds of kg; a die is under a kg; a phone tens of kg;
     // a data-center year is kilotonnes.
-    assert!(chasing_carbon::fab::WaferFootprint::tsmc_300mm().total().as_kg() > 100.0);
+    assert!(
+        chasing_carbon::fab::WaferFootprint::tsmc_300mm()
+            .total()
+            .as_kg()
+            > 100.0
+    );
     assert!(
         DieModel::new(ProcessNode::N7, 100.0)
             .unwrap()
@@ -108,8 +110,9 @@ fn end_to_end_magnitudes_are_sane() {
 /// consistent column counts.
 #[test]
 fn experiment_tables_are_rectangular() {
+    let ctx = chasing_carbon::prelude::RunContext::paper();
     for e in chasing_carbon::core::experiments::all() {
-        let out = e.run();
+        let out = e.run(&ctx);
         for (title, table) in &out.tables {
             let cols = table.header().len();
             for row in table.rows() {

@@ -1,0 +1,81 @@
+//! Integration tests for the scenario API through the facade: TOML
+//! round-trips, dotted-path overrides, and context-driven experiment runs.
+
+use chasing_carbon::prelude::*;
+
+#[test]
+fn toml_round_trip_through_the_facade() {
+    let scenario = Scenario::builder()
+        .name("integration")
+        .grid_intensity(99.5)
+        .energy_source("solar")
+        .renewable_fraction(0.25)
+        .lifetime_years(4.0)
+        .soc_budget_share(0.4)
+        .fab_node_nm(5.0)
+        .fab_yield_factor(1.5)
+        .fab_renewable_share(0.6)
+        .fleet_scale(2.0)
+        .mc_seed(1234)
+        .mc_samples(2_000)
+        .build();
+    scenario.validate().unwrap();
+    let toml = scenario.to_toml();
+    let back = Scenario::from_toml(&toml).unwrap();
+    assert_eq!(back, scenario);
+    assert_eq!(back.to_toml(), toml);
+}
+
+#[test]
+fn overrides_and_files_agree() {
+    let mut by_set = Scenario::paper_defaults();
+    by_set.set("grid.intensity", "50").unwrap();
+    by_set.set("fleet.scale", "4").unwrap();
+    let by_file =
+        Scenario::from_toml("[grid]\nintensity_g_per_kwh = 50.0\n[fleet]\nscale = 4.0\n").unwrap();
+    assert_eq!(by_set, by_file);
+}
+
+#[test]
+fn context_scenario_reaches_the_models() {
+    // ext-sched scales its deferrable load with fleet.scale; the absolute
+    // batch energies in the table must scale accordingly.
+    let paper = chasing_carbon::core::experiments::find("ext-sched")
+        .unwrap()
+        .run(&RunContext::paper());
+    let scaled = chasing_carbon::core::experiments::find("ext-sched")
+        .unwrap()
+        .run(&RunContext::new(
+            Scenario::builder().fleet_scale(10.0).build(),
+        ));
+    let first = |out: &cc_report::ExperimentOutput| -> f64 {
+        out.find_series("batch-carbon-cut").unwrap().points[0].x
+    };
+    assert!((first(&scaled) / first(&paper) - 10.0).abs() < 1e-9);
+}
+
+#[test]
+fn mc_seed_changes_the_monte_carlo_run_but_defaults_are_stable() {
+    let run = |seed: u64| {
+        chasing_carbon::core::experiments::find("ext-mc")
+            .unwrap()
+            .run(&RunContext::new(
+                Scenario::builder().mc_seed(seed).mc_samples(2_000).build(),
+            ))
+    };
+    let a = run(1);
+    let b = run(1);
+    let c = run(2);
+    assert_eq!(a, b, "same seed must reproduce identical output");
+    assert_ne!(a, c, "different seeds must draw different samples");
+}
+
+#[test]
+fn every_experiment_is_deterministic_under_a_fixed_context() {
+    let ctx = RunContext::new(Scenario::builder().name("determinism").build());
+    for entry in chasing_carbon::core::experiments::entries() {
+        let first = entry.build().run(&ctx);
+        let second = entry.build().run(&ctx);
+        assert_eq!(first, second, "{} is not deterministic", entry.key);
+    }
+}
