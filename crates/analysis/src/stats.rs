@@ -34,6 +34,62 @@ pub fn mean_std(values: &[f64]) -> Option<(f64, f64)> {
     Some((m, stddev(values).unwrap_or(0.0)))
 }
 
+/// Smallest and largest value. Returns `None` for an empty slice; any NaN
+/// poisons both extremes (`f64::min`/`max` would silently skip NaN, leaving
+/// the extremes inconsistent with a NaN mean — so it is checked explicitly).
+#[must_use]
+pub fn min_max(values: &[f64]) -> Option<(f64, f64)> {
+    let first = *values.first()?;
+    if values.iter().any(|v| v.is_nan()) {
+        return Some((f64::NAN, f64::NAN));
+    }
+    Some(
+        values
+            .iter()
+            .fold((first, first), |(lo, hi), &v| (lo.min(v), hi.max(v))),
+    )
+}
+
+/// Five-number digest of a value set, used by cross-scenario comparison
+/// reports to say how much a sweep actually moved a metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of values summarized.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for singletons).
+    pub stddev: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// `max / min`, the headline "this knob moves the answer N×" number.
+    /// `None` when the minimum is zero or the ratio is not finite.
+    #[must_use]
+    pub fn spread_ratio(&self) -> Option<f64> {
+        let ratio = self.max / self.min;
+        ratio.is_finite().then_some(ratio)
+    }
+}
+
+/// Summarizes a value set. Returns `None` for an empty slice.
+#[must_use]
+pub fn summarize(values: &[f64]) -> Option<Summary> {
+    let (mean, stddev) = mean_std(values)?;
+    let (min, max) = min_max(values)?;
+    Some(Summary {
+        n: values.len(),
+        mean,
+        stddev,
+        min,
+        max,
+    })
+}
+
 /// Ordinary least-squares fit `y = a + b·x`; returns `(a, b)`.
 ///
 /// Returns `None` with fewer than two points or zero x-variance.
@@ -68,6 +124,26 @@ mod tests {
         let sd = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
         assert!((sd - 2.138).abs() < 1e-3);
         assert_eq!(mean_std(&[5.0]), Some((5.0, 0.0)));
+    }
+
+    #[test]
+    fn summarize_digests_a_sweep() {
+        assert_eq!(summarize(&[]), None);
+        assert_eq!(min_max(&[]), None);
+        assert_eq!(min_max(&[3.0, 1.0, 2.0]), Some((1.0, 3.0)));
+        let s = summarize(&[350.0, 700.0, 1400.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 350.0);
+        assert_eq!(s.max, 1400.0);
+        assert!((s.mean - 816.666).abs() < 1e-2);
+        assert!((s.spread_ratio().unwrap() - 4.0).abs() < 1e-12);
+        let single = summarize(&[5.0]).unwrap();
+        assert_eq!(single.stddev, 0.0);
+        let zero_min = summarize(&[0.0, 1.0]).unwrap();
+        assert_eq!(zero_min.spread_ratio(), None);
+        // NaN poisons the extremes, keeping them consistent with the mean.
+        let (lo, hi) = min_max(&[f64::NAN, 5.0, 2.0]).unwrap();
+        assert!(lo.is_nan() && hi.is_nan());
     }
 
     #[test]

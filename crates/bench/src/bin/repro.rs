@@ -1,5 +1,5 @@
 //! Regenerates the paper's figures and tables from the models, under any
-//! scenario.
+//! scenario — or a whole matrix of scenarios.
 //!
 //! ```text
 //! repro fig10                                  # paper scenario, text output
@@ -8,10 +8,25 @@
 //! repro --tag mobile --json                    # tag-filtered, JSON to stdout
 //! repro --jobs 8 --json --out out/             # full suite, in parallel,
 //!                                              # one artifact file per key
+//! repro --experiment fig10 \
+//!       --sweep grid.intensity=10..800/100 \
+//!       --jobs 4 --json --out out/             # scenario sweep: one artifact
+//!                                              # per grid point, plus a
+//!                                              # cross-scenario comparison
 //! ```
+//!
+//! With `--sweep`, the runner expands the cartesian product of all sweep
+//! specs over the base scenario and schedules the full (scenario-point ×
+//! experiment) grid on a streaming work-queue: workers pull jobs, artifacts
+//! are written to `--out` the moment they complete (a small reorder buffer
+//! keeps stdout in grid order), and each point's summary scalar feeds the
+//! comparison report emitted at the end.
 
 use cc_core::experiments::{self, Entry, Tag};
-use cc_report::{JsonValue, RunContext, Scenario};
+use cc_report::{
+    Comparison, JsonValue, RunContext, Scalar, Scenario, ScenarioMatrix, ScenarioPoint, SweepSpec,
+};
+use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -22,12 +37,21 @@ fn print_usage() {
     eprintln!("options:");
     eprintln!("  --list               list selected experiment keys and exit");
     eprintln!("  --tag <tag>          filter experiments by tag (repeatable, AND-ed)");
+    eprintln!("  --experiment <key>   select an experiment (repeatable; same as a");
+    eprintln!("                       positional key)");
     eprintln!("  --scenario <file>    load scenario parameters from a TOML file");
     eprintln!("  --set <key>=<value>  override one scenario field (repeatable),");
     eprintln!("                       e.g. --set grid.intensity=50 --set device.lifetime=5");
+    eprintln!("  --sweep <key>=<spec> sweep one scenario field over many values");
+    eprintln!("                       (repeatable; specs multiply into a matrix):");
+    eprintln!("                         range  --sweep grid.intensity=10..800/100");
+    eprintln!("                         list   --sweep device.lifetime=2,3,4");
+    eprintln!("                         named  --sweep grid.source=@sources");
     eprintln!("  --markdown | --csv | --json   output format (default: text)");
-    eprintln!("  --out <dir>          write one artifact file per experiment into <dir>");
-    eprintln!("  --jobs <n>           run experiments on n worker threads (default 1)");
+    eprintln!("  --out <dir>          write one artifact file per experiment (and per");
+    eprintln!("                       sweep point) into <dir>, streamed as they finish");
+    eprintln!("  --jobs <n>           run the (point x experiment) grid on n worker");
+    eprintln!("                       threads (default 1)");
     eprintln!();
     let tags: Vec<&str> = Tag::ALL.iter().map(|t| t.name()).collect();
     eprintln!("tags: {}", tags.join(", "));
@@ -76,6 +100,7 @@ struct Options {
     list: bool,
     tags: Vec<Tag>,
     scenario: Scenario,
+    sweeps: Vec<SweepSpec>,
     format: Format,
     out_dir: Option<std::path::PathBuf>,
     jobs: usize,
@@ -88,6 +113,7 @@ fn parse_args() -> Options {
     let mut tags = Vec::new();
     let mut scenario_file: Option<String> = None;
     let mut sets: Vec<(String, String)> = Vec::new();
+    let mut sweeps = Vec::new();
     let mut format = Format::Text;
     let mut out_dir = None;
     let mut jobs = 1usize;
@@ -112,6 +138,7 @@ fn parse_args() -> Options {
                     None => fail(&format!("unknown tag `{name}`")),
                 }
             }
+            "--experiment" => keys.push(value_of("--experiment", &mut args)),
             "--scenario" => scenario_file = Some(value_of("--scenario", &mut args)),
             "--set" => {
                 let pair = value_of("--set", &mut args);
@@ -119,6 +146,13 @@ fn parse_args() -> Options {
                     fail(&format!("--set expects key=value, got `{pair}`"));
                 };
                 sets.push((key.trim().to_string(), value.trim().to_string()));
+            }
+            "--sweep" => {
+                let spec = value_of("--sweep", &mut args);
+                match SweepSpec::parse(&spec) {
+                    Ok(spec) => sweeps.push(spec),
+                    Err(e) => fail(&e.to_string()),
+                }
             }
             "--markdown" => format = Format::Markdown,
             "--csv" => format = Format::Csv,
@@ -137,9 +171,9 @@ fn parse_args() -> Options {
         }
     }
 
-    // Assemble the scenario: file (or paper defaults) first, then --set
-    // overrides strictly in command-line order. Setting `grid.source`
-    // resolves the Table II intensity at that point, so a later
+    // Assemble the base scenario: file (or paper defaults) first, then --set
+    // overrides strictly in command-line order. `Scenario::set` resolves
+    // `grid.source` to its Table II intensity itself, so a later
     // `--set grid.intensity=…` still wins — overrides never clobber each
     // other out of order.
     let mut scenario = match &scenario_file {
@@ -147,27 +181,13 @@ fn parse_args() -> Options {
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| fail(&format!("cannot read scenario `{path}`: {e}")));
-            let (mut from_file, file_keys) = Scenario::from_toml_keys(&text)
-                .unwrap_or_else(|e| fail(&format!("scenario `{path}`: {e}")));
-            // Within a file, an explicitly written intensity wins and the
-            // source stays an informational label; otherwise the source
-            // determines the intensity.
-            let file_pins_intensity = file_keys
-                .iter()
-                .any(|k| k == "grid.intensity" || k == "grid.intensity_g_per_kwh");
-            if from_file.grid.source.is_some() && !file_pins_intensity {
-                resolve_energy_source(&mut from_file);
-            }
-            from_file
+            Scenario::from_toml(&text).unwrap_or_else(|e| fail(&format!("scenario `{path}`: {e}")))
         }
     };
     for (key, value) in &sets {
         scenario
             .set(key, value)
             .unwrap_or_else(|e| fail(&e.to_string()));
-        if key == "grid.source" {
-            resolve_energy_source(&mut scenario);
-        }
     }
     scenario.validate().unwrap_or_else(|e| fail(&e.to_string()));
 
@@ -175,34 +195,12 @@ fn parse_args() -> Options {
         list,
         tags,
         scenario,
+        sweeps,
         format,
         out_dir,
         jobs,
         keys,
     }
-}
-
-/// Overwrites `grid.intensity_g_per_kwh` with the Table II intensity of the
-/// scenario's named energy source.
-fn resolve_energy_source(scenario: &mut Scenario) {
-    let Some(source) = scenario.grid.source.clone() else {
-        return;
-    };
-    let wanted = source.to_lowercase();
-    let matched = cc_data::energy_sources::EnergySource::ALL
-        .into_iter()
-        .find(|s| s.to_string().to_lowercase() == wanted)
-        .unwrap_or_else(|| {
-            let names: Vec<String> = cc_data::energy_sources::EnergySource::ALL
-                .into_iter()
-                .map(|s| s.to_string().to_lowercase())
-                .collect();
-            fail(&format!(
-                "unknown energy source `{source}` (known: {})",
-                names.join(", ")
-            ))
-        });
-    scenario.grid.intensity_g_per_kwh = matched.carbon_intensity().as_g_per_kwh();
 }
 
 fn select(options: &Options) -> Vec<&'static Entry> {
@@ -229,10 +227,19 @@ fn select(options: &Options) -> Vec<&'static Entry> {
     selected
 }
 
-fn render(entry: &Entry, ctx: &RunContext, format: Format) -> String {
+/// Renders one (experiment × scenario-point) job, returning the artifact text
+/// and the experiment's summary scalar at that point (for the comparison
+/// report).
+fn render(
+    entry: &Entry,
+    ctx: &RunContext,
+    point: Option<&ScenarioPoint>,
+    format: Format,
+) -> (String, Option<Scalar>) {
     let experiment = entry.build();
     let output = experiment.run(ctx);
-    match format {
+    let scalar = output.summary_scalar().cloned();
+    let rendered = match format {
         Format::Text => format!(
             "==============================================================\n\
              {} — {}\n\
@@ -254,54 +261,280 @@ fn render(entry: &Entry, ctx: &RunContext, format: Format) -> String {
             experiment.description(),
             output.render_csv()
         ),
-        Format::Json => JsonValue::object([
-            ("key", JsonValue::from(entry.key)),
-            ("title", JsonValue::from(experiment.id().to_string())),
-            ("description", JsonValue::from(experiment.description())),
-            (
-                "tags",
-                JsonValue::array(entry.tags.iter().map(|t| JsonValue::from(t.name()))),
-            ),
-            ("scenario", ctx.scenario().to_json()),
-            ("output", output.to_json()),
-        ])
-        .render(),
+        Format::Json => {
+            let mut fields = vec![
+                ("key", JsonValue::from(entry.key)),
+                ("title", JsonValue::from(experiment.id().to_string())),
+                ("description", JsonValue::from(experiment.description())),
+                (
+                    "tags",
+                    JsonValue::array(entry.tags.iter().map(|t| JsonValue::from(t.name()))),
+                ),
+            ];
+            if let Some(point) = point {
+                fields.push(("point", point.to_json()));
+            }
+            fields.push(("scenario", ctx.scenario().to_json()));
+            fields.push(("output", output.to_json()));
+            JsonValue::object(fields).render()
+        }
+    };
+    (rendered, scalar)
+}
+
+/// Reorder buffer between out-of-order job completion and in-order stdout:
+/// workers hand in `(job index, lines)`, the sequencer emits every line whose
+/// predecessors have all arrived, buffering only the gap.
+struct Sequencer {
+    next: usize,
+    pending: BTreeMap<usize, Vec<String>>,
+}
+
+impl Sequencer {
+    fn new() -> Self {
+        Self {
+            next: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    fn complete(&mut self, index: usize, lines: Vec<String>) {
+        self.pending.insert(index, lines);
+        while let Some(lines) = self.pending.remove(&self.next) {
+            for line in lines {
+                emit(line);
+            }
+            self.next += 1;
+        }
     }
 }
 
-/// Runs `entries` under `ctx` on up to `jobs` threads, returning rendered
-/// artifacts in input order.
-fn run_all(
+/// Replaces filename-hostile characters in a sweep-point label.
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// One grid job: which experiment at which scenario point.
+#[derive(Clone, Copy)]
+struct Job {
+    entry_idx: usize,
+    point_idx: usize,
+}
+
+/// Runs the full (experiment × point) grid on up to `jobs` worker threads,
+/// streaming artifacts out as they complete, and returns the per-job summary
+/// scalars (indexed `entry_idx * npoints + point_idx`).
+fn run_grid(
     entries: &[&'static Entry],
-    ctx: &RunContext,
-    format: Format,
-    jobs: usize,
-) -> Vec<String> {
-    let mut results: Vec<Option<String>> = vec![None; entries.len()];
-    if jobs <= 1 || entries.len() <= 1 {
-        for (slot, entry) in results.iter_mut().zip(entries) {
-            *slot = Some(render(entry, ctx, format));
+    points: &[ScenarioPoint],
+    contexts: &[RunContext],
+    options: &Options,
+) -> Vec<Option<Scalar>> {
+    let npoints = points.len();
+    let total = entries.len() * npoints;
+    let sweeping = npoints > 1;
+    let scalars: Vec<Mutex<Option<Scalar>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let sequencer = Mutex::new(Sequencer::new());
+    let next_job = AtomicUsize::new(0);
+
+    // Shared by the sequential path and every worker: compute one job, write
+    // its artifact immediately (when --out), and queue its stdout lines.
+    let process = |job_index: usize| {
+        let job = Job {
+            entry_idx: job_index / npoints,
+            point_idx: job_index % npoints,
+        };
+        let entry = entries[job.entry_idx];
+        let point = &points[job.point_idx];
+        let (artifact, scalar) = render(
+            entry,
+            &contexts[job.point_idx],
+            sweeping.then_some(point),
+            options.format,
+        );
+        *scalars[job_index].lock().expect("no panics under lock") = scalar;
+        let lines = match &options.out_dir {
+            None => vec![artifact],
+            Some(dir) => {
+                let name = if sweeping {
+                    format!(
+                        "{}@{}.{}",
+                        entry.key,
+                        sanitize(&point.label),
+                        options.format.extension()
+                    )
+                } else {
+                    format!("{}.{}", entry.key, options.format.extension())
+                };
+                let path = dir.join(name);
+                // Streamed: the file lands the moment the job finishes, not
+                // after the whole grid drains.
+                std::fs::write(&path, &artifact)
+                    .unwrap_or_else(|e| fail(&format!("cannot write `{}`: {e}", path.display())));
+                vec![format!("wrote {}", path.display())]
+            }
+        };
+        sequencer
+            .lock()
+            .expect("no panics under lock")
+            .complete(job_index, lines);
+    };
+
+    let workers = options.jobs.min(total);
+    if workers <= 1 {
+        for job_index in 0..total {
+            process(job_index);
         }
     } else {
-        let next = AtomicUsize::new(0);
-        let slots = Mutex::new(&mut results);
         std::thread::scope(|scope| {
-            for _ in 0..jobs.min(entries.len()) {
+            for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(entry) = entries.get(index) else {
+                    let job_index = next_job.fetch_add(1, Ordering::Relaxed);
+                    if job_index >= total {
                         break;
-                    };
-                    let rendered = render(entry, ctx, format);
-                    slots.lock().expect("no panics while holding lock")[index] = Some(rendered);
+                    }
+                    process(job_index);
                 });
             }
         });
     }
-    results
+
+    scalars
         .into_iter()
-        .map(|r| r.expect("every slot filled"))
+        .map(|slot| slot.into_inner().expect("no panics under lock"))
         .collect()
+}
+
+/// Builds one comparison per experiment from the scalar grid: the metric is
+/// the experiment's summary scalar, diffed across every sweep point.
+fn build_comparisons(
+    entries: &[&'static Entry],
+    points: &[ScenarioPoint],
+    scalars: &[Option<Scalar>],
+) -> Vec<Comparison> {
+    let npoints = points.len();
+    entries
+        .iter()
+        .enumerate()
+        .map(|(entry_idx, entry)| {
+            let per_point = &scalars[entry_idx * npoints..(entry_idx + 1) * npoints];
+            let metric = per_point.iter().flatten().next();
+            let mut comparison = Comparison::new(
+                entry.key,
+                metric.map_or("(no summary scalar)", |s| s.name.as_str()),
+                metric.map_or("", |s| s.unit.as_str()),
+            );
+            for (point, scalar) in points.iter().zip(per_point) {
+                comparison.push(point.display_label(), scalar.as_ref().map(|s| s.value));
+            }
+            comparison
+        })
+        .collect()
+}
+
+/// Renders the cross-scenario comparison report in the selected format.
+fn render_comparisons(
+    comparisons: &[Comparison],
+    matrix: &ScenarioMatrix,
+    format: Format,
+) -> String {
+    match format {
+        Format::Json => JsonValue::object([
+            (
+                "sweep",
+                JsonValue::array(matrix.specs().iter().map(|spec| {
+                    JsonValue::object([
+                        ("path", JsonValue::from(spec.path.as_str())),
+                        (
+                            "values",
+                            JsonValue::array(
+                                spec.values.iter().map(|v| JsonValue::from(v.as_str())),
+                            ),
+                        ),
+                    ])
+                })),
+            ),
+            ("points", JsonValue::Integer(matrix.len() as u64)),
+            (
+                "comparisons",
+                JsonValue::array(comparisons.iter().map(Comparison::to_json)),
+            ),
+        ])
+        .render(),
+        Format::Markdown => {
+            let mut out = String::from("# Cross-scenario comparison\n");
+            for c in comparisons {
+                out.push_str(&format!(
+                    "\n## {} — {} ({})\n\n{}",
+                    c.experiment,
+                    c.metric,
+                    c.unit,
+                    c.to_table().to_markdown()
+                ));
+                if let Some(s) = c.summary() {
+                    out.push_str(&format!(
+                        "\nspread: min {:.4}, max {:.4}, mean {:.4}{}\n",
+                        s.min,
+                        s.max,
+                        s.mean,
+                        s.spread_ratio()
+                            .map_or(String::new(), |r| format!(", {r:.2}x min..max")),
+                    ));
+                }
+            }
+            out
+        }
+        Format::Csv => {
+            let mut out = String::new();
+            for c in comparisons {
+                out.push_str(&format!(
+                    "# comparison: {} — {} ({})\n{}",
+                    c.experiment,
+                    c.metric,
+                    c.unit,
+                    c.to_table().to_csv()
+                ));
+            }
+            out
+        }
+        Format::Text => {
+            let mut out = format!(
+                "==============================================================\n\
+                 Cross-scenario comparison — {} sweep point(s)\n\
+                 ==============================================================\n",
+                matrix.len()
+            );
+            for c in comparisons {
+                out.push_str(&format!(
+                    "\n{} — {} ({})\n{}",
+                    c.experiment,
+                    c.metric,
+                    c.unit,
+                    c.to_table().render()
+                ));
+                if let Some(s) = c.summary() {
+                    out.push_str(&format!(
+                        "spread: min {:.4}, max {:.4}, mean {:.4}{}\n",
+                        s.min,
+                        s.max,
+                        s.mean,
+                        s.spread_ratio()
+                            .map_or(String::new(), |r| format!(" ({r:.2}x min..max)")),
+                    ));
+                }
+            }
+            out
+        }
+    }
 }
 
 fn main() {
@@ -334,21 +567,31 @@ fn main() {
         fail("no experiments match the given keys/tags");
     }
 
-    let ctx = RunContext::new(options.scenario.clone());
-    let artifacts = run_all(&selected, &ctx, options.format, options.jobs);
+    let matrix = ScenarioMatrix::new(options.scenario.clone(), options.sweeps.clone())
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let points: Vec<ScenarioPoint> = matrix.points().collect();
+    let contexts: Vec<RunContext> = points
+        .iter()
+        .map(|p| RunContext::try_new(p.scenario.clone()).unwrap_or_else(|e| fail(&e.to_string())))
+        .collect();
 
-    match &options.out_dir {
-        None => {
-            for artifact in &artifacts {
-                emit(artifact);
-            }
-        }
-        Some(dir) => {
-            std::fs::create_dir_all(dir)
-                .unwrap_or_else(|e| fail(&format!("cannot create `{}`: {e}", dir.display())));
-            for (entry, artifact) in selected.iter().zip(&artifacts) {
-                let path = dir.join(format!("{}.{}", entry.key, options.format.extension()));
-                std::fs::write(&path, artifact)
+    if let Some(dir) = &options.out_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| fail(&format!("cannot create `{}`: {e}", dir.display())));
+    }
+
+    let scalars = run_grid(&selected, &points, &contexts, &options);
+
+    // With an active sweep, diff every experiment's summary scalar across the
+    // grid points into the comparison report.
+    if matrix.is_sweep() {
+        let comparisons = build_comparisons(&selected, &points, &scalars);
+        let report = render_comparisons(&comparisons, &matrix, options.format);
+        match &options.out_dir {
+            None => emit(&report),
+            Some(dir) => {
+                let path = dir.join(format!("comparison.{}", options.format.extension()));
+                std::fs::write(&path, &report)
                     .unwrap_or_else(|e| fail(&format!("cannot write `{}`: {e}", path.display())));
                 emit(format_args!("wrote {}", path.display()));
             }

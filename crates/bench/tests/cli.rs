@@ -157,6 +157,154 @@ fn energy_source_names_resolve_to_intensities() {
 }
 
 #[test]
+fn sweep_writes_labeled_artifacts_plus_comparison() {
+    let dir = std::env::temp_dir().join(format!("cc-repro-sweep-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let out = stdout_of(
+        repro()
+            .args([
+                "--experiment",
+                "fig10",
+                "--sweep",
+                "grid.intensity=50,380,700",
+                "--jobs",
+                "2",
+                "--json",
+                "--out",
+                dir.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap(),
+    );
+    // One `wrote …` line per grid point, plus the comparison report, in
+    // grid order (the reorder buffer keeps stdout deterministic).
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 4, "{out}");
+    assert!(lines[0].ends_with("fig10@grid.intensity-50.json"));
+    assert!(lines[1].ends_with("fig10@grid.intensity-380.json"));
+    assert!(lines[2].ends_with("fig10@grid.intensity-700.json"));
+    assert!(lines[3].ends_with("comparison.json"));
+
+    // Each artifact is labeled with its point and carries the point's
+    // scenario.
+    let p50 = std::fs::read_to_string(dir.join("fig10@grid.intensity-50.json")).unwrap();
+    assert!(p50.contains(r#""label":"grid.intensity=50""#));
+    assert!(p50.contains(r#""assignments":{"grid.intensity":"50"}"#));
+    assert!(p50.contains(r#""intensity_g_per_kwh":50.0"#));
+    assert!(p50.contains(r#""name":"paper[grid.intensity=50]""#));
+
+    // The comparison diffs fig10's summary scalar across the three points.
+    let comparison = std::fs::read_to_string(dir.join("comparison.json")).unwrap();
+    assert!(comparison.contains(r#""experiment":"fig10""#));
+    assert!(comparison.contains(r#""metric":"mobilenet-v3-cpu-breakeven""#));
+    assert!(comparison.contains(r#""label":"grid.intensity=50""#));
+    assert!(comparison.contains(r#""label":"grid.intensity=380""#));
+    assert!(comparison.contains(r#""label":"grid.intensity=700""#));
+    assert!(comparison.contains(r#""points":3"#));
+    assert!(comparison.contains(r#""spread_ratio":"#));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_to_stdout_is_deterministic_across_job_counts() {
+    let run = |jobs: &str| {
+        stdout_of(
+            repro()
+                .args([
+                    "--sweep",
+                    "device.lifetime=2..4/1",
+                    "--jobs",
+                    jobs,
+                    "--json",
+                    "fig10",
+                    "ext-die",
+                ])
+                .output()
+                .unwrap(),
+        )
+    };
+    let sequential = run("1");
+    let parallel = run("8");
+    assert_eq!(sequential, parallel, "reorder buffer must fix the order");
+    // 2 experiments x 3 points, each artifact one JSON line, plus the
+    // comparison report line.
+    assert_eq!(sequential.lines().count(), 7);
+}
+
+#[test]
+fn node_sweep_moves_ext_die_per_die_carbon() {
+    let out = stdout_of(
+        repro()
+            .args(["--sweep", "fab.node_nm=28,7,3", "--json", "ext-die"])
+            .output()
+            .unwrap(),
+    );
+    let comparison = out.lines().last().unwrap();
+    assert!(comparison.contains(r#""metric":"featured-node-per-die-carbon""#));
+    // spread_ratio > 1 proves fab.node_nm is load-bearing for per-die carbon.
+    let spread: f64 = comparison
+        .split(r#""spread_ratio":"#)
+        .nth(1)
+        .unwrap()
+        .split('}')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        spread > 1.5,
+        "sweeping the node must move per-die carbon, got {spread}x"
+    );
+}
+
+#[test]
+fn sweeping_the_energy_sources_by_name() {
+    let out = stdout_of(
+        repro()
+            .args(["--sweep", "grid.source=wind,coal", "--json", "fig10"])
+            .output()
+            .unwrap(),
+    );
+    assert!(out.contains(r#""intensity_g_per_kwh":11.0"#));
+    assert!(out.contains(r#""intensity_g_per_kwh":820.0"#));
+}
+
+#[test]
+fn invalid_sweeps_exit_nonzero_with_diagnostics() {
+    let bad_path = repro()
+        .args(["--sweep", "grid.nope=1,2", "fig10"])
+        .output()
+        .unwrap();
+    assert_eq!(bad_path.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad_path.stderr).contains("unknown scenario key"));
+
+    let bad_range = repro()
+        .args(["--sweep", "grid.intensity=800..10/100", "fig10"])
+        .output()
+        .unwrap();
+    assert_eq!(bad_range.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad_range.stderr).contains("below start"));
+
+    let bad_value = repro()
+        .args(["--sweep", "grid.intensity=0..100/50", "fig10"])
+        .output()
+        .unwrap();
+    assert_eq!(bad_value.status.code(), Some(2), "0 g/kWh is unphysical");
+}
+
+#[test]
+fn experiment_flag_selects_like_a_positional_key() {
+    let positional = stdout_of(repro().args(["--json", "fig14"]).output().unwrap());
+    let flagged = stdout_of(
+        repro()
+            .args(["--experiment", "fig14", "--json"])
+            .output()
+            .unwrap(),
+    );
+    assert_eq!(positional, flagged);
+}
+
+#[test]
 fn bad_inputs_exit_nonzero_with_diagnostics() {
     let unknown_key = repro().arg("fig99").output().unwrap();
     assert_eq!(unknown_key.status.code(), Some(2));

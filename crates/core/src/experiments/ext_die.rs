@@ -65,7 +65,7 @@ impl Experiment for ExtDieCarbon {
             }
         }
         out.table(
-            format!("Embodied carbon per die (TSMC wafer baseline, D0 = {d0:.2} /cm2)"),
+            format!("Embodied carbon per die (node-scaled TSMC wafer baseline, D0 = {d0:.2} /cm2)"),
             t,
         );
         out.note(
@@ -73,16 +73,24 @@ impl Experiment for ExtDieCarbon {
              exponentially — the quantitative case for the paper's 'scale down hardware'",
         );
         // The scenario's featured node, at a Pixel-3-class 100 mm2 SoC die.
+        // The wafer baseline is node-specific (electricity scales with the
+        // node's per-wafer energy), so sweeping `fab.node_nm` moves this
+        // scalar — the load-bearing knob a sweep comparison diffs.
         let featured = nearest_node(ctx.fab_node_nm());
         let featured_die = DieModel::new(featured, 100.0)
             .expect("100 mm2 fits the wafer")
             .with_defect_density(d0)
             .expect("non-negative defect density");
+        out.scalar(
+            "featured-node-per-die-carbon",
+            "kg CO2e",
+            featured_die.embodied_carbon().as_kg(),
+        );
         out.note(format!(
             "scenario fab.node = {} nm (nearest modeled node {featured}): a 100 mm2 die \
              embodies {:.2} kg CO2e at {:.0}% yield, from a {:.1} MWh/wafer process \
-             (the wafer carbon baseline is node-independent in this model; node energy \
-             feeds the ext-fab fab-level analysis)",
+             (electricity carbon scales with the node's per-wafer energy; process \
+             emissions are recipe-driven and constant)",
             ctx.fab_node_nm(),
             featured_die.embodied_carbon().as_kg(),
             featured_die.yield_fraction() * 100.0,
@@ -105,5 +113,22 @@ mod tests {
         let small: f64 = t.rows()[0][4].parse().unwrap();
         let large: f64 = t.rows()[3][4].parse().unwrap();
         assert!(large / small > 8.0, "{large} / {small}");
+    }
+
+    #[test]
+    fn node_sweep_moves_the_per_die_scalar() {
+        use cc_report::Scenario;
+        let scalar_at = |node_nm: f64| {
+            let ctx = RunContext::new(Scenario::builder().fab_node_nm(node_nm).build());
+            ExtDieCarbon
+                .run(&ctx)
+                .find_scalar("featured-node-per-die-carbon")
+                .expect("ext-die exposes a summary scalar")
+                .value
+        };
+        // fab.node_nm is load-bearing: advancing the featured node raises
+        // per-die carbon through the node's per-wafer electricity.
+        assert!(scalar_at(3.0) > scalar_at(7.0));
+        assert!(scalar_at(7.0) > scalar_at(28.0));
     }
 }

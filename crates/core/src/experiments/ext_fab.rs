@@ -53,6 +53,11 @@ impl Experiment for ExtFabDecarbonization {
         out.table("3 nm fab annual footprint vs renewable coverage", t);
         out.series(totals);
         let at_scenario = FabModel::tsmc_3nm_2025().with_renewable_share(ctx.fab_renewable_share());
+        out.scalar(
+            "annual-carbon-at-scenario-share",
+            "Mt CO2e/yr",
+            at_scenario.annual_carbon().as_mt(),
+        );
         out.note(format!(
             "scenario fab.renewable_share = {:.0}%: {:.2} Mt/yr ({:.0} kg per wafer)",
             ctx.fab_renewable_share() * 100.0,

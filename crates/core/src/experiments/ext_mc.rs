@@ -38,6 +38,7 @@ impl Experiment for ExtMonteCarlo {
             |x| x[0] / ((x[2] / 3.6e6) * x[1]),
         );
         let survives = be.p05 > 10.0 * cc_data::ai_models::IMAGENET_TRAIN_IMAGES as f64;
+        out.scalar("fig10-breakeven-median", "images", be.p50);
         t.row([
             "Fig 10 break-even (images)".to_string(),
             format!("{:.1e}", be.p50),

@@ -3,7 +3,9 @@
 
 use cc_data::ai_models::CnnModel;
 use cc_report::{table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Table};
-use cc_socsim::{ExecutionModel, Network, UnitKind};
+use cc_socsim::UnitKind;
+#[cfg(test)]
+use cc_socsim::{ExecutionModel, Network};
 
 /// Reproduces Fig 9 by running the SoC simulator.
 #[derive(Debug, Clone, Copy, Default)]
@@ -20,7 +22,8 @@ impl Experiment for Fig09InferencePerf {
 
     fn run(&self, _ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
-        let model = ExecutionModel::pixel3();
+        let inputs = super::inputs::shared();
+        let model = inputs.pixel3();
 
         let mut t = Table::new([
             "Network",
@@ -30,9 +33,8 @@ impl Experiment for Fig09InferencePerf {
             "Throughput (img/s)",
             "Avg power (W)",
         ]);
-        for cnn in CnnModel::FIG9 {
-            let network = Network::build(cnn);
-            for report in model.run_all_units(&network) {
+        for &(cnn, ref network) in inputs.networks() {
+            for report in model.run_all_units(network) {
                 t.row([
                     cnn.to_string(),
                     report.unit.to_string(),
@@ -47,9 +49,8 @@ impl Experiment for Fig09InferencePerf {
 
         // The paper's annotated ratios.
         let lat = |cnn: CnnModel, unit: UnitKind| {
-            model
-                .run(&Network::build(cnn), unit)
-                .expect("pixel3 has all units")
+            let network = inputs.network(cnn).expect("FIG9 network is cached");
+            model.run(network, unit).expect("pixel3 has all units")
         };
         let algo_speedup = lat(CnnModel::InceptionV3, UnitKind::Cpu).latency
             / lat(CnnModel::MobileNetV2, UnitKind::Cpu).latency;
@@ -59,6 +60,7 @@ impl Experiment for Fig09InferencePerf {
             / lat(CnnModel::MobileNetV3, UnitKind::Cpu).energy;
         let hw_energy = lat(CnnModel::MobileNetV3, UnitKind::Cpu).energy
             / lat(CnnModel::MobileNetV3, UnitKind::Dsp).energy;
+        out.scalar("algorithmic-speedup", "x", algo_speedup);
         out.note(format!(
             "paper: ~17x algorithmic speedup (Inception v3 -> MobileNet v2, CPU); measured {algo_speedup:.1}x"
         ));

@@ -15,7 +15,9 @@ use cc_lca::AmortizationAnalysis;
 use cc_report::{
     table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Series, Table,
 };
-use cc_socsim::{ExecutionModel, Network, UnitKind};
+use cc_socsim::UnitKind;
+#[cfg(test)]
+use cc_socsim::{ExecutionModel, Network};
 #[cfg(test)]
 use cc_units::TimeSpan;
 
@@ -42,7 +44,10 @@ impl Experiment for Fig10Breakeven {
 
     fn run(&self, ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
-        let model = ExecutionModel::pixel3();
+        // The execution model and built networks are scenario-independent, so
+        // a sweep shares one cached copy across all grid points and threads.
+        let inputs = super::inputs::shared();
+        let model = inputs.pixel3();
         let analysis = AmortizationAnalysis::new(
             pixel3_soc_budget(ctx.soc_budget_share()),
             ctx.effective_grid_intensity(),
@@ -58,9 +63,8 @@ impl Experiment for Fig10Breakeven {
         ]);
         let mut days_series = Series::new("breakeven-days", "network x unit index", "days");
         let mut mnv3 = Vec::new();
-        for cnn in CnnModel::FIG9 {
-            let network = Network::build(cnn);
-            for report in model.run_all_units(&network) {
+        for &(cnn, ref network) in inputs.networks() {
+            for report in model.run_all_units(network) {
                 let be = analysis
                     .breakeven(report.energy, report.latency)
                     .expect("positive per-inference energy");
@@ -94,6 +98,16 @@ impl Experiment for Fig10Breakeven {
 
         let cpu = mnv3.iter().find(|(u, _)| *u == UnitKind::Cpu).unwrap().1;
         let dsp = mnv3.iter().find(|(u, _)| *u == UnitKind::Dsp).unwrap().1;
+        // The figure's headline, as sweep-comparable scalars: how long the
+        // efficient-network/CPU case takes to amortize the SoC's embodied
+        // carbon, and the images it implies.
+        out.scalar("mobilenet-v3-cpu-breakeven", "days", cpu.days);
+        out.scalar(
+            "mobilenet-v3-cpu-breakeven-images",
+            "images",
+            cpu.operations,
+        );
+        out.scalar("mobilenet-v3-dsp-breakeven", "days", dsp.days);
         out.note(format!(
             "paper: MobileNet v3 CPU ~5e9 images / ~350 days; measured {:.1e} images / {:.0} days",
             cpu.operations, cpu.days

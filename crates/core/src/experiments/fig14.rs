@@ -48,6 +48,7 @@ impl Experiment for Fig14WaferSweep {
         out.series(normalized);
 
         let reduction = base_total / wafer.with_renewable_scaling(64.0).total();
+        out.scalar("reduction-at-64x", "x", reduction);
         out.note(format!(
             "paper: a 64x boost in renewable energy reduces overall wafer carbon ~2.7x; \
              measured {reduction:.2}x"

@@ -28,6 +28,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod inputs;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -54,6 +55,7 @@ pub use fig12::Fig12Scope3Breakdown;
 pub use fig13::Fig13EnergySourceSweep;
 pub use fig14::Fig14WaferSweep;
 pub use fig15::Fig15ResearchDirections;
+pub use inputs::SharedInputs;
 pub use table1::Table1Scopes;
 pub use table2::Table2EnergySources;
 pub use table3::Table3Grids;
@@ -162,6 +164,14 @@ impl Entry {
     #[must_use]
     pub fn has_tag(&self, tag: Tag) -> bool {
         self.tags.contains(&tag)
+    }
+
+    /// The shared cached-inputs handle: lazily-built models and dataset
+    /// tables built once and reused across every grid point of a sweep
+    /// (and every worker thread of a parallel run).
+    #[must_use]
+    pub fn inputs(&self) -> &'static SharedInputs {
+        inputs::shared()
     }
 }
 
@@ -351,6 +361,24 @@ mod tests {
                 e.id()
             );
             assert!(!e.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn entries_share_one_cached_inputs_handle() {
+        let a: *const SharedInputs = find_entry("fig10").unwrap().inputs();
+        let b: *const SharedInputs = find_entry("fig09").unwrap().inputs();
+        assert_eq!(a, b, "all entries must share the same cache");
+    }
+
+    #[test]
+    fn sweepable_experiments_expose_summary_scalars() {
+        let ctx = RunContext::paper();
+        for key in ["fig10", "fig09", "fig14", "ext-die", "ext-fab", "ext-mc"] {
+            let out = find(key).unwrap().run(&ctx);
+            let scalar = out.summary_scalar();
+            assert!(scalar.is_some(), "{key} must expose a summary scalar");
+            assert!(scalar.unwrap().value.is_finite());
         }
     }
 }

@@ -32,8 +32,10 @@ pub struct DieModel {
 }
 
 impl DieModel {
-    /// Creates a model for a die of `die_area_mm2` on `node`, using the TSMC
-    /// wafer baseline and a defect density of 0.1 /cm².
+    /// Creates a model for a die of `die_area_mm2` on `node`, using the
+    /// node-specific wafer baseline ([`WaferFootprint::for_node`]: the TSMC
+    /// composition with electricity scaled by the node's per-wafer energy)
+    /// and a defect density of 0.1 /cm².
     ///
     /// # Errors
     ///
@@ -47,7 +49,7 @@ impl DieModel {
             node,
             die_area_mm2,
             defect_density_per_cm2: 0.1,
-            wafer: WaferFootprint::tsmc_300mm(),
+            wafer: WaferFootprint::for_node(node),
             fab_grid_scaling: 1.0,
         })
     }
@@ -196,8 +198,28 @@ mod tests {
         let wind = cc_data::energy_sources::EnergySource::Wind.carbon_intensity();
         let green = base.clone().with_fab_grid(taiwan, wind);
         let reduction = base.embodied_carbon() / green.embodied_carbon();
-        // 583/11 = 53x greener electricity -> overall ~2.6x (Fig 14 shape).
-        assert!(reduction > 2.3 && reduction < 2.9, "got {reduction}");
+        // 583/11 = 53x greener electricity. At 5 nm the electricity share is
+        // larger than the 10 nm baseline's 64% (2600 vs 1450 kWh/wafer), so
+        // the overall reduction lands near 4x rather than Fig 14's 2.7x.
+        assert!(reduction > 3.5 && reduction < 4.4, "got {reduction}");
+    }
+
+    #[test]
+    fn node_choice_moves_per_die_carbon() {
+        // The same die area at an advanced node embodies more carbon per
+        // yielded die: more electricity per wafer, identical yield math.
+        let per_die = |node| {
+            DieModel::new(node, 100.0)
+                .unwrap()
+                .embodied_carbon()
+                .as_kg()
+        };
+        assert!(per_die(ProcessNode::N3) > per_die(ProcessNode::N10));
+        assert!(per_die(ProcessNode::N10) > per_die(ProcessNode::N28));
+        // Electricity roughly doubles from 10 nm to 3 nm, the total less so
+        // (process emissions are constant).
+        let ratio = per_die(ProcessNode::N3) / per_die(ProcessNode::N10);
+        assert!(ratio > 1.5 && ratio < 2.1, "got {ratio}");
     }
 
     #[test]

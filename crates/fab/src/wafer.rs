@@ -1,6 +1,13 @@
 //! Per-wafer carbon footprint and the Fig 14 renewable-energy sweep.
 
+use crate::node::ProcessNode;
 use cc_units::CarbonMass;
+
+/// The process node the digitized TSMC baseline corresponds to. TSMC's
+/// sustainability disclosures the paper draws on describe the ~2019 fleet,
+/// whose leading logic output was 10 nm-class; [`WaferFootprint::for_node`]
+/// scales the electricity component relative to this node.
+pub const BASELINE_NODE: ProcessNode = ProcessNode::N10;
 
 /// A per-wafer carbon footprint decomposed into the Fig 14 components.
 ///
@@ -39,6 +46,26 @@ impl WaferFootprint {
         let mut fp = Self::new();
         for c in cc_data::fab::TSMC_WAFER {
             fp.add_component(c.label, CarbonMass::from_kg(total * c.share), c.is_energy);
+        }
+        fp
+    }
+
+    /// A node-specific wafer baseline: the TSMC composition with the
+    /// electricity components scaled by the node's per-wafer energy relative
+    /// to [`BASELINE_NODE`] (process emissions — PFCs, chemicals, raw wafers
+    /// — are recipe-driven and kept constant). This is what makes a
+    /// `fab.node_nm` sweep move per-die carbon: an EUV-class 3 nm wafer
+    /// carries ~2.4× the electricity carbon of the 10 nm baseline.
+    #[must_use]
+    pub fn for_node(node: ProcessNode) -> Self {
+        let scale = node.energy_per_wafer() / BASELINE_NODE.energy_per_wafer();
+        let mut fp = Self::new();
+        for (label, carbon, is_energy) in Self::tsmc_300mm().components() {
+            fp.add_component(
+                label,
+                if is_energy { carbon * scale } else { carbon },
+                is_energy,
+            );
         }
         fp
     }
@@ -172,6 +199,23 @@ mod tests {
         let wafer = WaferFootprint::tsmc_300mm();
         let reduction = 1.0 / wafer.renewable_sweep(&[64.0])[0].1;
         assert!((reduction - 2.7).abs() < 0.1, "got {reduction}");
+    }
+
+    #[test]
+    fn node_baseline_scales_energy_only() {
+        let base = WaferFootprint::for_node(BASELINE_NODE);
+        assert_eq!(base, WaferFootprint::tsmc_300mm());
+        let n3 = WaferFootprint::for_node(ProcessNode::N3);
+        let n28 = WaferFootprint::for_node(ProcessNode::N28);
+        // Process emissions are recipe-driven, not node-driven
+        // (process_carbon is a subtraction, so compare within float noise).
+        assert!((n3.process_carbon().as_kg() - base.process_carbon().as_kg()).abs() < 1e-9);
+        assert!((n28.process_carbon().as_kg() - base.process_carbon().as_kg()).abs() < 1e-9);
+        // Electricity carbon follows the per-wafer energy ladder.
+        let expected = ProcessNode::N3.energy_per_wafer() / BASELINE_NODE.energy_per_wafer();
+        assert!((n3.energy_carbon() / base.energy_carbon() - expected).abs() < 1e-12);
+        assert!(n28.total() < base.total());
+        assert!(n3.total() > base.total());
     }
 
     #[test]

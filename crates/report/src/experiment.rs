@@ -93,14 +93,42 @@ impl core::fmt::Display for ExperimentId {
     }
 }
 
-/// The output of running an experiment: named tables, typed series, plus
-/// free-form notes recording paper-vs-measured anchors.
+/// A named headline number with a unit — the single value a cross-scenario
+/// comparison report diffs for this experiment (e.g. Fig 10's MobileNet-v3
+/// CPU break-even days). The first scalar an experiment attaches is its
+/// summary scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scalar {
+    /// Scalar name (unique within one experiment output).
+    pub name: String,
+    /// Unit label (e.g. `"days"`, `"kg CO2e"`).
+    pub unit: String,
+    /// The value.
+    pub value: f64,
+}
+
+impl Scalar {
+    /// The scalar as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("name", JsonValue::from(self.name.as_str())),
+            ("unit", JsonValue::from(self.unit.as_str())),
+            ("value", JsonValue::from(self.value)),
+        ])
+    }
+}
+
+/// The output of running an experiment: named tables, typed series, summary
+/// scalars, plus free-form notes recording paper-vs-measured anchors.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ExperimentOutput {
     /// Titled tables, in presentation order.
     pub tables: Vec<(String, Table)>,
     /// Typed series artifacts, in presentation order.
     pub series: Vec<Series>,
+    /// Named headline numbers; the first is the experiment's summary scalar.
+    pub scalars: Vec<Scalar>,
     /// Commentary lines: what the paper reports vs what this run measured.
     pub notes: Vec<String>,
 }
@@ -130,10 +158,39 @@ impl ExperimentOutput {
         self
     }
 
+    /// Adds a named scalar; the first one added becomes the experiment's
+    /// summary scalar.
+    pub fn scalar(
+        &mut self,
+        name: impl Into<String>,
+        unit: impl Into<String>,
+        value: f64,
+    ) -> &mut Self {
+        self.scalars.push(Scalar {
+            name: name.into(),
+            unit: unit.into(),
+            value,
+        });
+        self
+    }
+
     /// Finds an attached series by name.
     #[must_use]
     pub fn find_series(&self, name: &str) -> Option<&Series> {
         self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Finds an attached scalar by name.
+    #[must_use]
+    pub fn find_scalar(&self, name: &str) -> Option<&Scalar> {
+        self.scalars.iter().find(|s| s.name == name)
+    }
+
+    /// The experiment's summary scalar — the first scalar attached — which
+    /// cross-scenario comparison reports diff across sweep points.
+    #[must_use]
+    pub fn summary_scalar(&self) -> Option<&Scalar> {
+        self.scalars.first()
     }
 
     /// Renders everything as Markdown (tables become GFM tables, notes a
@@ -147,6 +204,12 @@ impl ExperimentOutput {
             out.push_str("\n\n");
             out.push_str(&table.to_markdown());
             out.push('\n');
+        }
+        for scalar in &self.scalars {
+            out.push_str(&format!(
+                "- **{}**: {} {}\n",
+                scalar.name, scalar.value, scalar.unit
+            ));
         }
         for note in &self.notes {
             out.push_str("- ");
@@ -167,6 +230,12 @@ impl ExperimentOutput {
             out.push('\n');
             out.push_str(&table.to_csv());
             out.push('\n');
+        }
+        for scalar in &self.scalars {
+            out.push_str(&format!(
+                "# scalar: {},{},{}\n",
+                scalar.name, scalar.value, scalar.unit
+            ));
         }
         for note in &self.notes {
             out.push_str("# note: ");
@@ -207,6 +276,10 @@ impl ExperimentOutput {
                 JsonValue::array(self.series.iter().map(Series::to_json)),
             ),
             (
+                "scalars",
+                JsonValue::array(self.scalars.iter().map(Scalar::to_json)),
+            ),
+            (
                 "notes",
                 JsonValue::array(self.notes.iter().map(|n| JsonValue::from(n.as_str()))),
             ),
@@ -228,6 +301,12 @@ impl ExperimentOutput {
             out.push('\n');
             out.push_str(&table.render());
             out.push('\n');
+        }
+        for scalar in &self.scalars {
+            out.push_str(&format!(
+                "scalar: {} = {} {}\n",
+                scalar.name, scalar.value, scalar.unit
+            ));
         }
         for note in &self.notes {
             out.push_str("note: ");
@@ -330,6 +409,26 @@ mod tests {
         let text = out.render();
         assert!(text.contains("My table"));
         assert!(text.contains("note: paper"));
+    }
+
+    #[test]
+    fn scalars_render_everywhere_and_first_is_summary() {
+        let mut out = ExperimentOutput::new();
+        out.scalar("breakeven-days", "days", 350.0)
+            .scalar("breakeven-images", "images", 5e9);
+        assert_eq!(out.summary_scalar().unwrap().name, "breakeven-days");
+        assert_eq!(out.find_scalar("breakeven-images").unwrap().value, 5e9);
+        assert!(out.find_scalar("missing").is_none());
+        assert!(out.render().contains("scalar: breakeven-days = 350 days"));
+        assert!(out
+            .render_markdown()
+            .contains("**breakeven-days**: 350 days"));
+        assert!(out
+            .render_csv()
+            .contains("# scalar: breakeven-days,350,days"));
+        assert!(out
+            .render_json()
+            .contains(r#""scalars":[{"name":"breakeven-days","unit":"days","value":350.0}"#));
     }
 
     #[test]

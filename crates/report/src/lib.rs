@@ -20,8 +20,11 @@ pub mod scenario;
 pub mod series;
 pub mod table;
 
-pub use experiment::{Experiment, ExperimentId, ExperimentOutput, KNOWN_EXTENSIONS};
+pub use experiment::{Experiment, ExperimentId, ExperimentOutput, Scalar, KNOWN_EXTENSIONS};
 pub use json::JsonValue;
+pub use scenario::sweep::{
+    Comparison, ComparisonRow, ScenarioMatrix, ScenarioPoint, SweepError, SweepSpec,
+};
 pub use scenario::{RunContext, Scenario, ScenarioBuilder, ScenarioError};
 pub use series::{Series, SeriesPoint};
 pub use table::Table;

@@ -15,7 +15,10 @@
 //! version-controlled files, and every field is addressable by a dotted path
 //! (`grid.intensity`) for one-off command-line overrides.
 
+pub mod sweep;
+
 use crate::json::JsonValue;
+use cc_data::energy_sources::EnergySource;
 use cc_units::{CarbonIntensity, TimeSpan};
 
 /// Carbon intensity assumed for renewable power purchases when blending
@@ -29,9 +32,10 @@ pub struct GridParams {
     /// Grid carbon intensity in g CO₂e/kWh (paper baseline: the 380 g/kWh
     /// average US grid, Table III).
     pub intensity_g_per_kwh: f64,
-    /// Optional energy-source label (`"wind"`, `"coal"`, …). Informational:
-    /// the CLI resolves it to an intensity from the Table II dataset; the
-    /// models only read `intensity_g_per_kwh`.
+    /// Optional energy-source label (`"wind"`, `"coal"`, …). Setting it via
+    /// [`Scenario::set`] or the builder resolves it to an intensity from the
+    /// Table II dataset ([`Scenario::resolve_energy_source`]); the models
+    /// only read `intensity_g_per_kwh`.
     pub source: Option<String>,
     /// Fraction of operational energy covered by renewable purchases,
     /// blended at [`RENEWABLE_PPA_G_PER_KWH`].
@@ -183,6 +187,11 @@ impl Scenario {
             "grid.source" => {
                 let v = unquote(value);
                 self.grid.source = if v.is_empty() { None } else { Some(v) };
+                // Resolving here (not in the CLI) means library users setting
+                // `grid.source = "wind"` get the Table II intensity too. A
+                // later `set("grid.intensity", …)` still wins: overrides
+                // apply strictly in call order.
+                self.resolve_energy_source()?;
             }
             "grid.renewable_fraction" => self.grid.renewable_fraction = f64_of(key, value)?,
             "device.lifetime" | "device.lifetime_years" => {
@@ -231,6 +240,7 @@ impl Scenario {
     pub fn from_toml_keys(text: &str) -> Result<(Self, Vec<String>), ScenarioError> {
         let mut scenario = Self::paper_defaults();
         let mut keys = Vec::new();
+        let mut values = Vec::new();
         let mut section = String::new();
         for (idx, raw) in text.lines().enumerate() {
             let line_no = idx + 1;
@@ -261,6 +271,21 @@ impl Scenario {
             };
             scenario.set(&path, value.trim())?;
             keys.push(path);
+            values.push(value.trim().to_string());
+        }
+        // Within a file, an explicitly written intensity wins over the
+        // source's Table II value regardless of line order (a file is a
+        // declaration, not a sequence of overrides); the source then stays
+        // an informational label.
+        if keys.iter().any(|k| k == "grid.source") {
+            if let Some(last_pinned) = keys
+                .iter()
+                .zip(&values)
+                .rev()
+                .find(|(k, _)| *k == "grid.intensity" || *k == "grid.intensity_g_per_kwh")
+            {
+                scenario.set(last_pinned.0, last_pinned.1)?;
+            }
         }
         Ok((scenario, keys))
     }
@@ -367,12 +392,39 @@ impl Scenario {
         ])
     }
 
+    /// Overwrites `grid.intensity_g_per_kwh` with the Table II intensity of
+    /// the named `grid.source` (case-insensitive). A no-op when no source is
+    /// set. [`Self::set`] calls this automatically; it is public so code
+    /// mutating the fields directly can opt into the same resolution the CLI
+    /// performs.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::UnknownSource`] when the name matches no Table II
+    /// row.
+    pub fn resolve_energy_source(&mut self) -> Result<(), ScenarioError> {
+        let Some(source) = &self.grid.source else {
+            return Ok(());
+        };
+        let matched = lookup_energy_source(source)
+            .ok_or_else(|| ScenarioError::UnknownSource(source.clone()))?;
+        self.grid.intensity_g_per_kwh = matched.carbon_intensity().as_g_per_kwh();
+        Ok(())
+    }
+
     /// Checks every parameter is physically sensible.
     ///
     /// # Errors
     ///
-    /// [`ScenarioError::Invalid`] naming the first offending field.
+    /// [`ScenarioError::Invalid`] naming the first offending field, or
+    /// [`ScenarioError::UnknownSource`] for a `grid.source` label naming no
+    /// Table II energy source.
     pub fn validate(&self) -> Result<(), ScenarioError> {
+        if let Some(source) = &self.grid.source {
+            if lookup_energy_source(source).is_none() {
+                return Err(ScenarioError::UnknownSource(source.clone()));
+            }
+        }
         let checks: [(&str, bool); 9] = [
             (
                 "grid.intensity must be finite and positive",
@@ -435,10 +487,14 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Labels the operational energy source.
+    /// Labels the operational energy source. A recognized Table II name also
+    /// resolves to its intensity (a later [`Self::grid_intensity`] call still
+    /// wins); an unrecognized name is kept and rejected by
+    /// [`Scenario::validate`].
     #[must_use]
     pub fn energy_source(mut self, source: impl Into<String>) -> Self {
         self.scenario.grid.source = Some(source.into());
+        let _ = self.scenario.resolve_energy_source();
         self
     }
 
@@ -533,6 +589,8 @@ pub enum ScenarioError {
     },
     /// A parameter outside its physical range.
     Invalid(String),
+    /// A `grid.source` label naming no Table II energy source.
+    UnknownSource(String),
 }
 
 impl core::fmt::Display for ScenarioError {
@@ -544,11 +602,30 @@ impl core::fmt::Display for ScenarioError {
             }
             Self::Parse { line, message } => write!(f, "scenario TOML line {line}: {message}"),
             Self::Invalid(message) => write!(f, "invalid scenario: {message}"),
+            Self::UnknownSource(source) => {
+                let names: Vec<String> = EnergySource::ALL
+                    .into_iter()
+                    .map(|s| s.name().to_lowercase())
+                    .collect();
+                write!(
+                    f,
+                    "unknown energy source `{source}` (known: {})",
+                    names.join(", ")
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ScenarioError {}
+
+/// Finds the Table II energy source matching `name`, case-insensitively.
+fn lookup_energy_source(name: &str) -> Option<EnergySource> {
+    let wanted = name.to_lowercase();
+    EnergySource::ALL
+        .into_iter()
+        .find(|s| s.name().to_lowercase() == wanted)
+}
 
 /// Quotes a TOML basic string, escaping backslashes and double quotes (the
 /// only escapes [`Scenario`] fields can need).
@@ -894,6 +971,47 @@ mod tests {
         let s = Scenario::builder().mc_seed(seed).build();
         assert!(s.to_json().render().contains(&format!("\"seed\":{seed}")));
         assert_eq!(Scenario::from_toml(&s.to_toml()).unwrap().mc.seed, seed);
+    }
+
+    #[test]
+    fn energy_sources_resolve_in_the_library() {
+        // `set` resolves the Table II intensity, so library users match the
+        // CLI without any CLI-side lookup.
+        let mut s = Scenario::paper_defaults();
+        s.set("grid.source", "wind").unwrap();
+        assert_eq!(s.grid.intensity_g_per_kwh, 11.0);
+        // A later explicit intensity wins, strictly in call order.
+        s.set("grid.intensity", "100").unwrap();
+        assert_eq!(s.grid.intensity_g_per_kwh, 100.0);
+        // Unknown names fail at set time, naming the known sources.
+        let err = s.set("grid.source", "unobtainium").unwrap_err();
+        assert!(matches!(err, ScenarioError::UnknownSource(_)));
+        assert!(err.to_string().contains("wind"));
+        // The builder resolves too.
+        let hydro = Scenario::builder().energy_source("Hydropower").build();
+        assert_eq!(hydro.grid.intensity_g_per_kwh, 24.0);
+        // Directly-poked unknown sources are caught by validate.
+        let mut poked = Scenario::paper_defaults();
+        poked.grid.source = Some("dark-matter".to_string());
+        assert!(matches!(
+            poked.validate(),
+            Err(ScenarioError::UnknownSource(_))
+        ));
+    }
+
+    #[test]
+    fn toml_pinned_intensity_beats_source_in_any_order() {
+        // Intensity written before the source line still wins: a file is a
+        // declaration, not an override sequence.
+        let s =
+            Scenario::from_toml("[grid]\nintensity_g_per_kwh = 200\nsource = \"wind\"\n").unwrap();
+        assert_eq!(s.grid.intensity_g_per_kwh, 200.0);
+        let s =
+            Scenario::from_toml("[grid]\nsource = \"wind\"\nintensity_g_per_kwh = 200\n").unwrap();
+        assert_eq!(s.grid.intensity_g_per_kwh, 200.0);
+        // Without a pinned intensity the source decides.
+        let s = Scenario::from_toml("[grid]\nsource = \"coal\"\n").unwrap();
+        assert_eq!(s.grid.intensity_g_per_kwh, 820.0);
     }
 
     #[test]

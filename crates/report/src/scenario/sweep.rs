@@ -1,0 +1,799 @@
+//! Scenario sweeps: matrix expansion and cross-scenario comparison.
+//!
+//! The paper's central observation is that carbon conclusions *flip* as the
+//! scenario moves — a break-even that amortizes on the US grid never does on
+//! wind. One scenario per invocation cannot show that; a sweep can. This
+//! module turns `--sweep grid.intensity=10..800/100` strings into
+//! [`SweepSpec`]s, expands the cartesian product of several specs over a base
+//! [`Scenario`] into a lazily-generated [`ScenarioMatrix`] of labeled
+//! [`ScenarioPoint`]s, and diffs one summary scalar across the points into a
+//! [`Comparison`] artifact (table + JSON).
+
+use super::{Scenario, ScenarioError};
+use crate::json::JsonValue;
+use crate::table::Table;
+use cc_analysis::stats;
+use cc_data::energy_sources::EnergySource;
+
+/// One swept dimension: a dotted scenario path plus the values it takes.
+///
+/// Parsed from the `--sweep` grammar:
+///
+/// * range — `grid.intensity=10..800/100` (inclusive start, stepping until
+///   the end; `/step` optional, defaulting to a quarter of the span, i.e.
+///   five evenly spaced points),
+/// * explicit list — `device.lifetime=2,3,4`, values parsed as the field's
+///   type (so `grid.source=wind,coal` works),
+/// * named source list — `grid.source=@sources` (all eight Table II
+///   energy-source names) or `grid.intensity=@sources` (their intensities).
+///
+/// ```
+/// use cc_report::SweepSpec;
+///
+/// let spec = SweepSpec::parse("grid.intensity=10..800/100").unwrap();
+/// assert_eq!(spec.path, "grid.intensity");
+/// assert_eq!(spec.values.len(), 8); // 10, 110, …, 710
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// The dotted scenario path being swept (`grid.intensity`).
+    pub path: String,
+    /// The values the path takes, as strings [`Scenario::set`] accepts.
+    pub values: Vec<String>,
+}
+
+impl SweepSpec {
+    /// Parses a `path=values` sweep specification and pre-validates every
+    /// value against the paper-default scenario, so a typo'd path or a value
+    /// of the wrong type fails here with a precise message rather than deep
+    /// inside a run.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError`] describing exactly which part of the spec is malformed.
+    pub fn parse(text: &str) -> Result<Self, SweepError> {
+        let malformed = |message: String| SweepError::Malformed {
+            spec: text.to_string(),
+            message,
+        };
+        let Some((path, values_text)) = text.split_once('=') else {
+            return Err(malformed(
+                "expected `path=values`, e.g. `grid.intensity=10..800/100`".to_string(),
+            ));
+        };
+        let path = path.trim().to_string();
+        let values_text = values_text.trim();
+        if path.is_empty() {
+            return Err(malformed("empty scenario path".to_string()));
+        }
+        if values_text.is_empty() {
+            return Err(malformed("no values given".to_string()));
+        }
+
+        let values = if let Some(range) = values_text.find("..").map(|dots| {
+            let (start, rest) = values_text.split_at(dots);
+            (start, &rest[2..])
+        }) {
+            let (start_text, rest) = range;
+            let (end_text, step_text) = match rest.split_once('/') {
+                Some((end, step)) => (end, Some(step)),
+                None => (rest, None),
+            };
+            let parse_num = |what: &str, s: &str| -> Result<f64, SweepError> {
+                s.trim()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|v| v.is_finite())
+                    .ok_or_else(|| {
+                        malformed(format!("{what} `{}` is not a finite number", s.trim()))
+                    })
+            };
+            let start = parse_num("range start", start_text)?;
+            let end = parse_num("range end", end_text)?;
+            if end < start {
+                return Err(malformed(format!("range end {end} is below start {start}")));
+            }
+            let step = match step_text {
+                Some(s) => {
+                    let step = parse_num("range step", s)?;
+                    if step <= 0.0 {
+                        return Err(malformed(format!("range step {step} must be positive")));
+                    }
+                    step
+                }
+                // No explicit step: five evenly spaced points (or a single
+                // point for a degenerate start..start range).
+                None if end > start => (end - start) / 4.0,
+                None => 1.0,
+            };
+            let span = (end - start).max(1.0);
+            let mut values = Vec::new();
+            let mut i = 0u32;
+            loop {
+                let x = step.mul_add(f64::from(i), start);
+                if x > end + 1e-9 * span {
+                    break;
+                }
+                values.push(format_value(x));
+                if values.len() > 10_000 {
+                    return Err(malformed(
+                        "range expands to more than 10000 points".to_string(),
+                    ));
+                }
+                i += 1;
+            }
+            values
+        } else if let Some(name) = values_text.strip_prefix('@') {
+            match name {
+                "sources" | "table2" => {
+                    if path == "grid.source" {
+                        EnergySource::ALL
+                            .into_iter()
+                            .map(|s| s.name().to_lowercase())
+                            .collect()
+                    } else if path.starts_with("grid.intensity") {
+                        EnergySource::ALL
+                            .into_iter()
+                            .map(|s| format_value(s.carbon_intensity().as_g_per_kwh()))
+                            .collect()
+                    } else {
+                        return Err(malformed(format!(
+                            "named list `@{name}` only applies to grid.source or grid.intensity"
+                        )));
+                    }
+                }
+                other => {
+                    return Err(malformed(format!(
+                        "unknown named list `@{other}` (known: @sources)"
+                    )))
+                }
+            }
+        } else {
+            let values: Vec<String> = values_text
+                .split(',')
+                .map(|v| v.trim().to_string())
+                .collect();
+            if values.iter().any(String::is_empty) {
+                return Err(malformed("list has an empty element".to_string()));
+            }
+            values
+        };
+
+        // Every value must apply cleanly to a scenario — this is where an
+        // unknown path or a wrongly-typed value is reported.
+        let mut probe = Scenario::paper_defaults();
+        for value in &values {
+            probe.set(&path, value).map_err(SweepError::Scenario)?;
+            probe.validate().map_err(SweepError::Scenario)?;
+        }
+        Ok(Self { path, values })
+    }
+}
+
+/// Formats a range point compactly (`710`, not `710.0000000000`), absorbing
+/// accumulated floating-point noise like `0.30000000000000004`.
+fn format_value(v: f64) -> String {
+    let s = format!("{v:.10}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+/// One point of an expanded matrix: the concrete scenario plus the
+/// assignments that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioPoint {
+    /// Position in matrix expansion order (first spec slowest).
+    pub index: usize,
+    /// `key=value` assignments joined with `,` — the point's display label.
+    /// Empty for the single point of a sweep-less matrix.
+    pub label: String,
+    /// The `(path, value)` assignments applied on top of the base scenario.
+    pub assignments: Vec<(String, String)>,
+    /// The fully-applied scenario (name suffixed with the label).
+    pub scenario: Scenario,
+}
+
+impl ScenarioPoint {
+    /// The point's label, falling back to the scenario name when no sweep is
+    /// active.
+    #[must_use]
+    pub fn display_label(&self) -> &str {
+        if self.label.is_empty() {
+            &self.scenario.name
+        } else {
+            &self.label
+        }
+    }
+
+    /// The point as a JSON object (`index`, `label`, `assignments`).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("index", JsonValue::Integer(self.index as u64)),
+            ("label", JsonValue::from(self.display_label())),
+            (
+                "assignments",
+                JsonValue::object(
+                    self.assignments
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::from(v.as_str()))),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The cartesian product of sweep specs over a base scenario, expanded
+/// lazily: points are materialized one at a time by [`Self::points`], so a
+/// large grid costs memory proportional to one scenario, not the whole
+/// product.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    base: Scenario,
+    specs: Vec<SweepSpec>,
+}
+
+impl ScenarioMatrix {
+    /// The largest grid a matrix will expand: per-spec caps multiply, so the
+    /// product — not the individual spec — is what needs bounding before a
+    /// runner allocates per-point state (contexts, per-job scalar slots).
+    pub const MAX_POINTS: usize = 10_000;
+
+    /// Builds a matrix, probing every assignment against the base so that an
+    /// invalid combination of base and sweep value is rejected up front.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError`] when any spec value fails to apply to (or validate
+    /// against) the base scenario, when two specs sweep the same path (the
+    /// later one would silently win at every point), or when the grid
+    /// exceeds [`Self::MAX_POINTS`].
+    pub fn new(base: Scenario, specs: Vec<SweepSpec>) -> Result<Self, SweepError> {
+        let mut points = 1usize;
+        for (i, spec) in specs.iter().enumerate() {
+            if spec.values.is_empty() {
+                return Err(SweepError::Malformed {
+                    spec: spec.path.clone(),
+                    message: "spec has no values".to_string(),
+                });
+            }
+            if specs[..i].iter().any(|prior| prior.path == spec.path) {
+                return Err(SweepError::DuplicatePath(spec.path.clone()));
+            }
+            points = points
+                .checked_mul(spec.values.len())
+                .filter(|&n| n <= Self::MAX_POINTS)
+                .ok_or(SweepError::TooLarge {
+                    max: Self::MAX_POINTS,
+                })?;
+            for value in &spec.values {
+                let mut probe = base.clone();
+                probe.set(&spec.path, value).map_err(SweepError::Scenario)?;
+                probe.validate().map_err(SweepError::Scenario)?;
+            }
+        }
+        Ok(Self { base, specs })
+    }
+
+    /// The base scenario every point starts from.
+    #[must_use]
+    pub fn base(&self) -> &Scenario {
+        &self.base
+    }
+
+    /// The sweep specs, in nesting order (first varies slowest).
+    #[must_use]
+    pub fn specs(&self) -> &[SweepSpec] {
+        &self.specs
+    }
+
+    /// Number of grid points (1 for a sweep-less matrix).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.specs.iter().map(|s| s.values.len()).product()
+    }
+
+    /// A matrix always has at least one point, so this is always `false`;
+    /// provided for `len`/`is_empty` symmetry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether more than one point exists (i.e. a sweep is actually active).
+    #[must_use]
+    pub fn is_sweep(&self) -> bool {
+        self.len() > 1
+    }
+
+    /// Lazily iterates the grid points in row-major order: the *last* spec
+    /// varies fastest, so `--sweep a=1,2 --sweep b=x,y` yields
+    /// `a=1,b=x`, `a=1,b=y`, `a=2,b=x`, `a=2,b=y`.
+    pub fn points(&self) -> impl Iterator<Item = ScenarioPoint> + '_ {
+        (0..self.len()).map(|index| self.point(index))
+    }
+
+    /// Materializes the grid point at `index` (expansion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= len()`. Assignments cannot fail: every value was
+    /// validated against the base in [`Self::new`].
+    #[must_use]
+    pub fn point(&self, index: usize) -> ScenarioPoint {
+        assert!(index < self.len(), "point {index} out of range");
+        let mut remainder = index;
+        let mut digits = vec![0usize; self.specs.len()];
+        for (digit, spec) in digits.iter_mut().zip(&self.specs).rev() {
+            *digit = remainder % spec.values.len();
+            remainder /= spec.values.len();
+        }
+        let assignments: Vec<(String, String)> = self
+            .specs
+            .iter()
+            .zip(&digits)
+            .map(|(spec, &d)| (spec.path.clone(), spec.values[d].clone()))
+            .collect();
+        let mut scenario = self.base.clone();
+        for (path, value) in &assignments {
+            scenario
+                .set(path, value)
+                .expect("matrix assignments were validated at construction");
+        }
+        let label = assignments
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        if !label.is_empty() {
+            scenario.name = format!("{}[{label}]", self.base.name);
+        }
+        ScenarioPoint {
+            index,
+            label,
+            assignments,
+            scenario,
+        }
+    }
+}
+
+/// One row of a [`Comparison`]: a grid point's label and the metric value it
+/// produced (`None` when the experiment attached no summary scalar there).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// The point's display label.
+    pub label: String,
+    /// The metric value at that point, if any.
+    pub value: Option<f64>,
+}
+
+/// A cross-scenario diff of one metric over the points of a sweep: the
+/// artifact that answers "where does the conclusion flip?" without opening
+/// every per-point artifact.
+///
+/// The first point carrying a value is the baseline; every row reports its
+/// delta and ratio against it, and [`Self::summary`] digests the spread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// The experiment key the metric comes from (`fig10`).
+    pub experiment: String,
+    /// The metric (summary-scalar) name being diffed.
+    pub metric: String,
+    /// The metric's unit label.
+    pub unit: String,
+    /// One row per grid point, in expansion order.
+    pub rows: Vec<ComparisonRow>,
+}
+
+impl Comparison {
+    /// An empty comparison for `experiment`'s `metric`.
+    #[must_use]
+    pub fn new(
+        experiment: impl Into<String>,
+        metric: impl Into<String>,
+        unit: impl Into<String>,
+    ) -> Self {
+        Self {
+            experiment: experiment.into(),
+            metric: metric.into(),
+            unit: unit.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one grid point's value.
+    pub fn push(&mut self, label: impl Into<String>, value: Option<f64>) -> &mut Self {
+        self.rows.push(ComparisonRow {
+            label: label.into(),
+            value,
+        });
+        self
+    }
+
+    /// The baseline: the first row carrying a value.
+    #[must_use]
+    pub fn baseline(&self) -> Option<f64> {
+        self.rows.iter().find_map(|r| r.value)
+    }
+
+    /// Summary statistics over the rows that carry values.
+    #[must_use]
+    pub fn summary(&self) -> Option<stats::Summary> {
+        let values: Vec<f64> = self.rows.iter().filter_map(|r| r.value).collect();
+        stats::summarize(&values)
+    }
+
+    /// The comparison as a table: point, value, delta and ratio vs baseline.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new([
+            "Point".to_string(),
+            format!("{} ({})", self.metric, self.unit),
+            "Delta vs first".to_string(),
+            "Ratio".to_string(),
+        ]);
+        let baseline = self.baseline();
+        for row in &self.rows {
+            let (value, delta, ratio) = match (row.value, baseline) {
+                (Some(v), Some(b)) => {
+                    let ratio = safe_ratio(v, b);
+                    (
+                        display_value(v),
+                        display_signed(v - b),
+                        if ratio.is_finite() {
+                            format!("{}x", display_value(ratio))
+                        } else {
+                            "-".to_string()
+                        },
+                    )
+                }
+                (Some(v), None) => (display_value(v), "-".to_string(), "-".to_string()),
+                (None, _) => ("n/a".to_string(), "-".to_string(), "-".to_string()),
+            };
+            t.row([row.label.clone(), value, delta, ratio]);
+        }
+        t
+    }
+
+    /// The comparison as a JSON object, including per-row deltas/ratios and
+    /// the summary digest.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let baseline = self.baseline();
+        JsonValue::object([
+            ("experiment", JsonValue::from(self.experiment.as_str())),
+            ("metric", JsonValue::from(self.metric.as_str())),
+            ("unit", JsonValue::from(self.unit.as_str())),
+            (
+                "baseline",
+                baseline.map_or(JsonValue::Null, JsonValue::from),
+            ),
+            (
+                "rows",
+                JsonValue::array(self.rows.iter().map(|row| {
+                    JsonValue::object([
+                        ("label", JsonValue::from(row.label.as_str())),
+                        ("value", row.value.map_or(JsonValue::Null, JsonValue::from)),
+                        (
+                            "delta",
+                            match (row.value, baseline) {
+                                (Some(v), Some(b)) => JsonValue::from(v - b),
+                                _ => JsonValue::Null,
+                            },
+                        ),
+                        (
+                            "ratio",
+                            match (row.value, baseline) {
+                                (Some(v), Some(b)) => JsonValue::from(safe_ratio(v, b)),
+                                _ => JsonValue::Null,
+                            },
+                        ),
+                    ])
+                })),
+            ),
+            (
+                "stats",
+                self.summary().map_or(JsonValue::Null, |s| {
+                    JsonValue::object([
+                        ("n", JsonValue::Integer(s.n as u64)),
+                        ("mean", JsonValue::from(s.mean)),
+                        ("stddev", JsonValue::from(s.stddev)),
+                        ("min", JsonValue::from(s.min)),
+                        ("max", JsonValue::from(s.max)),
+                        (
+                            "spread_ratio",
+                            s.spread_ratio().map_or(JsonValue::Null, JsonValue::from),
+                        ),
+                    ])
+                }),
+            ),
+        ])
+    }
+}
+
+/// `v / b`, with a zero baseline mapping to NaN (rendered as `null`/`-`).
+fn safe_ratio(v: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        f64::NAN
+    } else {
+        v / b
+    }
+}
+
+/// Human-facing table cell: at most 4 decimals, trailing zeros trimmed (the
+/// JSON artifact keeps full precision).
+fn display_value(v: f64) -> String {
+    let s = format!("{v:.4}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+/// [`display_value`] with an explicit sign, for delta cells.
+fn display_signed(v: f64) -> String {
+    if v.is_sign_negative() && v != 0.0 {
+        display_value(v)
+    } else {
+        format!("+{}", display_value(v))
+    }
+}
+
+/// Errors from sweep-spec parsing and matrix construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// The spec text itself is malformed.
+    Malformed {
+        /// The offending spec, verbatim.
+        spec: String,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// A value failed to apply to the scenario (unknown path, wrong type,
+    /// out of physical range).
+    Scenario(ScenarioError),
+    /// Two specs sweep the same dotted path.
+    DuplicatePath(String),
+    /// The cartesian product exceeds [`ScenarioMatrix::MAX_POINTS`].
+    TooLarge {
+        /// The grid-size cap that was exceeded.
+        max: usize,
+    },
+}
+
+impl core::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Malformed { spec, message } => {
+                write!(f, "invalid sweep `{spec}`: {message}")
+            }
+            Self::Scenario(e) => write!(f, "invalid sweep: {e}"),
+            Self::DuplicatePath(path) => {
+                write!(f, "invalid sweep: `{path}` is swept more than once")
+            }
+            Self::TooLarge { max } => {
+                write!(f, "invalid sweep: grid exceeds {max} points")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_form_expands_inclusively() {
+        let spec = SweepSpec::parse("grid.intensity=10..800/100").unwrap();
+        assert_eq!(spec.path, "grid.intensity");
+        assert_eq!(
+            spec.values,
+            ["10", "110", "210", "310", "410", "510", "610", "710"]
+        );
+        // An end that lands exactly on a step is included.
+        let spec = SweepSpec::parse("grid.intensity=100..400/100").unwrap();
+        assert_eq!(spec.values, ["100", "200", "300", "400"]);
+        // Fractional steps don't accumulate float noise in labels.
+        let spec = SweepSpec::parse("fab.renewable_share=0..0.4/0.1").unwrap();
+        assert_eq!(spec.values, ["0", "0.1", "0.2", "0.3", "0.4"]);
+    }
+
+    #[test]
+    fn stepless_range_yields_five_points() {
+        let spec = SweepSpec::parse("device.lifetime=1..5").unwrap();
+        assert_eq!(spec.values, ["1", "2", "3", "4", "5"]);
+        let degenerate = SweepSpec::parse("device.lifetime=3..3").unwrap();
+        assert_eq!(degenerate.values, ["3"]);
+    }
+
+    #[test]
+    fn list_and_named_source_forms() {
+        let spec = SweepSpec::parse("grid.intensity=50, 380 ,700").unwrap();
+        assert_eq!(spec.values, ["50", "380", "700"]);
+        let sources = SweepSpec::parse("grid.source=@sources").unwrap();
+        assert_eq!(sources.values.len(), 8);
+        assert!(sources.values.contains(&"wind".to_string()));
+        assert!(sources.values.contains(&"coal".to_string()));
+        let intensities = SweepSpec::parse("grid.intensity=@sources").unwrap();
+        assert!(intensities.values.contains(&"820".to_string()));
+        assert!(intensities.values.contains(&"11".to_string()));
+        // Single-value "list" is a one-point sweep.
+        let single = SweepSpec::parse("fleet.scale=2").unwrap();
+        assert_eq!(single.values, ["2"]);
+    }
+
+    #[test]
+    fn invalid_specs_fail_with_clear_messages() {
+        let err = |text: &str| SweepSpec::parse(text).unwrap_err().to_string();
+        assert!(err("grid.intensity").contains("path=values"));
+        assert!(err("grid.intensity=").contains("no values"));
+        assert!(err("=1,2").contains("empty scenario path"));
+        assert!(err("grid.intensity=800..10/100").contains("below start"));
+        assert!(err("grid.intensity=10..800/0").contains("must be positive"));
+        assert!(err("grid.intensity=10..xyz").contains("not a finite number"));
+        assert!(err("grid.intensity=1,,3").contains("empty element"));
+        assert!(err("grid.nope=1,2").contains("unknown scenario key"));
+        assert!(err("grid.intensity=dirty,clean").contains("invalid value"));
+        assert!(err("device.lifetime=@sources").contains("only applies"));
+        assert!(err("grid.source=@nope").contains("known: @sources"));
+        // Values out of physical range are caught at parse time too.
+        assert!(err("grid.renewable_fraction=0.5,2").contains("renewable_fraction"));
+        assert!(err("grid.source=wind,unobtainium").contains("unknown energy source"));
+    }
+
+    #[test]
+    fn two_spec_matrix_expands_row_major_with_labels() {
+        let specs = vec![
+            SweepSpec::parse("grid.intensity=100,200").unwrap(),
+            SweepSpec::parse("device.lifetime=3,4,5").unwrap(),
+        ];
+        let matrix = ScenarioMatrix::new(Scenario::paper_defaults(), specs).unwrap();
+        assert_eq!(matrix.len(), 6);
+        assert!(matrix.is_sweep());
+        assert!(!matrix.is_empty());
+        let points: Vec<ScenarioPoint> = matrix.points().collect();
+        let labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "grid.intensity=100,device.lifetime=3",
+                "grid.intensity=100,device.lifetime=4",
+                "grid.intensity=100,device.lifetime=5",
+                "grid.intensity=200,device.lifetime=3",
+                "grid.intensity=200,device.lifetime=4",
+                "grid.intensity=200,device.lifetime=5",
+            ]
+        );
+        assert_eq!(points[4].scenario.grid.intensity_g_per_kwh, 200.0);
+        assert_eq!(points[4].scenario.device.lifetime_years, 4.0);
+        assert_eq!(
+            points[4].scenario.name,
+            "paper[grid.intensity=200,device.lifetime=4]"
+        );
+        assert_eq!(points[4].index, 4);
+        for p in &points {
+            p.scenario.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn sweepless_matrix_is_the_base_point() {
+        let matrix = ScenarioMatrix::new(Scenario::paper_defaults(), Vec::new()).unwrap();
+        assert_eq!(matrix.len(), 1);
+        assert!(!matrix.is_sweep());
+        let p = matrix.point(0);
+        assert!(p.label.is_empty());
+        assert_eq!(p.display_label(), "paper");
+        assert_eq!(p.scenario, Scenario::paper_defaults());
+        assert!(p.to_json().render().contains(r#""label":"paper""#));
+    }
+
+    #[test]
+    fn matrix_rejects_values_invalid_against_the_base() {
+        // 0 parses as f64 but fails physical validation.
+        let specs = vec![SweepSpec {
+            path: "grid.intensity".to_string(),
+            values: vec!["380".to_string(), "0".to_string()],
+        }];
+        let err = ScenarioMatrix::new(Scenario::paper_defaults(), specs).unwrap_err();
+        assert!(err.to_string().contains("grid.intensity"));
+        let empty = vec![SweepSpec {
+            path: "grid.intensity".to_string(),
+            values: Vec::new(),
+        }];
+        assert!(ScenarioMatrix::new(Scenario::paper_defaults(), empty).is_err());
+    }
+
+    #[test]
+    fn matrix_rejects_duplicate_paths_and_oversized_grids() {
+        let dup = vec![
+            SweepSpec::parse("grid.intensity=50,380").unwrap(),
+            SweepSpec::parse("grid.intensity=700,800").unwrap(),
+        ];
+        let err = ScenarioMatrix::new(Scenario::paper_defaults(), dup).unwrap_err();
+        assert!(matches!(err, SweepError::DuplicatePath(_)));
+        assert!(err.to_string().contains("more than once"));
+
+        // 5000 x 5000 points overflows the grid cap long before any
+        // per-point state is allocated.
+        let huge = vec![
+            SweepSpec::parse("grid.intensity=1..5000/1").unwrap(),
+            SweepSpec::parse("device.lifetime=1..5000/1").unwrap(),
+        ];
+        let err = ScenarioMatrix::new(Scenario::paper_defaults(), huge).unwrap_err();
+        assert!(matches!(err, SweepError::TooLarge { .. }));
+        assert!(err
+            .to_string()
+            .contains(&ScenarioMatrix::MAX_POINTS.to_string()));
+    }
+
+    #[test]
+    fn zero_baseline_renders_dash_ratios() {
+        let mut c = Comparison::new("x", "m", "u");
+        c.push("a", Some(0.0)).push("b", Some(5.0));
+        let t = c.to_table();
+        assert_eq!(t.rows()[1][3], "-", "NaN ratio must not leak into cells");
+        assert!(c.to_json().render().contains(r#""ratio":null"#));
+    }
+
+    #[test]
+    fn source_sweep_points_resolve_intensities() {
+        let specs = vec![SweepSpec::parse("grid.source=wind,coal").unwrap()];
+        let matrix = ScenarioMatrix::new(Scenario::paper_defaults(), specs).unwrap();
+        let points: Vec<ScenarioPoint> = matrix.points().collect();
+        assert_eq!(points[0].scenario.grid.intensity_g_per_kwh, 11.0);
+        assert_eq!(points[1].scenario.grid.intensity_g_per_kwh, 820.0);
+    }
+
+    #[test]
+    fn comparison_diffs_against_the_first_value() {
+        let mut c = Comparison::new("fig10", "breakeven-days", "days");
+        c.push("grid.intensity=380", Some(350.0))
+            .push("grid.intensity=50", Some(2660.0))
+            .push("grid.intensity=700", Some(190.0))
+            .push("grid.intensity=0", None);
+        assert_eq!(c.baseline(), Some(350.0));
+        let t = c.to_table();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.rows()[1][2], "+2310");
+        assert_eq!(t.rows()[1][3], "7.6x");
+        assert_eq!(t.rows()[3][1], "n/a");
+        let s = c.summary().unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 190.0);
+        assert_eq!(s.max, 2660.0);
+        let json = c.to_json().render();
+        assert!(json.contains(r#""experiment":"fig10""#));
+        assert!(json.contains(r#""baseline":350.0"#));
+        assert!(json.contains(r#""spread_ratio":14.0"#));
+        // The valueless row carries nulls, not omissions.
+        assert!(
+            json.contains(r#"{"label":"grid.intensity=0","value":null,"delta":null,"ratio":null}"#)
+        );
+    }
+
+    #[test]
+    fn empty_comparison_is_well_formed() {
+        let c = Comparison::new("fig10", "m", "u");
+        assert_eq!(c.baseline(), None);
+        assert_eq!(c.summary(), None);
+        assert!(c.to_table().is_empty());
+        assert!(c.to_json().render().contains(r#""stats":null"#));
+    }
+
+    #[test]
+    fn format_value_is_compact() {
+        assert_eq!(format_value(710.0), "710");
+        assert_eq!(format_value(0.1 + 0.2), "0.3");
+        assert_eq!(format_value(-2.5), "-2.5");
+        assert_eq!(format_value(0.0), "0");
+    }
+}

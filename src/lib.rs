@@ -42,6 +42,8 @@ pub use cc_units as units;
 
 /// Commonly used items across the workspace.
 pub mod prelude {
-    pub use cc_report::{Experiment, RunContext, Scenario, Series};
+    pub use cc_report::{
+        Comparison, Experiment, RunContext, Scenario, ScenarioMatrix, Series, SweepSpec,
+    };
     pub use cc_units::prelude::*;
 }
