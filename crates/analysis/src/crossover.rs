@@ -61,6 +61,57 @@ pub fn bisect_crossing(
     Some(0.5 * (lo + hi))
 }
 
+/// Finds every `x` where the piecewise-linear interpolation of `points`
+/// crosses `target`. Points are `(x, y)` samples sorted by `x` (the caller's
+/// sweep axis); the curve need not be monotone — each bracketing segment
+/// contributes one crossing, located by [`bisect_crossing`] on the segment's
+/// linear interpolant. A sample sitting exactly on the target counts once,
+/// at the segment arriving on it — or at the sample itself when the curve
+/// *starts* on the target (there is no arriving segment to attribute it to).
+///
+/// Returns an empty vector with fewer than two points or when no segment
+/// brackets the target. Non-finite samples poison only the segments that
+/// touch them.
+#[must_use]
+pub fn piecewise_crossings(points: &[(f64, f64)], target: f64) -> Vec<f64> {
+    let mut crossings = Vec::new();
+    if points.len() >= 2 {
+        if let Some(&(x0, y0)) = points.first() {
+            if x0.is_finite() && y0 == target {
+                crossings.push(x0);
+            }
+        }
+    }
+    for pair in points.windows(2) {
+        let ((x0, y0), (x1, y1)) = (pair[0], pair[1]);
+        if ![x0, y0, x1, y1].iter().all(|v| v.is_finite()) || x1 <= x0 {
+            continue;
+        }
+        // Half-open bracket so a sample exactly on the target is attributed
+        // to one segment, not both.
+        let brackets = (y0 < target && y1 >= target) || (y0 > target && y1 <= target);
+        if !brackets {
+            continue;
+        }
+        // Bisect on the segment's interpolant, flipped when decreasing so
+        // the solver always sees a non-decreasing function.
+        let rising = y1 >= y0;
+        let lerp = |x: f64| {
+            let y = y0 + (y1 - y0) * ((x - x0) / (x1 - x0));
+            if rising {
+                y
+            } else {
+                -y
+            }
+        };
+        let goal = if rising { target } else { -target };
+        if let Some(x) = bisect_crossing(x0, x1, goal, 1e-12, lerp) {
+            crossings.push(x);
+        }
+    }
+    crossings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +144,46 @@ mod tests {
     fn bisection_unbracketed() {
         assert!(bisect_crossing(0.0, 10.0, 1_000.0, 1e-9, |x| x).is_none());
         assert!(bisect_crossing(5.0, 10.0, 1.0, 1e-9, |x| x).is_none());
+    }
+
+    #[test]
+    fn piecewise_finds_rising_and_falling_crossings() {
+        // Rising curve crosses 5 between x=1 and x=2.
+        let rising = [(0.0, 0.0), (1.0, 2.0), (2.0, 8.0)];
+        let xs = piecewise_crossings(&rising, 5.0);
+        assert_eq!(xs.len(), 1);
+        assert!((xs[0] - 1.5).abs() < 1e-9, "{xs:?}");
+
+        // Falling curve (a break-even year shrinking with growth).
+        let falling = [(1.0, 2019.0), (1.2, 2018.0), (1.4, 2016.0)];
+        let xs = piecewise_crossings(&falling, 2017.0);
+        assert_eq!(xs.len(), 1);
+        assert!((xs[0] - 1.3).abs() < 1e-9, "{xs:?}");
+
+        // Non-monotone curve crosses twice.
+        let bump = [(0.0, 0.0), (1.0, 10.0), (2.0, 0.0)];
+        let xs = piecewise_crossings(&bump, 5.0);
+        assert_eq!(xs.len(), 2);
+        assert!((xs[0] - 0.5).abs() < 1e-9 && (xs[1] - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn piecewise_handles_degenerate_inputs() {
+        assert!(piecewise_crossings(&[], 1.0).is_empty());
+        assert!(piecewise_crossings(&[(0.0, 5.0)], 1.0).is_empty());
+        // All above / all below: no crossing.
+        assert!(piecewise_crossings(&[(0.0, 5.0), (1.0, 6.0)], 1.0).is_empty());
+        // A sample exactly on the target yields one crossing, not two.
+        let touch = [(0.0, 0.0), (1.0, 5.0), (2.0, 10.0)];
+        assert_eq!(piecewise_crossings(&touch, 5.0).len(), 1);
+        // A curve *starting* exactly on the target reports that point (it
+        // has no arriving segment).
+        let starts_on = [(1.0, 2017.0), (1.1, 2016.5)];
+        assert_eq!(piecewise_crossings(&starts_on, 2017.0), vec![1.0]);
+        // NaN samples poison only their segments.
+        let noisy = [(0.0, 0.0), (1.0, f64::NAN), (2.0, 4.0), (3.0, 8.0)];
+        let xs = piecewise_crossings(&noisy, 6.0);
+        assert_eq!(xs.len(), 1);
+        assert!((xs[0] - 2.5).abs() < 1e-9);
     }
 }

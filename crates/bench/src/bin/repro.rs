@@ -415,26 +415,63 @@ fn run_grid(
 }
 
 /// Builds one comparison per experiment from the scalar grid: the metric is
-/// the experiment's summary scalar, diffed across every sweep point.
+/// the experiment's summary scalar, diffed across every sweep point. With a
+/// single numeric sweep dimension the comparison also carries the axis (and
+/// the scalar's threshold, when declared), enabling crossover analysis.
+///
+/// A missing scalar is a hard error: every experiment in the registry
+/// declares a summary scalar, so a gap would silently hollow out the
+/// comparison's spread statistics.
 fn build_comparisons(
     entries: &[&'static Entry],
     points: &[ScenarioPoint],
     scalars: &[Option<Scalar>],
+    matrix: &ScenarioMatrix,
 ) -> Vec<Comparison> {
     let npoints = points.len();
+    // The crossover x-axis: the swept path, when exactly one dimension is
+    // swept and every value on it is numeric.
+    let axis: Option<&str> = match matrix.specs() {
+        [spec] if spec.values.iter().all(|v| v.parse::<f64>().is_ok()) => Some(spec.path.as_str()),
+        _ => None,
+    };
     entries
         .iter()
         .enumerate()
         .map(|(entry_idx, entry)| {
             let per_point = &scalars[entry_idx * npoints..(entry_idx + 1) * npoints];
-            let metric = per_point.iter().flatten().next();
-            let mut comparison = Comparison::new(
-                entry.key,
-                metric.map_or("(no summary scalar)", |s| s.name.as_str()),
-                metric.map_or("", |s| s.unit.as_str()),
-            );
+            let metric = per_point.iter().flatten().next().unwrap_or_else(|| {
+                fail(&format!(
+                    "experiment `{}` produced no summary scalar; sweep comparisons \
+                     require full scalar coverage",
+                    entry.key
+                ))
+            });
+            let mut comparison = Comparison::new(entry.key, &metric.name, &metric.unit);
+            if let Some(axis) = axis {
+                comparison = comparison.with_axis(axis);
+            }
+            if let Some(threshold) = &metric.threshold {
+                comparison = comparison.with_threshold(threshold.clone());
+            }
             for (point, scalar) in points.iter().zip(per_point) {
-                comparison.push(point.display_label(), scalar.as_ref().map(|s| s.value));
+                let scalar = scalar.as_ref().unwrap_or_else(|| {
+                    fail(&format!(
+                        "experiment `{}` produced no summary scalar at point `{}`",
+                        entry.key,
+                        point.display_label()
+                    ))
+                });
+                let x = axis.and_then(|_| {
+                    point
+                        .assignments
+                        .first()
+                        .and_then(|(_, v)| v.parse::<f64>().ok())
+                });
+                match x {
+                    Some(x) => comparison.push_at(point.display_label(), x, Some(scalar.value)),
+                    None => comparison.push(point.display_label(), Some(scalar.value)),
+                };
             }
             comparison
         })
@@ -490,6 +527,9 @@ fn render_comparisons(
                             .map_or(String::new(), |r| format!(", {r:.2}x min..max")),
                     ));
                 }
+                for crossing in c.crossings() {
+                    out.push_str(&format!("\ncrossing: {}\n", crossing.line));
+                }
             }
             out
         }
@@ -503,6 +543,9 @@ fn render_comparisons(
                     c.unit,
                     c.to_table().to_csv()
                 ));
+                for crossing in c.crossings() {
+                    out.push_str(&format!("# crossing: {}\n", crossing.line));
+                }
             }
             out
         }
@@ -530,6 +573,9 @@ fn render_comparisons(
                         s.spread_ratio()
                             .map_or(String::new(), |r| format!(" ({r:.2}x min..max)")),
                     ));
+                }
+                for crossing in c.crossings() {
+                    out.push_str(&format!("crossing: {}\n", crossing.line));
                 }
             }
             out
@@ -585,7 +631,7 @@ fn main() {
     // With an active sweep, diff every experiment's summary scalar across the
     // grid points into the comparison report.
     if matrix.is_sweep() {
-        let comparisons = build_comparisons(&selected, &points, &scalars);
+        let comparisons = build_comparisons(&selected, &points, &scalars, &matrix);
         let report = render_comparisons(&comparisons, &matrix, options.format);
         match &options.out_dir {
             None => emit(&report),

@@ -18,13 +18,14 @@ fn stdout_of(output: std::process::Output) -> String {
 }
 
 #[test]
-fn list_prints_all_25_keys() {
+fn list_prints_all_26_keys() {
     let out = stdout_of(repro().arg("--list").output().unwrap());
     let keys: Vec<&str> = out.lines().collect();
-    assert_eq!(keys.len(), 25);
+    assert_eq!(keys.len(), 26);
     assert!(keys.contains(&"fig10"));
     assert!(keys.contains(&"table4"));
     assert!(keys.contains(&"ext-mc"));
+    assert!(keys.contains(&"ext-facility"));
 }
 
 #[test]
@@ -35,7 +36,7 @@ fn list_respects_tag_filters() {
             .output()
             .unwrap(),
     );
-    assert_eq!(out.lines().count(), 6);
+    assert_eq!(out.lines().count(), 7);
     assert!(out.lines().all(|k| k.starts_with("ext-")));
 
     let out = stdout_of(
@@ -128,15 +129,16 @@ fn parallel_run_writes_one_artifact_per_experiment() {
             .output()
             .unwrap(),
     );
-    assert_eq!(out.lines().count(), 25, "one `wrote …` line per experiment");
+    assert_eq!(out.lines().count(), 26, "one `wrote …` line per experiment");
     let mut files: Vec<String> = std::fs::read_dir(&dir)
         .unwrap()
         .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
         .collect();
     files.sort();
-    assert_eq!(files.len(), 25);
+    assert_eq!(files.len(), 26);
     assert!(files.contains(&"fig10.json".to_string()));
     assert!(files.contains(&"ext-mc.json".to_string()));
+    assert!(files.contains(&"ext-facility.json".to_string()));
     // Parallel output must byte-match a sequential run of the same artifact.
     let sequential = stdout_of(repro().args(["--json", "fig14"]).output().unwrap());
     let parallel_artifact = std::fs::read_to_string(dir.join("fig14.json")).unwrap();
@@ -290,6 +292,121 @@ fn invalid_sweeps_exit_nonzero_with_diagnostics() {
         .output()
         .unwrap();
     assert_eq!(bad_value.status.code(), Some(2), "0 g/kWh is unphysical");
+}
+
+#[test]
+fn facility_growth_sweep_is_deterministic_and_prints_a_crossover() {
+    // The capacity-planning workload end to end: sweep the fleet growth
+    // factor over the facility model, in parallel, and check the comparison
+    // locates where construction carbon overtakes operations.
+    let run = |jobs: &str| {
+        stdout_of(
+            repro()
+                .args([
+                    "--sweep",
+                    "fleet.growth=1.0,1.1,1.2",
+                    "--jobs",
+                    jobs,
+                    "--json",
+                    "ext-facility",
+                ])
+                .output()
+                .unwrap(),
+        )
+    };
+    let sequential = run("1");
+    for jobs in ["2", "8"] {
+        assert_eq!(
+            sequential,
+            run(jobs),
+            "--jobs {jobs} must not change output"
+        );
+    }
+    // 3 per-point artifacts + the comparison report.
+    assert_eq!(sequential.lines().count(), 4);
+    let comparison = sequential.lines().last().unwrap();
+    assert!(comparison.contains(r#""metric":"opex-capex-breakeven-year""#));
+    assert!(comparison.contains(r#""axis":"fleet.growth""#));
+    assert!(comparison
+        .contains(r#""threshold":{"value":2017.0,"label":"construction overtakes operations"}"#));
+    // Per-point artifacts carry the per-year operational/capex series.
+    assert!(sequential.contains(r#""name":"facility-operational-carbon""#));
+    assert!(sequential.contains(r#""name":"facility-capex-carbon""#));
+}
+
+#[test]
+fn facility_sweep_comparison_locates_the_growth_crossover() {
+    let out = stdout_of(
+        repro()
+            .args([
+                "--sweep",
+                "fleet.growth=1.0..1.5/0.1",
+                "--json",
+                "ext-facility",
+            ])
+            .output()
+            .unwrap(),
+    );
+    let comparison = out.lines().last().unwrap();
+    assert!(
+        comparison.contains(r#""crossings":[{"at":"#),
+        "comparison must locate a crossover: {comparison}"
+    );
+    assert!(comparison.contains("construction overtakes operations) at fleet.growth"));
+}
+
+#[test]
+fn full_suite_sweep_has_no_scalar_gaps() {
+    // Every experiment must contribute a summary scalar to a full-suite
+    // sweep: no `(no summary scalar)` metric and no null row values.
+    let out = stdout_of(
+        repro()
+            .args(["--sweep", "grid.intensity=380,50", "--json"])
+            .output()
+            .unwrap(),
+    );
+    let comparison = out.lines().last().unwrap();
+    assert!(comparison.contains(r#""comparisons":["#));
+    assert!(!comparison.contains("(no summary scalar)"));
+    assert!(!comparison.contains(r#""value":null"#));
+    // All 26 experiments appear.
+    assert_eq!(comparison.matches(r#""experiment":"#).count(), 26);
+}
+
+#[test]
+fn fleet_overrides_flow_into_the_facility_experiments() {
+    let out = stdout_of(
+        repro()
+            .args([
+                "--set",
+                "fleet.initial_servers=1000",
+                "--set",
+                "fleet.growth=1.05",
+                "--set",
+                "fleet.pue=2.0",
+                "--set",
+                "fleet.renewable_ramp=0,0.5,1",
+                "--set",
+                "fleet.horizon_years=3",
+                "--json",
+                "ext-facility",
+            ])
+            .output()
+            .unwrap(),
+    );
+    assert!(out.contains(r#""initial_servers":1000"#));
+    assert!(out.contains(r#""renewable_ramp":[0.0,0.5,1.0]"#));
+    assert!(out.contains(r#""horizon_years":3"#));
+    // Three simulated years in the facility table.
+    assert!(out.contains(r#"["2015","#));
+    assert!(!out.contains(r#"["2016","#));
+
+    let invalid = repro()
+        .args(["--set", "fleet.pue=0.8", "ext-facility"])
+        .output()
+        .unwrap();
+    assert_eq!(invalid.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&invalid.stderr).contains("pue"));
 }
 
 #[test]

@@ -60,9 +60,17 @@ impl Experiment for ExtDvfs {
             ]);
         }
         out.table("MobileNet v3 on the Pixel 3 CPU under DVFS", t);
-        out.series(energy_series).series(days_series);
 
         let opt = dvfs::energy_optimal_scale(&cpu, &network, &scales).expect("nonempty sweep");
+        // Headline: break-even days at the energy-optimal operating point —
+        // the best case DVFS can make for amortization under this scenario.
+        let optimal_days = scales
+            .iter()
+            .position(|&s| (s - opt).abs() < 1e-9)
+            .and_then(|i| days_series.points.get(i))
+            .map_or(f64::NAN, |p| p.y);
+        out.series(energy_series).series(days_series);
+        out.scalar("energy-optimal-breakeven", "days", optimal_days);
         out.note(format!(
             "energy-optimal operating point: {opt:.1}x nominal frequency — downclocking saves \
              energy per image, which *lengthens* amortization (the paper's efficiency paradox)"

@@ -57,6 +57,7 @@ impl Experiment for Fig01IctProjections {
         }
         let opt_2030 = ict::total_twh(Scenario::Optimistic)[4] / ict::GLOBAL_DEMAND_TWH[4];
         let exp_2030 = ict::total_twh(Scenario::Expected)[4] / ict::GLOBAL_DEMAND_TWH[4];
+        out.scalar("expected-2030-demand-share", "%", exp_2030 * 100.0);
         out.note(format!(
             "paper: 7% of global demand by 2030 (optimistic); measured {:.1}%",
             opt_2030 * 100.0

@@ -36,6 +36,11 @@ impl Experiment for Fig03GhgScopes {
             ]);
         }
         out.table("GHG Protocol emission scopes", t);
+        out.scalar(
+            "scope3-categories",
+            "categories",
+            cc_ghg::categories::Scope3Cat::ALL.len() as f64,
+        );
         out.note("structural figure: taxonomy reproduced from cc-ghg's scope and category model");
         out
     }

@@ -1,6 +1,6 @@
 //! Figure 4: the hardware life cycle and its opex/capex classification.
 
-use cc_lca::LifecyclePhase;
+use cc_lca::{ExpenditureClass, LifecyclePhase};
 use cc_report::{Experiment, ExperimentId, ExperimentOutput, RunContext, Table};
 
 /// Reproduces Fig 4's life-cycle/classification mapping.
@@ -40,6 +40,16 @@ impl Experiment for Fig04Lifecycle {
             ]);
         }
         out.table("Hardware life cycle (Fig 4)", t);
+        let opex_phases = LifecyclePhase::ALL
+            .iter()
+            .filter(|p| p.expenditure_class() == ExpenditureClass::Opex)
+            .count();
+        out.scalar(
+            "capex-phase-share",
+            "%",
+            100.0 * (LifecyclePhase::ALL.len() - opex_phases) as f64
+                / LifecyclePhase::ALL.len() as f64,
+        );
         out.note("only the use phase is opex-related; all other phases aggregate into capex");
         out
     }

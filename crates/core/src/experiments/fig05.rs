@@ -33,6 +33,7 @@ impl Experiment for Fig05AppleBreakdown {
         let manufacturing = apple_2019_group_share("Manufacturing");
         let product_use = apple_2019_group_share("Product Use");
         let ics = APPLE_2019_BREAKDOWN[0].share;
+        out.scalar("manufacturing-share", "%", manufacturing * 100.0);
         out.note(format!(
             "paper: manufacturing 74% / use 19%; measured {:.0}% / {:.0}%",
             manufacturing * 100.0,

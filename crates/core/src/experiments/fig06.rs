@@ -76,6 +76,7 @@ impl Experiment for Fig06DeviceBreakdown {
             .map(|s| s.manufacturing_share_mean)
             .sum::<f64>()
             / battery.len() as f64;
+        out.scalar("battery-manufacturing-share", "%", avg_mfg * 100.0);
         out.note(format!(
             "paper: manufacturing ~75% for battery-powered devices; measured {:.0}%",
             avg_mfg * 100.0

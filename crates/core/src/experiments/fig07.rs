@@ -20,6 +20,7 @@ impl Experiment for Fig07Generations {
 
     fn run(&self, _ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
+        let mut iphone_rise_pp = 0.0;
         for family in Family::fig7_families() {
             let mut t = Table::new([
                 "Generation",
@@ -55,6 +56,9 @@ impl Experiment for Fig07Generations {
                 share.values().next().unwrap_or(0.0),
                 share.values().last().unwrap_or(0.0),
             );
+            if family.name.contains("iPhone") {
+                iphone_rise_pp = (last - first) * 100.0;
+            }
             out.note(format!(
                 "{}: manufacturing share {:.0}% -> {:.0}%",
                 family.name,
@@ -62,6 +66,7 @@ impl Experiment for Fig07Generations {
                 last * 100.0
             ));
         }
+        out.scalar("iphone-manufacturing-share-rise", "pp", iphone_rise_pp);
         out.note("paper anchors: iPhone 40%->75% (3GS->XR), Watch 60%->75%, iPad 60%->75%");
         out
     }

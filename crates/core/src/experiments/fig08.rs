@@ -57,6 +57,7 @@ impl Experiment for Fig08Pareto {
         }
 
         let shift = benefit_shift(&front2017, &front2019);
+        out.scalar("frontier-benefit-shift", "x", shift);
         out.note(format!(
             "paper: frontier shifted primarily right (more performance, similar carbon); \
              measured mean benefit shift {shift:.1}x at matched carbon budgets"

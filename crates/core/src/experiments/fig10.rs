@@ -101,7 +101,13 @@ impl Experiment for Fig10Breakeven {
         // The figure's headline, as sweep-comparable scalars: how long the
         // efficient-network/CPU case takes to amortize the SoC's embodied
         // carbon, and the images it implies.
-        out.scalar("mobilenet-v3-cpu-breakeven", "days", cpu.days);
+        out.scalar_with_threshold(
+            "mobilenet-v3-cpu-breakeven",
+            "days",
+            cpu.days,
+            365.0,
+            "one-year amortization",
+        );
         out.scalar(
             "mobilenet-v3-cpu-breakeven-images",
             "images",

@@ -37,6 +37,7 @@ impl Experiment for Fig12Scope3Breakdown {
             ]);
         }
         out.table("Facebook 2019 Scope 3 breakdown", t);
+        out.scalar("capex-related-scope3-share", "%", capex_share * 100.0);
         out.note(format!(
             "paper: construction and hardware (capital goods) account for up to 48% of Scope 3; \
              capex-related categories total {:.0}%",

@@ -144,6 +144,16 @@ impl Experiment for Fig13EnergySourceSweep {
         amd_series.name = "amd-hw-use-share".to_string();
         out.series(amd_series);
 
+        // The headline scalar tracks the scenario: the HW-use share of
+        // Intel's life cycle on the *effective* scenario grid.
+        let intel_scenario_use = rescaled_shares(
+            &cc_data::corporate::INTEL_LIFECYCLE,
+            ctx.effective_grid_intensity().as_g_per_kwh(),
+        )
+        .iter()
+        .find(|(l, _)| *l == "HW use")
+        .map_or(0.0, |(_, v)| *v);
+        out.scalar("intel-hw-use-share", "%", intel_scenario_use * 100.0);
         out.note(format!(
             "paper: ~60% of Intel's and ~45% of AMD's life-cycle emissions are hardware use on \
              the US grid; measured {:.0}% / {:.0}%",

@@ -54,7 +54,13 @@ impl Experiment for Fig15ResearchDirections {
             "Greener fabs; yield; PFC abatement",
             "cc-fab: wafer sweep, die model, abatement",
         ]);
+        let modelled = t
+            .rows()
+            .iter()
+            .filter(|r| !r[2].starts_with("(out of scope"))
+            .count();
         out.table("Research directions (Fig 15)", t);
+        out.scalar("stack-layers-modelled", "layers", modelled as f64);
         out.note("structural figure: the mapping doubles as this repository's coverage index");
         out
     }

@@ -10,6 +10,7 @@
 pub mod ext_die;
 pub mod ext_dvfs;
 pub mod ext_fab;
+pub mod ext_facility;
 pub mod ext_hetero;
 pub mod ext_mc;
 pub mod ext_sched;
@@ -37,6 +38,7 @@ pub mod table4;
 pub use ext_die::ExtDieCarbon;
 pub use ext_dvfs::ExtDvfs;
 pub use ext_fab::ExtFabDecarbonization;
+pub use ext_facility::ExtFacility;
 pub use ext_hetero::ExtHeterogeneity;
 pub use ext_mc::ExtMonteCarlo;
 pub use ext_sched::ExtCarbonAwareScheduling;
@@ -194,7 +196,7 @@ macro_rules! entry {
     };
 }
 
-static ENTRIES: [Entry; 25] = [
+static ENTRIES: [Entry; 26] = [
     entry!("fig01", Fig01IctProjections, [Figure, Energy]),
     entry!(
         "fig02",
@@ -232,6 +234,7 @@ static ENTRIES: [Entry; 25] = [
     entry!("ext-hetero", ExtHeterogeneity, [Extension, Datacenter]),
     entry!("ext-fab", ExtFabDecarbonization, [Extension, Fab]),
     entry!("ext-mc", ExtMonteCarlo, [Extension]),
+    entry!("ext-facility", ExtFacility, [Extension, Datacenter]),
 ];
 
 /// Every registry entry, in presentation order: figures 1–15, tables I–IV,
@@ -277,8 +280,8 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         let experiments = all();
-        assert_eq!(experiments.len(), 25);
-        // 15 figures, 4 tables, 6 extensions.
+        assert_eq!(experiments.len(), 26);
+        // 15 figures, 4 tables, 7 extensions.
         let figs = experiments
             .iter()
             .filter(|e| matches!(e.id(), cc_report::ExperimentId::Figure(_)))
@@ -333,8 +336,8 @@ mod tests {
     fn tag_filtering_selects_subsets() {
         assert_eq!(with_tags(&[Tag::Figure]).len(), 15);
         assert_eq!(with_tags(&[Tag::Table]).len(), 4);
-        assert_eq!(with_tags(&[Tag::Extension]).len(), 6);
-        assert_eq!(with_tags(&[]).len(), 25);
+        assert_eq!(with_tags(&[Tag::Extension]).len(), 7);
+        assert_eq!(with_tags(&[]).len(), 26);
         let mobile_figures = with_tags(&[Tag::Figure, Tag::Mobile]);
         assert!(mobile_figures.iter().any(|e| e.key == "fig10"));
         assert!(mobile_figures.iter().all(|e| e.has_tag(Tag::Figure)));
@@ -372,13 +375,23 @@ mod tests {
     }
 
     #[test]
-    fn sweepable_experiments_expose_summary_scalars() {
+    fn every_experiment_exposes_a_summary_scalar() {
+        // Full-suite sweeps are only diffable when every experiment carries
+        // a headline scalar — comparison reports must never render a
+        // `(no summary scalar)` row.
         let ctx = RunContext::paper();
-        for key in ["fig10", "fig09", "fig14", "ext-die", "ext-fab", "ext-mc"] {
-            let out = find(key).unwrap().run(&ctx);
-            let scalar = out.summary_scalar();
-            assert!(scalar.is_some(), "{key} must expose a summary scalar");
-            assert!(scalar.unwrap().value.is_finite());
+        for entry in entries() {
+            let out = entry.build().run(&ctx);
+            let scalar = out
+                .summary_scalar()
+                .unwrap_or_else(|| panic!("{} must expose a summary scalar", entry.key));
+            assert!(
+                scalar.value.is_finite(),
+                "{}: summary scalar `{}` is not finite",
+                entry.key,
+                scalar.name
+            );
+            assert!(!scalar.name.is_empty() && !scalar.unit.is_empty());
         }
     }
 }

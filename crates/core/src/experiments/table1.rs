@@ -28,6 +28,11 @@ impl Experiment for Table1Scopes {
             ]);
         }
         out.table("Table I: GHG Protocol scopes by company type", t);
+        out.scalar(
+            "company-archetypes",
+            "archetypes",
+            CompanyKind::ALL.len() as f64,
+        );
         out.note(
             "Scope 1 dominates operational output only for chip manufacturers \
              (PFCs, chemicals, gases)",

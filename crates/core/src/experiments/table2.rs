@@ -32,6 +32,7 @@ impl Experiment for Table2EnergySources {
         }
         out.table("Table II: carbon efficiency of energy sources", t);
         let spread = EnergySource::Coal.carbon_intensity() / EnergySource::Wind.carbon_intensity();
+        out.scalar("coal-to-wind-spread", "x", spread);
         out.note(format!(
             "coal-to-wind intensity spread {spread:.0}x (the paper's 'up to 70x improvement' bound)"
         ));

@@ -30,6 +30,15 @@ impl Experiment for Table3Grids {
             "Table III: global carbon efficiency of energy production",
             t,
         );
+        let spread = Region::ALL
+            .iter()
+            .map(|r| r.carbon_intensity().as_g_per_kwh())
+            .fold(f64::NEG_INFINITY, f64::max)
+            / Region::ALL
+                .iter()
+                .map(|r| r.carbon_intensity().as_g_per_kwh())
+                .fold(f64::INFINITY, f64::min);
+        out.scalar("dirtiest-to-cleanest-grid-spread", "x", spread);
         out.note("the US average (380 g/kWh) is the baseline for the Fig 10 break-even analysis");
         out
     }

@@ -55,6 +55,11 @@ impl Experiment for Table4MacPro {
             num(MAC_PRO_2.manufacturing_kg, 0),
         ]);
         out.table("Table IV: Apple Mac Pro configurations", t);
+        out.scalar(
+            "scaleup-manufacturing-ratio",
+            "x",
+            MAC_PRO_2.manufacturing() / MAC_PRO_1.manufacturing(),
+        );
         out.note(format!(
             "paper: the high-performance configuration has ~2.7x higher manufacturing CO2; \
              measured {:.2}x",

@@ -17,7 +17,7 @@ pub enum EnergySource {
     /// Biomass (230 g CO₂e/kWh).
     Biomass,
     /// Photovoltaic solar (41 g CO₂e/kWh) — together with wind, the source
-    /// that "frequently power[s] data centers".
+    /// that "frequently power\[s\] data centers".
     Solar,
     /// Geothermal (38 g CO₂e/kWh).
     Geothermal,

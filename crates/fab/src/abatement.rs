@@ -5,7 +5,7 @@
 //! manufacturing 12-inch wafers are due to PFCs, chemicals, and gases").
 //! Point-of-use combustion/plasma abatement destroys a large fraction of PFC
 //! emissions; this module applies such a destruction efficiency to the PFC
-//! component of a [`WaferFootprint`](crate::WaferFootprint).
+//! component of a [`WaferFootprint`].
 
 use crate::wafer::WaferFootprint;
 use cc_units::CarbonMass;

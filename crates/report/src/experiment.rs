@@ -10,7 +10,7 @@ use crate::table::Table;
 /// Extension experiments known to the workspace, registered here so that
 /// `ExperimentId::parse` can round-trip `ext-…` keys without allocating.
 /// (`ExperimentId` stays `Copy` by holding `&'static str` names.)
-pub const KNOWN_EXTENSIONS: [&str; 6] = ["sched", "die", "dvfs", "hetero", "fab", "mc"];
+pub const KNOWN_EXTENSIONS: [&str; 7] = ["sched", "die", "dvfs", "hetero", "fab", "mc", "facility"];
 
 /// Identifier of a paper artifact being reproduced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -93,6 +93,30 @@ impl core::fmt::Display for ExperimentId {
     }
 }
 
+/// A decision threshold attached to a [`Scalar`]: the value at which the
+/// experiment's conclusion flips, plus a label saying what flips. Sweep
+/// comparisons use it to report *where along the swept axis* the scalar
+/// crosses the threshold ("construction overtakes operations at growth ≈
+/// 1.18").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarThreshold {
+    /// The threshold value, in the scalar's unit.
+    pub value: f64,
+    /// What crossing the threshold means (e.g. `"one-year amortization"`).
+    pub label: String,
+}
+
+impl ScalarThreshold {
+    /// The threshold as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("value", JsonValue::from(self.value)),
+            ("label", JsonValue::from(self.label.as_str())),
+        ])
+    }
+}
+
 /// A named headline number with a unit — the single value a cross-scenario
 /// comparison report diffs for this experiment (e.g. Fig 10's MobileNet-v3
 /// CPU break-even days). The first scalar an experiment attaches is its
@@ -105,6 +129,8 @@ pub struct Scalar {
     pub unit: String,
     /// The value.
     pub value: f64,
+    /// Optional decision threshold for sweep crossover analysis.
+    pub threshold: Option<ScalarThreshold>,
 }
 
 impl Scalar {
@@ -115,6 +141,12 @@ impl Scalar {
             ("name", JsonValue::from(self.name.as_str())),
             ("unit", JsonValue::from(self.unit.as_str())),
             ("value", JsonValue::from(self.value)),
+            (
+                "threshold",
+                self.threshold
+                    .as_ref()
+                    .map_or(JsonValue::Null, ScalarThreshold::to_json),
+            ),
         ])
     }
 }
@@ -170,6 +202,29 @@ impl ExperimentOutput {
             name: name.into(),
             unit: unit.into(),
             value,
+            threshold: None,
+        });
+        self
+    }
+
+    /// Adds a named scalar carrying a decision threshold: sweep comparisons
+    /// report where along the swept axis the scalar crosses it.
+    pub fn scalar_with_threshold(
+        &mut self,
+        name: impl Into<String>,
+        unit: impl Into<String>,
+        value: f64,
+        threshold: f64,
+        threshold_label: impl Into<String>,
+    ) -> &mut Self {
+        self.scalars.push(Scalar {
+            name: name.into(),
+            unit: unit.into(),
+            value,
+            threshold: Some(ScalarThreshold {
+                value: threshold,
+                label: threshold_label.into(),
+            }),
         });
         self
     }
@@ -426,9 +481,27 @@ mod tests {
         assert!(out
             .render_csv()
             .contains("# scalar: breakeven-days,350,days"));
+        assert!(out.render_json().contains(
+            r#""scalars":[{"name":"breakeven-days","unit":"days","value":350.0,"threshold":null}"#
+        ));
+    }
+
+    #[test]
+    fn thresholds_attach_and_serialize() {
+        let mut out = ExperimentOutput::new();
+        out.scalar_with_threshold(
+            "breakeven-days",
+            "days",
+            350.0,
+            365.0,
+            "one-year amortization",
+        );
+        let scalar = out.summary_scalar().unwrap();
+        let threshold = scalar.threshold.as_ref().unwrap();
+        assert_eq!(threshold.value, 365.0);
         assert!(out
             .render_json()
-            .contains(r#""scalars":[{"name":"breakeven-days","unit":"days","value":350.0}"#));
+            .contains(r#""threshold":{"value":365.0,"label":"one-year amortization"}"#));
     }
 
     #[test]

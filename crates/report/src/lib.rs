@@ -20,11 +20,13 @@ pub mod scenario;
 pub mod series;
 pub mod table;
 
-pub use experiment::{Experiment, ExperimentId, ExperimentOutput, Scalar, KNOWN_EXTENSIONS};
+pub use experiment::{
+    Experiment, ExperimentId, ExperimentOutput, Scalar, ScalarThreshold, KNOWN_EXTENSIONS,
+};
 pub use json::JsonValue;
 pub use scenario::sweep::{
-    Comparison, ComparisonRow, ScenarioMatrix, ScenarioPoint, SweepError, SweepSpec,
+    Comparison, ComparisonRow, Crossing, ScenarioMatrix, ScenarioPoint, SweepError, SweepSpec,
 };
-pub use scenario::{RunContext, Scenario, ScenarioBuilder, ScenarioError};
+pub use scenario::{FleetParams, RunContext, Scenario, ScenarioBuilder, ScenarioError};
 pub use series::{Series, SeriesPoint};
 pub use table::Table;

@@ -64,11 +64,32 @@ pub struct FabParams {
     pub renewable_share: f64,
 }
 
-/// Datacenter-fleet parameters.
+/// Datacenter-fleet parameters: everything `cc_dcsim::Facility` needs to
+/// simulate a warehouse-scale facility over a planning horizon. The paper
+/// defaults pin the Prineville-like facility behind Fig 2 (left), so the
+/// default scenario replays the disclosed trajectory while any other fleet
+/// answers a capacity-planning question ("at what growth does construction
+/// carbon overtake operations?").
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetParams {
-    /// Demand multiplier applied to fleet-sizing experiments.
+    /// Demand multiplier applied to fleet-sizing experiments (scales the
+    /// initial server count of the facility model).
     pub scale: f64,
+    /// Servers in service in the facility's first simulated year.
+    pub initial_servers: u64,
+    /// Annual server-fleet growth factor (1.0 = flat fleet).
+    pub growth: f64,
+    /// Power usage effectiveness of the facility (>= 1).
+    pub pue: f64,
+    /// Renewable (PPA) coverage fraction per simulated year; the last value
+    /// holds for every later year. This is the facility's renewable-ramp
+    /// slope knob.
+    pub renewable_ramp: Vec<f64>,
+    /// Total construction embodied carbon in kt CO₂e (amortized by the
+    /// facility model over its fixed 20-year building life).
+    pub construction_kt: f64,
+    /// Simulated planning horizon in years.
+    pub horizon_years: u32,
 }
 
 /// Monte-Carlo parameters for `ext-mc`.
@@ -136,7 +157,15 @@ impl Scenario {
                 yield_factor: 1.0,
                 renewable_share: 0.2,
             },
-            fleet: FleetParams { scale: 1.0 },
+            fleet: FleetParams {
+                scale: 1.0,
+                initial_servers: 60_000,
+                growth: 1.28,
+                pue: 1.10,
+                renewable_ramp: vec![0.05, 0.10, 0.20, 0.35, 0.60, 0.85, 1.0],
+                construction_kt: 150.0,
+                horizon_years: 7,
+            },
             mc: McParams {
                 seed: 10,
                 samples: 20_000,
@@ -202,6 +231,23 @@ impl Scenario {
             "fab.yield_factor" => self.fab.yield_factor = f64_of(key, value)?,
             "fab.renewable_share" => self.fab.renewable_share = f64_of(key, value)?,
             "fleet.scale" => self.fleet.scale = f64_of(key, value)?,
+            "fleet.initial_servers" => self.fleet.initial_servers = u64_of(key, value)?,
+            "fleet.growth" => self.fleet.growth = f64_of(key, value)?,
+            "fleet.pue" => self.fleet.pue = f64_of(key, value)?,
+            "fleet.renewable_ramp" | "fleet.ramp" => {
+                self.fleet.renewable_ramp = parse_ramp(key, value)?;
+            }
+            "fleet.construction_kt" | "fleet.construction" => {
+                self.fleet.construction_kt = f64_of(key, value)?;
+            }
+            "fleet.horizon_years" | "fleet.horizon" => {
+                self.fleet.horizon_years = u32::try_from(u64_of(key, value)?).map_err(|_| {
+                    ScenarioError::InvalidValue {
+                        key: key.to_string(),
+                        value: value.to_string(),
+                    }
+                })?;
+            }
             "mc.seed" => self.mc.seed = u64_of(key, value)?,
             "mc.samples" => {
                 self.mc.samples = u32::try_from(u64_of(key, value)?).map_err(|_| {
@@ -326,6 +372,21 @@ impl Scenario {
         ));
         out.push_str("\n[fleet]\n");
         out.push_str(&format!("scale = {:?}\n", self.fleet.scale));
+        out.push_str(&format!(
+            "initial_servers = {}\n",
+            self.fleet.initial_servers
+        ));
+        out.push_str(&format!("growth = {:?}\n", self.fleet.growth));
+        out.push_str(&format!("pue = {:?}\n", self.fleet.pue));
+        out.push_str(&format!(
+            "renewable_ramp = {}\n",
+            quote(&format_ramp(&self.fleet.renewable_ramp))
+        ));
+        out.push_str(&format!(
+            "construction_kt = {:?}\n",
+            self.fleet.construction_kt
+        ));
+        out.push_str(&format!("horizon_years = {}\n", self.fleet.horizon_years));
         out.push_str("\n[mc]\n");
         out.push_str(&format!("seed = {}\n", self.mc.seed));
         out.push_str(&format!("samples = {}\n", self.mc.samples));
@@ -380,7 +441,32 @@ impl Scenario {
             ),
             (
                 "fleet",
-                JsonValue::object([("scale", JsonValue::from(self.fleet.scale))]),
+                JsonValue::object([
+                    ("scale", JsonValue::from(self.fleet.scale)),
+                    (
+                        "initial_servers",
+                        JsonValue::Integer(self.fleet.initial_servers),
+                    ),
+                    ("growth", JsonValue::from(self.fleet.growth)),
+                    ("pue", JsonValue::from(self.fleet.pue)),
+                    (
+                        "renewable_ramp",
+                        JsonValue::array(
+                            self.fleet
+                                .renewable_ramp
+                                .iter()
+                                .map(|&v| JsonValue::from(v)),
+                        ),
+                    ),
+                    (
+                        "construction_kt",
+                        JsonValue::from(self.fleet.construction_kt),
+                    ),
+                    (
+                        "horizon_years",
+                        JsonValue::Integer(u64::from(self.fleet.horizon_years)),
+                    ),
+                ]),
             ),
             (
                 "mc",
@@ -425,7 +511,7 @@ impl Scenario {
                 return Err(ScenarioError::UnknownSource(source.clone()));
             }
         }
-        let checks: [(&str, bool); 9] = [
+        let checks: [(&str, bool); 15] = [
             (
                 "grid.intensity must be finite and positive",
                 self.grid.intensity_g_per_kwh.is_finite() && self.grid.intensity_g_per_kwh > 0.0,
@@ -454,6 +540,35 @@ impl Scenario {
             (
                 "fleet.scale must be finite and positive",
                 self.fleet.scale.is_finite() && self.fleet.scale > 0.0,
+            ),
+            (
+                "fleet.initial_servers must be at least 1",
+                self.fleet.initial_servers >= 1,
+            ),
+            (
+                "fleet.growth must be finite and positive",
+                self.fleet.growth.is_finite() && self.fleet.growth > 0.0,
+            ),
+            (
+                "fleet.pue must be finite and at least 1.0",
+                self.fleet.pue.is_finite() && self.fleet.pue >= 1.0,
+            ),
+            (
+                "fleet.renewable_ramp must be non-empty with every value in [0, 1]",
+                !self.fleet.renewable_ramp.is_empty()
+                    && self
+                        .fleet
+                        .renewable_ramp
+                        .iter()
+                        .all(|v| (0.0..=1.0).contains(v)),
+            ),
+            (
+                "fleet.construction_kt must be finite and non-negative",
+                self.fleet.construction_kt.is_finite() && self.fleet.construction_kt >= 0.0,
+            ),
+            (
+                "fleet.horizon_years must lie in 1..=200",
+                (1..=200).contains(&self.fleet.horizon_years),
             ),
             ("mc.samples must be at least 1", self.mc.samples >= 1),
         ];
@@ -547,6 +662,49 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the facility's first-year server count.
+    #[must_use]
+    pub fn fleet_initial_servers(mut self, servers: u64) -> Self {
+        self.scenario.fleet.initial_servers = servers;
+        self
+    }
+
+    /// Sets the annual server-fleet growth factor.
+    #[must_use]
+    pub fn fleet_growth(mut self, factor: f64) -> Self {
+        self.scenario.fleet.growth = factor;
+        self
+    }
+
+    /// Sets the facility power usage effectiveness.
+    #[must_use]
+    pub fn fleet_pue(mut self, pue: f64) -> Self {
+        self.scenario.fleet.pue = pue;
+        self
+    }
+
+    /// Sets the renewable coverage ramp (fraction per simulated year; the
+    /// last value holds thereafter).
+    #[must_use]
+    pub fn fleet_renewable_ramp(mut self, ramp: Vec<f64>) -> Self {
+        self.scenario.fleet.renewable_ramp = ramp;
+        self
+    }
+
+    /// Sets the facility construction embodied carbon in kt CO₂e.
+    #[must_use]
+    pub fn fleet_construction_kt(mut self, kt: f64) -> Self {
+        self.scenario.fleet.construction_kt = kt;
+        self
+    }
+
+    /// Sets the simulated planning horizon in years.
+    #[must_use]
+    pub fn fleet_horizon_years(mut self, years: u32) -> Self {
+        self.scenario.fleet.horizon_years = years;
+        self
+    }
+
     /// Sets the Monte-Carlo base seed.
     #[must_use]
     pub fn mc_seed(mut self, seed: u64) -> Self {
@@ -618,6 +776,32 @@ impl core::fmt::Display for ScenarioError {
 }
 
 impl std::error::Error for ScenarioError {}
+
+/// Parses a renewable-ramp value: comma-separated coverage fractions,
+/// optionally TOML-quoted (`"0.05,0.1,1.0"`). Range checking happens in
+/// [`Scenario::validate`]; this only requires every element to be a number.
+fn parse_ramp(key: &str, value: &str) -> Result<Vec<f64>, ScenarioError> {
+    let invalid = || ScenarioError::InvalidValue {
+        key: key.to_string(),
+        value: value.to_string(),
+    };
+    let text = unquote(value);
+    let text = text.trim();
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|part| part.trim().parse::<f64>().map_err(|_| invalid()))
+        .collect()
+}
+
+/// Canonical text form of a renewable ramp, parseable by [`parse_ramp`].
+fn format_ramp(ramp: &[f64]) -> String {
+    ramp.iter()
+        .map(|v| format!("{v:?}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
 
 /// Finds the Table II energy source matching `name`, case-insensitively.
 fn lookup_energy_source(name: &str) -> Option<EnergySource> {
@@ -807,6 +991,18 @@ impl RunContext {
         self.scenario.fleet.scale
     }
 
+    /// The full fleet/facility parameter block.
+    #[must_use]
+    pub fn fleet(&self) -> &FleetParams {
+        &self.scenario.fleet
+    }
+
+    /// The facility planning horizon in whole years.
+    #[must_use]
+    pub fn fleet_horizon_years(&self) -> usize {
+        self.scenario.fleet.horizon_years as usize
+    }
+
     /// The Monte-Carlo base seed.
     #[must_use]
     pub fn mc_seed(&self) -> u64 {
@@ -889,6 +1085,12 @@ mod tests {
             ("fab.yield_factor", "2"),
             ("fab.renewable_share", "1.0"),
             ("fleet.scale", "3"),
+            ("fleet.initial_servers", "5000"),
+            ("fleet.growth", "1.4"),
+            ("fleet.pue", "1.5"),
+            ("fleet.renewable_ramp", "0,0.5,1"),
+            ("fleet.construction_kt", "80"),
+            ("fleet.horizon", "10"),
             ("mc.seed", "77"),
             ("mc.samples", "1000"),
         ] {
@@ -897,6 +1099,12 @@ mod tests {
         assert_eq!(s.grid.intensity_g_per_kwh, 11.0);
         assert_eq!(s.device.lifetime_years, 5.0);
         assert_eq!(s.fab.node_nm, 5.0);
+        assert_eq!(s.fleet.initial_servers, 5_000);
+        assert_eq!(s.fleet.growth, 1.4);
+        assert_eq!(s.fleet.pue, 1.5);
+        assert_eq!(s.fleet.renewable_ramp, vec![0.0, 0.5, 1.0]);
+        assert_eq!(s.fleet.construction_kt, 80.0);
+        assert_eq!(s.fleet.horizon_years, 10);
         assert_eq!(s.mc.seed, 77);
         assert_eq!(s.mc.samples, 1_000);
         s.validate().unwrap();
@@ -918,6 +1126,73 @@ mod tests {
         s = Scenario::paper_defaults();
         s.grid.intensity_g_per_kwh = f64::NAN;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn fleet_params_round_trip_and_reject_unphysical_values() {
+        // The ramp serializes as a quoted list and round-trips through TOML.
+        let s = Scenario::builder()
+            .name("capacity")
+            .fleet_initial_servers(5_000)
+            .fleet_growth(1.18)
+            .fleet_pue(1.4)
+            .fleet_renewable_ramp(vec![0.0, 0.25, 0.5, 1.0])
+            .fleet_construction_kt(42.5)
+            .fleet_horizon_years(12)
+            .build();
+        s.validate().unwrap();
+        let back = Scenario::from_toml(&s.to_toml()).unwrap();
+        assert_eq!(back, s);
+
+        // PUE below 1 is unphysical (cooling cannot generate energy).
+        let mut bad = Scenario::paper_defaults();
+        bad.set("fleet.pue", "0.9").unwrap();
+        assert!(matches!(bad.validate(), Err(ScenarioError::Invalid(m)) if m.contains("pue")));
+
+        // Growth must be strictly positive.
+        for growth in ["0", "-0.5", "nan"] {
+            let mut bad = Scenario::paper_defaults();
+            bad.set("fleet.growth", growth).unwrap();
+            assert!(bad.validate().is_err(), "growth {growth} must be rejected");
+        }
+
+        // An empty ramp leaves the facility with no renewable trajectory.
+        let mut bad = Scenario::paper_defaults();
+        bad.set("fleet.renewable_ramp", "\"\"").unwrap();
+        assert!(
+            matches!(bad.validate(), Err(ScenarioError::Invalid(m)) if m.contains("ramp")),
+            "empty ramp must be rejected"
+        );
+        // Coverage beyond 100% is rejected too.
+        let mut bad = Scenario::paper_defaults();
+        bad.set("fleet.ramp", "0.5,1.5").unwrap();
+        assert!(bad.validate().is_err());
+        // A non-numeric ramp element fails at set time.
+        let mut s = Scenario::paper_defaults();
+        assert!(matches!(
+            s.set("fleet.renewable_ramp", "0.1,high,1"),
+            Err(ScenarioError::InvalidValue { .. })
+        ));
+
+        // Degenerate fleets are rejected.
+        let mut bad = Scenario::paper_defaults();
+        bad.set("fleet.initial_servers", "0").unwrap();
+        assert!(bad.validate().is_err());
+        let mut bad = Scenario::paper_defaults();
+        bad.set("fleet.horizon_years", "0").unwrap();
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn paper_fleet_defaults_pin_the_prineville_facility() {
+        let fleet = Scenario::paper_defaults().fleet;
+        assert_eq!(fleet.initial_servers, 60_000);
+        assert_eq!(fleet.growth, 1.28);
+        assert_eq!(fleet.pue, 1.10);
+        assert_eq!(fleet.construction_kt, 150.0);
+        assert_eq!(fleet.horizon_years, 7);
+        assert_eq!(fleet.renewable_ramp.len(), 7);
+        assert_eq!(*fleet.renewable_ramp.last().unwrap(), 1.0);
     }
 
     #[test]

@@ -10,9 +10,10 @@
 //! [`Comparison`] artifact (table + JSON).
 
 use super::{Scenario, ScenarioError};
+use crate::experiment::ScalarThreshold;
 use crate::json::JsonValue;
 use crate::table::Table;
-use cc_analysis::stats;
+use cc_analysis::{crossover, stats};
 use cc_data::energy_sources::EnergySource;
 
 /// One swept dimension: a dotted scenario path plus the values it takes.
@@ -367,8 +368,23 @@ impl ScenarioMatrix {
 pub struct ComparisonRow {
     /// The point's display label.
     pub label: String,
+    /// The point's numeric position along the swept axis, when the sweep
+    /// has a single numeric dimension (enables crossover analysis).
+    pub x: Option<f64>,
     /// The metric value at that point, if any.
     pub value: Option<f64>,
+}
+
+/// A located threshold crossing: the swept-axis position where a
+/// comparison's metric crosses its threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Crossing {
+    /// Position along the swept axis.
+    pub at: f64,
+    /// The human-readable sentence sweep reports print (e.g.
+    /// `fig10: breakeven-days crosses 365 (one-year amortization) at
+    /// grid.intensity ≈ 352`).
+    pub line: String,
 }
 
 /// A cross-scenario diff of one metric over the points of a sweep: the
@@ -385,6 +401,12 @@ pub struct Comparison {
     pub metric: String,
     /// The metric's unit label.
     pub unit: String,
+    /// The swept dotted path, when the sweep has exactly one numeric
+    /// dimension (the x-axis of crossover analysis).
+    pub axis: Option<String>,
+    /// The metric's decision threshold, when the experiment declared one on
+    /// its summary scalar.
+    pub threshold: Option<ScalarThreshold>,
     /// One row per grid point, in expansion order.
     pub rows: Vec<ComparisonRow>,
 }
@@ -401,17 +423,79 @@ impl Comparison {
             experiment: experiment.into(),
             metric: metric.into(),
             unit: unit.into(),
+            axis: None,
+            threshold: None,
             rows: Vec::new(),
         }
+    }
+
+    /// Declares the swept axis (a dotted scenario path) enabling crossover
+    /// analysis over rows pushed with [`Self::push_at`].
+    #[must_use]
+    pub fn with_axis(mut self, axis: impl Into<String>) -> Self {
+        self.axis = Some(axis.into());
+        self
+    }
+
+    /// Declares the metric's decision threshold.
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: ScalarThreshold) -> Self {
+        self.threshold = Some(threshold);
+        self
     }
 
     /// Appends one grid point's value.
     pub fn push(&mut self, label: impl Into<String>, value: Option<f64>) -> &mut Self {
         self.rows.push(ComparisonRow {
             label: label.into(),
+            x: None,
             value,
         });
         self
+    }
+
+    /// Appends one grid point's value at a numeric position along the swept
+    /// axis (the form crossover analysis consumes).
+    pub fn push_at(&mut self, label: impl Into<String>, x: f64, value: Option<f64>) -> &mut Self {
+        self.rows.push(ComparisonRow {
+            label: label.into(),
+            x: Some(x),
+            value,
+        });
+        self
+    }
+
+    /// Where the metric crosses its declared threshold along the swept
+    /// axis, via [`cc_analysis::crossover`] over the piecewise-linear
+    /// interpolation of the rows. Empty without an axis, a threshold, or a
+    /// bracketing pair of adjacent points.
+    #[must_use]
+    pub fn crossings(&self) -> Vec<Crossing> {
+        let (Some(axis), Some(threshold)) = (&self.axis, &self.threshold) else {
+            return Vec::new();
+        };
+        let mut points: Vec<(f64, f64)> = self
+            .rows
+            .iter()
+            .filter_map(|r| Some((r.x?, r.value?)))
+            .collect();
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(core::cmp::Ordering::Equal));
+        crossover::piecewise_crossings(&points, threshold.value)
+            .into_iter()
+            .map(|at| Crossing {
+                at,
+                line: format!(
+                    "{}: {} crosses {} {} ({}) at {} ≈ {}",
+                    self.experiment,
+                    self.metric,
+                    display_value(threshold.value),
+                    self.unit,
+                    threshold.label,
+                    axis,
+                    display_value(at),
+                ),
+            })
+            .collect()
     }
 
     /// The baseline: the first row carrying a value.
@@ -469,6 +553,27 @@ impl Comparison {
             ("metric", JsonValue::from(self.metric.as_str())),
             ("unit", JsonValue::from(self.unit.as_str())),
             (
+                "axis",
+                self.axis
+                    .as_deref()
+                    .map_or(JsonValue::Null, JsonValue::from),
+            ),
+            (
+                "threshold",
+                self.threshold
+                    .as_ref()
+                    .map_or(JsonValue::Null, ScalarThreshold::to_json),
+            ),
+            (
+                "crossings",
+                JsonValue::array(self.crossings().into_iter().map(|c| {
+                    JsonValue::object([
+                        ("at", JsonValue::from(c.at)),
+                        ("line", JsonValue::from(c.line.as_str())),
+                    ])
+                })),
+            ),
+            (
                 "baseline",
                 baseline.map_or(JsonValue::Null, JsonValue::from),
             ),
@@ -477,6 +582,7 @@ impl Comparison {
                 JsonValue::array(self.rows.iter().map(|row| {
                     JsonValue::object([
                         ("label", JsonValue::from(row.label.as_str())),
+                        ("x", row.x.map_or(JsonValue::Null, JsonValue::from)),
                         ("value", row.value.map_or(JsonValue::Null, JsonValue::from)),
                         (
                             "delta",
@@ -775,9 +881,69 @@ mod tests {
         assert!(json.contains(r#""baseline":350.0"#));
         assert!(json.contains(r#""spread_ratio":14.0"#));
         // The valueless row carries nulls, not omissions.
-        assert!(
-            json.contains(r#"{"label":"grid.intensity=0","value":null,"delta":null,"ratio":null}"#)
-        );
+        assert!(json.contains(
+            r#"{"label":"grid.intensity=0","x":null,"value":null,"delta":null,"ratio":null}"#
+        ));
+    }
+
+    #[test]
+    fn crossings_locate_the_threshold_on_the_swept_axis() {
+        let mut c = Comparison::new("fig10", "breakeven-days", "days")
+            .with_axis("grid.intensity")
+            .with_threshold(ScalarThreshold {
+                value: 365.0,
+                label: "one-year amortization".to_string(),
+            });
+        // Break-even days fall as the grid gets dirtier.
+        c.push_at("grid.intensity=100", 100.0, Some(1330.0))
+            .push_at("grid.intensity=400", 400.0, Some(332.5))
+            .push_at("grid.intensity=700", 700.0, Some(190.0));
+        let crossings = c.crossings();
+        assert_eq!(crossings.len(), 1);
+        // Linear interpolation between (100, 1330) and (400, 332.5).
+        let expect = 100.0 + 300.0 * (1330.0 - 365.0) / (1330.0 - 332.5);
+        assert!((crossings[0].at - expect).abs() < 1e-6, "{crossings:?}");
+        assert!(crossings[0]
+            .line
+            .contains("breakeven-days crosses 365 days"));
+        assert!(crossings[0].line.contains("one-year amortization"));
+        assert!(crossings[0].line.contains("grid.intensity ≈"));
+        let json = c.to_json().render();
+        assert!(json.contains(r#""axis":"grid.intensity""#));
+        assert!(json.contains(r#""crossings":[{"at":"#));
+        assert!(json.contains("crosses 365 days"));
+    }
+
+    #[test]
+    fn crossings_require_axis_threshold_and_bracketing() {
+        // No axis/threshold: no crossings, and JSON carries explicit nulls.
+        let mut plain = Comparison::new("x", "m", "u");
+        plain
+            .push_at("a", 1.0, Some(0.0))
+            .push_at("b", 2.0, Some(10.0));
+        assert!(plain.crossings().is_empty());
+        assert!(plain.to_json().render().contains(r#""crossings":[]"#));
+
+        // Axis + threshold but the metric never brackets it.
+        let mut flat = Comparison::new("x", "m", "u")
+            .with_axis("fleet.growth")
+            .with_threshold(ScalarThreshold {
+                value: 100.0,
+                label: "never".to_string(),
+            });
+        flat.push_at("a", 1.0, Some(1.0))
+            .push_at("b", 2.0, Some(2.0));
+        assert!(flat.crossings().is_empty());
+
+        // Rows without numeric positions (label-only sweeps) are skipped.
+        let mut labeled = Comparison::new("x", "m", "u")
+            .with_axis("grid.source")
+            .with_threshold(ScalarThreshold {
+                value: 5.0,
+                label: "t".to_string(),
+            });
+        labeled.push("wind", Some(0.0)).push("coal", Some(10.0));
+        assert!(labeled.crossings().is_empty());
     }
 
     #[test]

@@ -55,6 +55,40 @@ fn context_scenario_reaches_the_models() {
 }
 
 #[test]
+fn fleet_params_drive_the_facility_experiment_through_the_facade() {
+    // Paper defaults replay Prineville; a steeper growth factor pulls the
+    // opex/capex break-even earlier.
+    let run = |growth: f64| {
+        chasing_carbon::core::experiments::find("ext-facility")
+            .unwrap()
+            .run(&RunContext::new(
+                Scenario::builder().fleet_growth(growth).build(),
+            ))
+    };
+    let slow = run(1.05).summary_scalar().unwrap().value;
+    let fast = run(1.45).summary_scalar().unwrap().value;
+    assert!(fast < slow, "growth 1.45 break-even {fast} vs 1.05 {slow}");
+}
+
+#[test]
+fn fleet_validation_rejects_unphysical_facilities_at_the_context_boundary() {
+    for (key, value) in [
+        ("fleet.pue", "0.9"),
+        ("fleet.growth", "0"),
+        ("fleet.growth", "-1"),
+        ("fleet.renewable_ramp", "\"\""),
+        ("fleet.initial_servers", "0"),
+    ] {
+        let mut s = Scenario::paper_defaults();
+        s.set(key, value).unwrap();
+        assert!(
+            RunContext::try_new(s).is_err(),
+            "{key}={value} must be rejected before any model runs"
+        );
+    }
+}
+
+#[test]
 fn mc_seed_changes_the_monte_carlo_run_but_defaults_are_stable() {
     let run = |seed: u64| {
         chasing_carbon::core::experiments::find("ext-mc")
