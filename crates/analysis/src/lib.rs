@@ -1,8 +1,20 @@
 //! # cc-analysis
 //!
-//! Generic analysis machinery for carbon-footprint studies: Pareto frontiers,
-//! time series, growth projections, crossover (break-even) search and summary
-//! statistics.
+//! Generic analysis machinery for carbon-footprint studies — the layer the
+//! domain models and the sweep engine share, with no domain knowledge of
+//! its own:
+//!
+//! * [`stats`] — summary statistics (n/mean/stddev/min/max, spread ratio)
+//!   behind every sweep comparison's digest;
+//! * [`crossover`] — piecewise-linear break-even search, the engine behind
+//!   "crosses 2017 at fleet.growth ≈ 1.47" lines;
+//! * [`pareto`] — Pareto-frontier extraction for the Fig 8 efficiency
+//!   analyses;
+//! * [`projections`] — compound-growth series for the Fig 1 ICT outlook;
+//! * [`series`] — time-series helpers;
+//! * [`uncertainty`] / [`rng`] — triangular-distribution Monte-Carlo
+//!   propagation on a deterministic splitmix64 generator (seeded from the
+//!   scenario, so `ext-mc` is reproducible).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -21,10 +21,19 @@
 //! are written to `--out` the moment they complete (a small reorder buffer
 //! keeps stdout in grid order), and each point's summary scalar feeds the
 //! comparison report emitted at the end.
+//!
+//! The work-queue dedupes jobs through each experiment's declared
+//! scenario-dependency set: (experiment × point) jobs whose dependency
+//! fingerprints agree share one model run, so scenario-independent
+//! experiments execute once per sweep and partially-dependent ones skip
+//! axes they ignore. `--no-cache` restores the one-run-per-job behavior,
+//! `--explain` prints the dedup plan without running anything, and a sweep's
+//! footer reports the per-experiment run/reuse counts.
 
 use cc_core::experiments::{self, Entry, Tag};
 use cc_report::{
-    Comparison, JsonValue, RunContext, Scalar, Scenario, ScenarioMatrix, ScenarioPoint, SweepSpec,
+    dedup_groups, Comparison, Experiment, ExperimentOutput, JsonValue, RunContext, Scalar,
+    Scenario, ScenarioMatrix, ScenarioPoint, SweepSpec,
 };
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -52,6 +61,11 @@ fn print_usage() {
     eprintln!("                       sweep point) into <dir>, streamed as they finish");
     eprintln!("  --jobs <n>           run the (point x experiment) grid on n worker");
     eprintln!("                       threads (default 1)");
+    eprintln!("  --no-cache           run every (experiment x point) job even when the");
+    eprintln!("                       experiment's declared scenario dependencies say");
+    eprintln!("                       the output is identical across points");
+    eprintln!("  --explain            print each experiment's scenario dependencies and");
+    eprintln!("                       the sweep's run/reuse plan, without running");
     eprintln!();
     let tags: Vec<&str> = Tag::ALL.iter().map(|t| t.name()).collect();
     eprintln!("tags: {}", tags.join(", "));
@@ -98,6 +112,8 @@ impl Format {
 
 struct Options {
     list: bool,
+    explain: bool,
+    no_cache: bool,
     tags: Vec<Tag>,
     scenario: Scenario,
     sweeps: Vec<SweepSpec>,
@@ -110,6 +126,8 @@ struct Options {
 fn parse_args() -> Options {
     let mut args = std::env::args().skip(1).peekable();
     let mut list = false;
+    let mut explain = false;
+    let mut no_cache = false;
     let mut tags = Vec::new();
     let mut scenario_file: Option<String> = None;
     let mut sets: Vec<(String, String)> = Vec::new();
@@ -131,6 +149,8 @@ fn parse_args() -> Options {
                 std::process::exit(0);
             }
             "--list" => list = true,
+            "--explain" => explain = true,
+            "--no-cache" => no_cache = true,
             "--tag" => {
                 let name = value_of("--tag", &mut args);
                 match Tag::parse(&name) {
@@ -193,6 +213,8 @@ fn parse_args() -> Options {
 
     Options {
         list,
+        explain,
+        no_cache,
         tags,
         scenario,
         sweeps,
@@ -227,19 +249,19 @@ fn select(options: &Options) -> Vec<&'static Entry> {
     selected
 }
 
-/// Renders one (experiment × scenario-point) job, returning the artifact text
-/// and the experiment's summary scalar at that point (for the comparison
-/// report).
-fn render(
+/// Renders one (experiment × scenario-point) artifact from an
+/// already-computed output. Kept separate from the model run so the sweep
+/// cache can render a shared [`ExperimentOutput`] once per point, with each
+/// point's own scenario/point metadata.
+fn render_output(
     entry: &Entry,
+    experiment: &dyn Experiment,
+    output: &ExperimentOutput,
     ctx: &RunContext,
     point: Option<&ScenarioPoint>,
     format: Format,
-) -> (String, Option<Scalar>) {
-    let experiment = entry.build();
-    let output = experiment.run(ctx);
-    let scalar = output.summary_scalar().cloned();
-    let rendered = match format {
+) -> String {
+    match format {
         Format::Text => format!(
             "==============================================================\n\
              {} — {}\n\
@@ -278,8 +300,7 @@ fn render(
             fields.push(("output", output.to_json()));
             JsonValue::object(fields).render()
         }
-    };
-    (rendered, scalar)
+    }
 }
 
 /// Reorder buffer between out-of-order job completion and in-order stdout:
@@ -323,95 +344,198 @@ fn sanitize(label: &str) -> String {
         .collect()
 }
 
-/// One grid job: which experiment at which scenario point.
-#[derive(Clone, Copy)]
-struct Job {
+/// One unit of scheduled work: an experiment plus every grid point sharing
+/// one dependency fingerprint. The first point is the representative whose
+/// context actually runs the models; the remaining points reuse the output
+/// (their declared-dependency fields are identical, so so is the output).
+struct WorkGroup {
     entry_idx: usize,
-    point_idx: usize,
+    point_idxs: Vec<usize>,
 }
 
-/// Runs the full (experiment × point) grid on up to `jobs` worker threads,
-/// streaming artifacts out as they complete, and returns the per-job summary
-/// scalars (indexed `entry_idx * npoints + point_idx`).
+/// Groups the (experiment × point) grid by dependency fingerprint. With
+/// `--no-cache` every job is its own group, restoring one model run per
+/// grid cell.
+fn build_groups(
+    entries: &[&'static Entry],
+    points: &[ScenarioPoint],
+    no_cache: bool,
+) -> Vec<WorkGroup> {
+    let scenarios: Vec<&Scenario> = points.iter().map(|p| &p.scenario).collect();
+    let mut groups = Vec::new();
+    for (entry_idx, entry) in entries.iter().enumerate() {
+        if no_cache {
+            groups.extend((0..points.len()).map(|point_idx| WorkGroup {
+                entry_idx,
+                point_idxs: vec![point_idx],
+            }));
+        } else {
+            groups.extend(
+                dedup_groups(&scenarios, entry.deps())
+                    .into_iter()
+                    .map(|point_idxs| WorkGroup {
+                        entry_idx,
+                        point_idxs,
+                    }),
+            );
+        }
+    }
+    groups
+}
+
+/// Runs the (experiment × point) grid on up to `jobs` worker threads, one
+/// model run per [`WorkGroup`], streaming artifacts out as they complete.
+/// Returns the per-job summary scalars (indexed
+/// `entry_idx * npoints + point_idx`) and the per-entry model-run counts
+/// (the cache footer's "N runs").
 fn run_grid(
     entries: &[&'static Entry],
     points: &[ScenarioPoint],
     contexts: &[RunContext],
     options: &Options,
-) -> Vec<Option<Scalar>> {
+) -> (Vec<Option<Scalar>>, Vec<usize>) {
     let npoints = points.len();
     let total = entries.len() * npoints;
     let sweeping = npoints > 1;
+    let groups = build_groups(entries, points, options.no_cache);
+    let mut run_counts = vec![0usize; entries.len()];
+    for group in &groups {
+        run_counts[group.entry_idx] += 1;
+    }
     let scalars: Vec<Mutex<Option<Scalar>>> = (0..total).map(|_| Mutex::new(None)).collect();
     let sequencer = Mutex::new(Sequencer::new());
-    let next_job = AtomicUsize::new(0);
+    let next_group = AtomicUsize::new(0);
 
-    // Shared by the sequential path and every worker: compute one job, write
-    // its artifact immediately (when --out), and queue its stdout lines.
-    let process = |job_index: usize| {
-        let job = Job {
-            entry_idx: job_index / npoints,
-            point_idx: job_index % npoints,
-        };
-        let entry = entries[job.entry_idx];
-        let point = &points[job.point_idx];
-        let (artifact, scalar) = render(
-            entry,
-            &contexts[job.point_idx],
-            sweeping.then_some(point),
-            options.format,
-        );
-        *scalars[job_index].lock().expect("no panics under lock") = scalar;
-        let lines = match &options.out_dir {
-            None => vec![artifact],
-            Some(dir) => {
-                let name = if sweeping {
-                    format!(
-                        "{}@{}.{}",
-                        entry.key,
-                        sanitize(&point.label),
-                        options.format.extension()
-                    )
-                } else {
-                    format!("{}.{}", entry.key, options.format.extension())
-                };
-                let path = dir.join(name);
-                // Streamed: the file lands the moment the job finishes, not
-                // after the whole grid drains.
-                std::fs::write(&path, &artifact)
-                    .unwrap_or_else(|e| fail(&format!("cannot write `{}`: {e}", path.display())));
-                vec![format!("wrote {}", path.display())]
-            }
-        };
-        sequencer
-            .lock()
-            .expect("no panics under lock")
-            .complete(job_index, lines);
+    // Shared by the sequential path and every worker: run one group's models
+    // once, then render/write every member point's artifact (each with its
+    // own point/scenario metadata) and queue its stdout lines.
+    let process = |group: &WorkGroup| {
+        let entry = entries[group.entry_idx];
+        let experiment = entry.build();
+        let output = experiment.run(&contexts[group.point_idxs[0]]);
+        let scalar = output.summary_scalar().cloned();
+        for &point_idx in &group.point_idxs {
+            let job_index = group.entry_idx * npoints + point_idx;
+            let point = &points[point_idx];
+            let artifact = render_output(
+                entry,
+                experiment.as_ref(),
+                &output,
+                &contexts[point_idx],
+                sweeping.then_some(point),
+                options.format,
+            );
+            *scalars[job_index].lock().expect("no panics under lock") = scalar.clone();
+            let lines = match &options.out_dir {
+                None => vec![artifact],
+                Some(dir) => {
+                    let name = if sweeping {
+                        format!(
+                            "{}@{}.{}",
+                            entry.key,
+                            sanitize(&point.label),
+                            options.format.extension()
+                        )
+                    } else {
+                        format!("{}.{}", entry.key, options.format.extension())
+                    };
+                    let path = dir.join(name);
+                    // Streamed: the file lands the moment the job finishes,
+                    // not after the whole grid drains.
+                    std::fs::write(&path, &artifact).unwrap_or_else(|e| {
+                        fail(&format!("cannot write `{}`: {e}", path.display()))
+                    });
+                    vec![format!("wrote {}", path.display())]
+                }
+            };
+            sequencer
+                .lock()
+                .expect("no panics under lock")
+                .complete(job_index, lines);
+        }
     };
 
-    let workers = options.jobs.min(total);
+    let workers = options.jobs.min(groups.len().max(1));
     if workers <= 1 {
-        for job_index in 0..total {
-            process(job_index);
+        for group in &groups {
+            process(group);
         }
     } else {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let job_index = next_job.fetch_add(1, Ordering::Relaxed);
-                    if job_index >= total {
+                    let group_index = next_group.fetch_add(1, Ordering::Relaxed);
+                    let Some(group) = groups.get(group_index) else {
                         break;
-                    }
-                    process(job_index);
+                    };
+                    process(group);
                 });
             }
         });
     }
 
-    scalars
+    let scalars = scalars
         .into_iter()
         .map(|slot| slot.into_inner().expect("no panics under lock"))
-        .collect()
+        .collect();
+    (scalars, run_counts)
+}
+
+/// `1 run`, `7 reuses`: exact counts with naive pluralization.
+fn count(n: usize, noun: &str) -> String {
+    if n == 1 {
+        format!("{n} {noun}")
+    } else {
+        format!("{n} {noun}s")
+    }
+}
+
+/// Prints the dependency plan for the selected experiments over the matrix:
+/// declared dependency paths plus how many model runs (and cache reuses)
+/// the grid needs — without running anything.
+fn explain(entries: &[&'static Entry], points: &[ScenarioPoint], options: &Options) {
+    let npoints = points.len();
+    let scenarios: Vec<&Scenario> = points.iter().map(|p| &p.scenario).collect();
+    emit(format_args!(
+        "dependency plan — {} x {} = {}",
+        count(entries.len(), "experiment"),
+        count(npoints, "point"),
+        count(entries.len() * npoints, "job"),
+    ));
+    let mut total_runs = 0usize;
+    for entry in entries {
+        let runs = if options.no_cache {
+            npoints
+        } else {
+            dedup_groups(&scenarios, entry.deps()).len()
+        };
+        total_runs += runs;
+        let deps = if entry.is_scenario_independent() {
+            "(scenario-independent)".to_string()
+        } else {
+            format!(
+                "deps: {}",
+                entry
+                    .deps()
+                    .iter()
+                    .map(|d| d.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        emit(format_args!(
+            "  {:13} {:>9}, {:>9}   {}",
+            entry.key,
+            count(runs, "run"),
+            count(npoints - runs, "reuse"),
+            deps
+        ));
+    }
+    emit(format_args!(
+        "total: {}, {}",
+        count(total_runs, "run"),
+        count(entries.len() * npoints - total_runs, "reuse"),
+    ));
 }
 
 /// Builds one comparison per experiment from the scalar grid: the metric is
@@ -621,12 +745,17 @@ fn main() {
         .map(|p| RunContext::try_new(p.scenario.clone()).unwrap_or_else(|e| fail(&e.to_string())))
         .collect();
 
+    if options.explain {
+        explain(&selected, &points, &options);
+        return;
+    }
+
     if let Some(dir) = &options.out_dir {
         std::fs::create_dir_all(dir)
             .unwrap_or_else(|e| fail(&format!("cannot create `{}`: {e}", dir.display())));
     }
 
-    let scalars = run_grid(&selected, &points, &contexts, &options);
+    let (scalars, run_counts) = run_grid(&selected, &points, &contexts, &options);
 
     // With an active sweep, diff every experiment's summary scalar across the
     // grid points into the comparison report.
@@ -640,6 +769,39 @@ fn main() {
                 std::fs::write(&path, &report)
                     .unwrap_or_else(|e| fail(&format!("cannot write `{}`: {e}", path.display())));
                 emit(format_args!("wrote {}", path.display()));
+            }
+        }
+
+        // Cache footer: how the dependency dedup compressed the grid. Not
+        // part of the comparison artifact itself — a cached and an uncached
+        // run must produce byte-identical comparison files — and kept off
+        // stdout when stdout is a pure-JSON stream.
+        if !options.no_cache {
+            let to_stderr = options.format == Format::Json && options.out_dir.is_none();
+            let mut footer: Vec<String> = selected
+                .iter()
+                .zip(&run_counts)
+                .map(|(entry, &runs)| {
+                    format!(
+                        "cache: {}: {}, {}",
+                        entry.key,
+                        count(runs, "run"),
+                        count(points.len() - runs, "reuse")
+                    )
+                })
+                .collect();
+            let total_runs: usize = run_counts.iter().sum();
+            footer.push(format!(
+                "cache: total: {}, {}",
+                count(total_runs, "run"),
+                count(selected.len() * points.len() - total_runs, "reuse")
+            ));
+            for line in footer {
+                if to_stderr {
+                    eprintln!("{line}");
+                } else {
+                    emit(line);
+                }
             }
         }
     }

@@ -1,8 +1,11 @@
 //! # cc-bench
 //!
 //! The benchmark harness (a small self-contained timing framework — the
-//! workspace builds offline, so no Criterion) and the `repro` binary that
-//! regenerates any experiment's rows from the command line:
+//! workspace builds offline, so no Criterion) and the workspace's two
+//! binaries: `repro`, which regenerates any experiment's rows from the
+//! command line, and `gen-docs`, which emits the generated
+//! `docs/scenario-reference.md` from the field and experiment registries
+//! ([`docgen`]).
 //!
 //! ```text
 //! repro                        # run everything, paper scenario
@@ -10,11 +13,17 @@
 //! repro fig10                  # regenerate one artifact
 //! repro --scenario green.toml --set device.lifetime=5 fig10
 //! repro --jobs 8 --json --out out/   # parallel run, one JSON per artifact
+//! repro --sweep fleet.growth=1.0..2.0/0.25 --jobs 8 --out out/
+//!                              # scenario sweep; the dependency cache runs
+//!                              # scenario-independent experiments once
+//! repro --explain --sweep fleet.growth=1.0..2.0/0.25
+//!                              # print the run/reuse plan without running
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod docgen;
 pub mod harness;
 
 pub use cc_core::experiments;

@@ -109,11 +109,11 @@ fn scenario_file_and_overrides_change_fig10() {
             .unwrap(),
     );
     // --set composes to the same scenario as the file, apart from the name
-    // (which appears both in the scenario object and in the table title).
+    // (which appears only in the artifact's scenario metadata — experiment
+    // output never embeds it, so the sweep cache can share output across
+    // points that differ only in labeling).
     assert_eq!(
-        overridden
-            .replace(r#""name":"paper""#, r#""name":"green""#)
-            .replace("scenario `paper`", "scenario `green`"),
+        overridden.replace(r#""name":"paper""#, r#""name":"green""#),
         green
     );
     std::fs::remove_dir_all(&dir).ok();
@@ -178,14 +178,17 @@ fn sweep_writes_labeled_artifacts_plus_comparison() {
             .output()
             .unwrap(),
     );
-    // One `wrote …` line per grid point, plus the comparison report, in
-    // grid order (the reorder buffer keeps stdout deterministic).
+    // One `wrote …` line per grid point, the comparison report, then the
+    // cache footer (fig10 depends on the swept grid axis, so every point
+    // runs), in grid order (the reorder buffer keeps stdout deterministic).
     let lines: Vec<&str> = out.lines().collect();
-    assert_eq!(lines.len(), 4, "{out}");
+    assert_eq!(lines.len(), 6, "{out}");
     assert!(lines[0].ends_with("fig10@grid.intensity-50.json"));
     assert!(lines[1].ends_with("fig10@grid.intensity-380.json"));
     assert!(lines[2].ends_with("fig10@grid.intensity-700.json"));
     assert!(lines[3].ends_with("comparison.json"));
+    assert_eq!(lines[4], "cache: fig10: 3 runs, 0 reuses");
+    assert_eq!(lines[5], "cache: total: 3 runs, 0 reuses");
 
     // Each artifact is labeled with its point and carries the point's
     // scenario.
@@ -407,6 +410,122 @@ fn fleet_overrides_flow_into_the_facility_experiments() {
         .unwrap();
     assert_eq!(invalid.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&invalid.stderr).contains("pue"));
+}
+
+#[test]
+fn growth_sweep_runs_scenario_independent_experiments_once() {
+    // The dependency-cache acceptance criterion: a full-suite fleet.growth
+    // sweep must execute scenario-independent experiments exactly once
+    // (verified via the cache-hit footer) while fleet-dependent ones run at
+    // every point — and the comparison artifact must be byte-identical to a
+    // `--no-cache` run, because dedup only merges jobs whose declared
+    // dependency fields agree.
+    let dir = std::env::temp_dir().join(format!("cc-repro-cache-{}", std::process::id()));
+    let cached_dir = dir.join("cached");
+    let uncached_dir = dir.join("uncached");
+    std::fs::remove_dir_all(&dir).ok();
+    let sweep = |out_dir: &std::path::Path, extra: &[&str]| {
+        let mut args = vec![
+            "--sweep",
+            "fleet.growth=1.0..2.0/0.25",
+            // Keep the Monte-Carlo experiment fast; both runs use the same
+            // scenario, so the comparison stays comparable byte for byte.
+            "--set",
+            "mc.samples=500",
+            "--jobs",
+            "4",
+            "--json",
+            "--out",
+            out_dir.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        stdout_of(repro().args(&args).output().unwrap())
+    };
+
+    let cached = sweep(&cached_dir, &[]);
+    // Scenario-independent experiments: one run, four reuses across the
+    // five growth points. Fleet-dependent ones re-run everywhere.
+    assert!(cached.contains("cache: fig05: 1 run, 4 reuses"), "{cached}");
+    assert!(cached.contains("cache: fig09: 1 run, 4 reuses"));
+    assert!(cached.contains("cache: ext-facility: 5 runs, 0 reuses"));
+    assert!(cached.contains("cache: fig02: 5 runs, 0 reuses"));
+    // Partially dependent experiments ignore the growth axis entirely.
+    assert!(cached.contains("cache: fig10: 1 run, 4 reuses"));
+    assert!(cached.contains("cache: ext-sched: 1 run, 4 reuses"));
+    assert!(cached.contains("cache: total: 38 runs, 92 reuses"));
+
+    let uncached = sweep(&uncached_dir, &["--no-cache"]);
+    assert!(
+        !uncached.contains("cache:"),
+        "--no-cache must not print a cache footer"
+    );
+
+    // Byte-identical comparison artifact, and byte-identical per-point
+    // artifacts for a cached experiment (reuse is invisible in content).
+    let read = |d: &std::path::Path, name: &str| std::fs::read(d.join(name)).unwrap();
+    assert_eq!(
+        read(&cached_dir, "comparison.json"),
+        read(&uncached_dir, "comparison.json")
+    );
+    for name in [
+        "fig05@fleet.growth-1.75.json",
+        "ext-facility@fleet.growth-1.75.json",
+    ] {
+        assert_eq!(read(&cached_dir, name), read(&uncached_dir, name), "{name}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_sweep_to_stdout_keeps_the_footer_on_stderr() {
+    // When stdout is a pure-JSON stream the footer must not corrupt it.
+    let out = repro()
+        .args(["--sweep", "fleet.growth=1.0,1.5", "--json", "ext-facility"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(!stdout.contains("cache:"), "{stdout}");
+    assert!(stdout
+        .lines()
+        .all(|l| l.starts_with('{') || l.starts_with('[')));
+    assert!(stderr.contains("cache: ext-facility: 2 runs, 0 reuses"));
+}
+
+#[test]
+fn explain_prints_the_dependency_plan_without_running() {
+    let out = stdout_of(
+        repro()
+            .args(["--explain", "--sweep", "fleet.growth=1.0..2.0/0.25"])
+            .output()
+            .unwrap(),
+    );
+    assert!(out.starts_with("dependency plan — 26 experiments x 5 points = 130 jobs"));
+    assert!(out.contains("fig05"));
+    assert!(out.contains("(scenario-independent)"));
+    assert!(out.contains("deps: fleet.*, grid.intensity"));
+    assert!(out.contains("total: 38 runs, 92 reuses"));
+
+    // Without a sweep it documents the dependency sets over a single point.
+    let single = stdout_of(repro().args(["--explain", "ext-die"]).output().unwrap());
+    assert!(single.contains("deps: fab.node_nm, fab.yield_factor"));
+    assert!(single.contains("1 experiment x 1 point = 1 job"));
+
+    // --no-cache is reflected in the plan.
+    let no_cache = stdout_of(
+        repro()
+            .args([
+                "--explain",
+                "--no-cache",
+                "--sweep",
+                "fleet.growth=1.0,1.5",
+                "fig05",
+            ])
+            .output()
+            .unwrap(),
+    );
+    assert!(no_cache.contains("2 runs, 0 reuses"), "{no_cache}");
 }
 
 #[test]

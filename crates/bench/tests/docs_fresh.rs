@@ -1,0 +1,22 @@
+//! Freshness gate for the generated scenario/CLI reference: the checked-in
+//! `docs/scenario-reference.md` must match what the generator produces from
+//! the current field and experiment registries.
+
+use std::path::PathBuf;
+
+#[test]
+fn scenario_reference_matches_the_generator() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../docs/scenario-reference.md");
+    let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read `{}` ({e}); run `cargo run --release -p cc-bench --bin gen-docs`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        on_disk,
+        cc_bench::docgen::scenario_reference(),
+        "docs/scenario-reference.md is stale; run \
+         `cargo run --release -p cc-bench --bin gen-docs`"
+    );
+}

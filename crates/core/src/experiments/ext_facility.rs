@@ -33,7 +33,10 @@ pub fn facility_from_context(ctx: &RunContext) -> Facility {
     let initial = (fleet.initial_servers as f64 * fleet.scale)
         .round()
         .max(1.0) as u64;
-    Facility::builder(ctx.scenario().name.clone(), START_YEAR, ServerConfig::web())
+    // A fixed facility name: the scenario *name* is per-sweep-point labeling
+    // and never reaches the simulated output, so reading it here would only
+    // poison the experiment's dependency set.
+    Facility::builder("scenario-facility", START_YEAR, ServerConfig::web())
         .initial_servers(initial)
         .server_growth(fleet.growth)
         .pue(fleet.pue)

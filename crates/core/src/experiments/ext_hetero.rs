@@ -34,7 +34,11 @@ impl Experiment for ExtHeterogeneity {
         let scenario_g = ctx.effective_grid_intensity().as_g_per_kwh();
         let scenario_label = format!(
             "{} {:.0}",
-            if ctx.is_paper() { "US" } else { "Scenario" },
+            if ctx.grid_is_paper() {
+                "US"
+            } else {
+                "Scenario"
+            },
             scenario_g
         );
         for (grid_name, g) in [(scenario_label.as_str(), scenario_g), ("Wind 11", 11.0)] {

@@ -37,14 +37,17 @@ impl Experiment for Fig02EnergyVsCarbon {
                 num(y.market_carbon.as_kt(), 1),
             ]);
         }
+        // The title claims "Prineville" only when the inputs the facility
+        // model consumes (fleet block + raw grid intensity) are the paper's.
+        // Checking those fields — not the whole scenario — keeps this output
+        // a pure function of its declared dependency set, so a sweep along
+        // any other axis can reuse it.
+        let prineville = ctx.fleet_is_paper() && ctx.grid_intensity_is_paper();
         out.table(
-            if ctx.is_paper() {
-                "Prineville data center: energy vs purchased-energy carbon".to_string()
+            if prineville {
+                "Prineville data center: energy vs purchased-energy carbon"
             } else {
-                format!(
-                    "Facility `{}`: energy vs purchased-energy carbon",
-                    ctx.scenario().name
-                )
+                "Scenario facility: energy vs purchased-energy carbon"
             },
             t,
         );
@@ -180,7 +183,7 @@ mod tests {
             s
         };
         let out = Fig02EnergyVsCarbon.run(&RunContext::new(brown));
-        assert!(out.tables[0].0.starts_with("Facility `brown`"));
+        assert!(out.tables[0].0.starts_with("Scenario facility"));
         // Without the ramp, operational carbon never collapses.
         assert!(out.summary_scalar().unwrap().value > 90.0);
     }

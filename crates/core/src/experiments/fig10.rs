@@ -85,10 +85,12 @@ impl Experiment for Fig10Breakeven {
                 ]);
             }
         }
+        // The title states the two knobs that shape the table; it must not
+        // embed the scenario *name* (per-sweep-point labels would defeat the
+        // cache without changing any number).
         out.table(
             format!(
-                "Break-even on Pixel 3 (scenario `{}`: SoC budget {}, grid {})",
-                ctx.scenario().name,
+                "Break-even on Pixel 3 (SoC budget {}, grid {})",
                 analysis.manufacturing(),
                 ctx.effective_grid_intensity()
             ),

@@ -123,9 +123,12 @@ impl Experiment for Fig13EnergySourceSweep {
 
     fn run(&self, ctx: &RunContext) -> ExperimentOutput {
         let mut out = ExperimentOutput::new();
-        // Non-paper scenarios contribute their own grid as an extra sweep
-        // point, so the figure answers "where does *my* grid land?".
-        let extra: Vec<(&'static str, f64)> = if ctx.is_paper() {
+        // Scenarios with a non-paper *grid* contribute their own grid as an
+        // extra sweep point, so the figure answers "where does *my* grid
+        // land?". Only the grid fields decide — the figure ignores the rest
+        // of the scenario, and declaring that keeps it cacheable across
+        // non-grid sweep axes.
+        let extra: Vec<(&'static str, f64)> = if ctx.grid_is_paper() {
             Vec::new()
         } else {
             vec![(

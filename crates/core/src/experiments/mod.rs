@@ -1,11 +1,16 @@
 //! One experiment per paper figure/table, plus extensions.
 //!
 //! Every module implements [`cc_report::Experiment`]; the [`entries`]
-//! registry — metadata-carrying entries with stable keys and topic tags —
-//! drives the `repro` binary and the benchmark harness. Each experiment's
-//! `run` executes the *models* under a [`cc_report::RunContext`] (not
-//! hard-coded answers): e.g. Fig 10 runs the SoC simulator and the
-//! amortization solver end to end against the context's grid and lifetime.
+//! registry — metadata-carrying entries with stable keys, topic tags and
+//! declared scenario-dependency sets — drives the `repro` binary, the sweep
+//! cache and the generated scenario reference. Each experiment's `run`
+//! executes the *models* under a [`cc_report::RunContext`] (not hard-coded
+//! answers): e.g. Fig 10 runs the SoC simulator and the amortization solver
+//! end to end against the context's grid and lifetime. Dependency
+//! declarations ([`Entry::deps`]) are verified against the fields each
+//! experiment actually reads by the read-tracking test in this module, so a
+//! sweep runner may safely reuse output across grid points whose declared
+//! fields agree.
 
 pub mod ext_die;
 pub mod ext_dvfs;
@@ -63,7 +68,7 @@ pub use table2::Table2EnergySources;
 pub use table3::Table3Grids;
 pub use table4::Table4MacPro;
 
-use cc_report::Experiment;
+use cc_report::{Experiment, Scenario, ScenarioPath};
 
 /// Topic tags for registry filtering (`repro --tag mobile`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -131,19 +136,44 @@ impl core::fmt::Display for Tag {
     }
 }
 
-/// A registry entry: the experiment's stable key, its topic tags, and a
-/// constructor. Entries are `'static`, cheap to scan, and each worker thread
-/// of a parallel run builds its own experiment instance from the
-/// constructor.
+/// A registry entry: the experiment's stable key, its topic tags, its
+/// declared scenario-dependency set, and a constructor. Entries are
+/// `'static`, cheap to scan, and each worker thread of a parallel run builds
+/// its own experiment instance from the constructor.
 pub struct Entry {
     /// Stable command-line key (`fig10`, `table2`, `ext-sched`).
     pub key: &'static str,
     /// Topic tags for filtering.
     pub tags: &'static [Tag],
+    deps: &'static [ScenarioPath],
     ctor: fn() -> Box<dyn Experiment>,
 }
 
 impl Entry {
+    /// The scenario fields this experiment's output depends on, as declared
+    /// dependency paths (`fleet.*`, `fab.node_nm`). An empty set means the
+    /// experiment is scenario-independent: its output is identical at every
+    /// point of any sweep. Declarations are verified against actual reads by
+    /// a read-tracking test, so they can be trusted for caching.
+    #[must_use]
+    pub fn deps(&self) -> &'static [ScenarioPath] {
+        self.deps
+    }
+
+    /// Whether the experiment reads nothing from the scenario.
+    #[must_use]
+    pub fn is_scenario_independent(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Fingerprint of `scenario` restricted to this experiment's declared
+    /// dependency fields: two scenarios with equal fingerprints produce
+    /// identical output from this experiment
+    /// ([`cc_report::dependency_fingerprint`]).
+    #[must_use]
+    pub fn fingerprint(&self, scenario: &Scenario) -> u64 {
+        cc_report::dependency_fingerprint(scenario, self.deps)
+    }
     /// Instantiates the experiment.
     #[must_use]
     pub fn build(&self) -> Box<dyn Experiment> {
@@ -187,54 +217,103 @@ impl core::fmt::Debug for Entry {
 }
 
 macro_rules! entry {
-    ($key:literal, $ty:ty, [$($tag:ident),+ $(,)?]) => {
+    ($key:literal, $ty:ty, [$($tag:ident),+ $(,)?], deps: [$($dep:literal),* $(,)?]) => {
         Entry {
             key: $key,
             tags: &[$(Tag::$tag),+],
+            deps: &[$(ScenarioPath::of($dep)),*],
             ctor: || Box::new(<$ty>::default()),
         }
     };
 }
 
+// Dependency declarations are load-bearing: the sweep cache reuses an
+// experiment's output across grid points whose declared fields agree, so an
+// under-declaration would serve stale results. The
+// `declared_deps_match_actual_reads` test runs every experiment under a
+// read-tracking context and fails on any disagreement, in either direction.
 static ENTRIES: [Entry; 26] = [
-    entry!("fig01", Fig01IctProjections, [Figure, Energy]),
+    entry!("fig01", Fig01IctProjections, [Figure, Energy], deps: []),
     entry!(
         "fig02",
         Fig02EnergyVsCarbon,
-        [Figure, Datacenter, Corporate]
+        [Figure, Datacenter, Corporate],
+        deps: ["fleet.*", "grid.intensity"]
     ),
-    entry!("fig03", Fig03GhgScopes, [Figure, Corporate]),
-    entry!("fig04", Fig04Lifecycle, [Figure, Device]),
-    entry!("fig05", Fig05AppleBreakdown, [Figure, Corporate]),
-    entry!("fig06", Fig06DeviceBreakdown, [Figure, Device]),
-    entry!("fig07", Fig07Generations, [Figure, Device]),
-    entry!("fig08", Fig08Pareto, [Figure, Mobile, Device]),
-    entry!("fig09", Fig09InferencePerf, [Figure, Mobile]),
-    entry!("fig10", Fig10Breakeven, [Figure, Mobile]),
+    entry!("fig03", Fig03GhgScopes, [Figure, Corporate], deps: []),
+    entry!("fig04", Fig04Lifecycle, [Figure, Device], deps: []),
+    entry!("fig05", Fig05AppleBreakdown, [Figure, Corporate], deps: []),
+    entry!("fig06", Fig06DeviceBreakdown, [Figure, Device], deps: []),
+    entry!("fig07", Fig07Generations, [Figure, Device], deps: []),
+    entry!("fig08", Fig08Pareto, [Figure, Mobile, Device], deps: []),
+    entry!("fig09", Fig09InferencePerf, [Figure, Mobile], deps: []),
+    entry!(
+        "fig10",
+        Fig10Breakeven,
+        [Figure, Mobile],
+        deps: ["device.*", "grid.*"]
+    ),
     entry!(
         "fig11",
         Fig11CorporateFootprints,
-        [Figure, Corporate, Datacenter]
+        [Figure, Corporate, Datacenter],
+        deps: ["fleet.*", "grid.intensity"]
     ),
-    entry!("fig12", Fig12Scope3Breakdown, [Figure, Corporate]),
-    entry!("fig13", Fig13EnergySourceSweep, [Figure, Energy, Corporate]),
-    entry!("fig14", Fig14WaferSweep, [Figure, Fab]),
-    entry!("fig15", Fig15ResearchDirections, [Figure]),
-    entry!("table1", Table1Scopes, [Table, Corporate]),
-    entry!("table2", Table2EnergySources, [Table, Energy]),
-    entry!("table3", Table3Grids, [Table, Energy]),
-    entry!("table4", Table4MacPro, [Table, Device]),
+    entry!("fig12", Fig12Scope3Breakdown, [Figure, Corporate], deps: []),
+    entry!(
+        "fig13",
+        Fig13EnergySourceSweep,
+        [Figure, Energy, Corporate],
+        deps: ["grid.*"]
+    ),
+    entry!("fig14", Fig14WaferSweep, [Figure, Fab], deps: []),
+    entry!("fig15", Fig15ResearchDirections, [Figure], deps: []),
+    entry!("table1", Table1Scopes, [Table, Corporate], deps: []),
+    entry!("table2", Table2EnergySources, [Table, Energy], deps: []),
+    entry!("table3", Table3Grids, [Table, Energy], deps: []),
+    entry!("table4", Table4MacPro, [Table, Device], deps: []),
     entry!(
         "ext-sched",
         ExtCarbonAwareScheduling,
-        [Extension, Datacenter]
+        [Extension, Datacenter],
+        deps: ["fleet.scale"]
     ),
-    entry!("ext-die", ExtDieCarbon, [Extension, Fab]),
-    entry!("ext-dvfs", ExtDvfs, [Extension, Mobile]),
-    entry!("ext-hetero", ExtHeterogeneity, [Extension, Datacenter]),
-    entry!("ext-fab", ExtFabDecarbonization, [Extension, Fab]),
-    entry!("ext-mc", ExtMonteCarlo, [Extension]),
-    entry!("ext-facility", ExtFacility, [Extension, Datacenter]),
+    entry!(
+        "ext-die",
+        ExtDieCarbon,
+        [Extension, Fab],
+        deps: ["fab.node_nm", "fab.yield_factor"]
+    ),
+    entry!(
+        "ext-dvfs",
+        ExtDvfs,
+        [Extension, Mobile],
+        deps: ["device.soc_budget_share", "grid.*"]
+    ),
+    entry!(
+        "ext-hetero",
+        ExtHeterogeneity,
+        [Extension, Datacenter],
+        deps: ["fleet.scale", "grid.*"]
+    ),
+    entry!(
+        "ext-fab",
+        ExtFabDecarbonization,
+        [Extension, Fab],
+        deps: ["fab.renewable_share"]
+    ),
+    entry!(
+        "ext-mc",
+        ExtMonteCarlo,
+        [Extension],
+        deps: ["device.soc_budget_share", "grid.*", "mc.*"]
+    ),
+    entry!(
+        "ext-facility",
+        ExtFacility,
+        [Extension, Datacenter],
+        deps: ["fleet.*", "grid.intensity"]
+    ),
 ];
 
 /// Every registry entry, in presentation order: figures 1–15, tables I–IV,
@@ -365,6 +444,90 @@ mod tests {
             );
             assert!(!e.description().is_empty());
         }
+    }
+
+    /// A scenario with every semantic field moved off its paper default, to
+    /// provoke any non-paper code path an experiment keeps.
+    fn perturbed_scenario() -> Scenario {
+        let mut s = Scenario::paper_defaults();
+        for (key, value) in [
+            ("name", "perturbed"),
+            ("grid.intensity", "52"),
+            ("grid.renewable_fraction", "0.25"),
+            ("device.lifetime", "4.5"),
+            ("device.soc_budget_share", "0.6"),
+            ("fab.node_nm", "7"),
+            ("fab.yield_factor", "1.5"),
+            ("fab.renewable_share", "0.5"),
+            ("fleet.scale", "2"),
+            ("fleet.initial_servers", "30000"),
+            ("fleet.growth", "1.1"),
+            ("fleet.pue", "1.3"),
+            ("fleet.renewable_ramp", "0,0.5,1"),
+            ("fleet.construction_kt", "100"),
+            ("fleet.horizon_years", "5"),
+            ("mc.seed", "7"),
+            ("mc.samples", "500"),
+        ] {
+            s.set(key, value).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn declared_deps_match_actual_reads() {
+        // The cache-soundness contract: each entry's declared dependency set
+        // must equal the fields its experiment actually reads — a missing
+        // declaration would let the sweep cache serve stale output, and an
+        // excess one would spuriously re-run the experiment. Checked under
+        // the paper defaults *and* a fully perturbed scenario so that
+        // paper-vs-scenario branches cannot hide a read.
+        for scenario in [Scenario::paper_defaults(), perturbed_scenario()] {
+            for entry in entries() {
+                let (ctx, tracker) = RunContext::tracking(scenario.clone()).unwrap();
+                entry.build().run(&ctx);
+                let mut declared: Vec<&str> = cc_report::scenario::deps::expand(entry.deps());
+                declared.sort_unstable();
+                assert_eq!(
+                    tracker.reads(),
+                    declared,
+                    "`{}` (scenario `{}`): declared deps disagree with actual reads",
+                    entry.key,
+                    scenario.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_declared_path_covers_a_semantic_field() {
+        for entry in entries() {
+            for dep in entry.deps() {
+                assert!(
+                    !cc_report::scenario::deps::expand(&[*dep]).is_empty(),
+                    "`{}` declares `{dep}` which matches no semantic field",
+                    entry.key
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprints_dedupe_exactly_the_ignored_axes() {
+        let base = Scenario::paper_defaults();
+        let mut grown = base.clone();
+        grown.set("fleet.growth", "1.9").unwrap();
+        let facility = find_entry("ext-facility").unwrap();
+        let fig05 = find_entry("fig05").unwrap();
+        let fig10 = find_entry("fig10").unwrap();
+        // The facility depends on fleet.growth: the fingerprint moves.
+        assert_ne!(facility.fingerprint(&base), facility.fingerprint(&grown));
+        // fig10 (device/grid deps) and fig05 (scenario-independent) ignore
+        // the growth axis: their fingerprints are stable across it.
+        assert_eq!(fig10.fingerprint(&base), fig10.fingerprint(&grown));
+        assert_eq!(fig05.fingerprint(&base), fig05.fingerprint(&grown));
+        assert!(fig05.is_scenario_independent());
+        assert!(!facility.is_scenario_independent());
     }
 
     #[test]

@@ -5,6 +5,17 @@
 //! hardware embodied carbon, the Prineville-like scenario behind Fig 2
 //! (left), and a carbon-aware batch scheduler implementing the Section VI
 //! research direction.
+//!
+//! * [`facility`] — the scenario-driven facility model: simulate any fleet
+//!   description over a planning horizon ([`Facility`] / [`FacilityYear`]);
+//!   `ext-facility`, `fig02` and `fig11` all route through it.
+//! * [`prineville`] — the disclosed Prineville trajectory the paper charts;
+//!   the paper-default scenario reproduces it bit for bit.
+//! * [`server`] — per-SKU power/embodied-carbon descriptions.
+//! * [`scheduler`] — carbon-aware batch scheduling against a daily grid
+//!   profile (`ext-sched`).
+//! * [`heterogeneity`] — general-purpose vs accelerator provisioning
+//!   (`ext-hetero`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -8,7 +8,12 @@
 //! into a modeling tool: a [`Scenario`] makes every assumption the paper
 //! baked in (grid intensity, device lifetime, fab powering, fleet scale)
 //! explicit and overridable, and a [`RunContext`] carries one scenario into
-//! every experiment run.
+//! every experiment run. The [`scenario::deps`] module makes the *reverse*
+//! mapping first-class: every settable dotted path is described by canonical
+//! field metadata, experiments declare which fields they read
+//! ([`ScenarioPath`]), tracking contexts verify those declarations against
+//! actual reads, and [`dependency_fingerprint`] keys the sweep runner's
+//! per-point result cache.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +29,7 @@ pub use experiment::{
     Experiment, ExperimentId, ExperimentOutput, Scalar, ScalarThreshold, KNOWN_EXTENSIONS,
 };
 pub use json::JsonValue;
+pub use scenario::deps::{dedup_groups, dependency_fingerprint, ReadTracker, ScenarioPath};
 pub use scenario::sweep::{
     Comparison, ComparisonRow, Crossing, ScenarioMatrix, ScenarioPoint, SweepError, SweepSpec,
 };

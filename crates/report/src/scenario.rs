@@ -15,11 +15,14 @@
 //! version-controlled files, and every field is addressable by a dotted path
 //! (`grid.intensity`) for one-off command-line overrides.
 
+pub mod deps;
 pub mod sweep;
 
 use crate::json::JsonValue;
 use cc_data::energy_sources::EnergySource;
 use cc_units::{CarbonIntensity, TimeSpan};
+use deps::ReadTracker;
+use std::sync::Arc;
 
 /// Carbon intensity assumed for renewable power purchases when blending
 /// `grid.renewable_fraction` into the effective operational intensity
@@ -885,9 +888,18 @@ fn strip_comment(line: &str) -> &str {
 
 /// The context every experiment runs in: one scenario plus typed accessors
 /// for the quantities the models consume.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// A context built by [`Self::tracking`] additionally records every
+/// canonical scenario field the typed accessors touch, which is how CI
+/// verifies each experiment's declared dependency set
+/// ([`deps::ScenarioPath`]) against its actual reads. Raw scenario access
+/// ([`Self::scenario`], [`Self::is_paper`]) counts as reading *every*
+/// semantic field — an experiment wanting a small dependency set must stay
+/// on the typed accessors.
+#[derive(Debug, Clone)]
 pub struct RunContext {
     scenario: Scenario,
+    tracker: Option<Arc<ReadTracker>>,
 }
 
 impl Default for RunContext {
@@ -896,7 +908,30 @@ impl Default for RunContext {
     }
 }
 
+impl PartialEq for RunContext {
+    /// Contexts compare by scenario; whether reads are being tracked is an
+    /// observation concern, not an identity one.
+    fn eq(&self, other: &Self) -> bool {
+        self.scenario == other.scenario
+    }
+}
+
 impl RunContext {
+    /// Records one canonical field read (no-op without a tracker).
+    fn record(&self, field: &'static str) {
+        if let Some(tracker) = &self.tracker {
+            tracker.record(field);
+        }
+    }
+
+    /// Records a read of every semantic field (raw scenario access).
+    fn record_all(&self) {
+        if let Some(tracker) = &self.tracker {
+            for field in deps::FIELDS.iter().filter(|f| f.semantic) {
+                tracker.record(field.path);
+            }
+        }
+    }
     /// A context running the given scenario.
     ///
     /// # Panics
@@ -917,7 +952,26 @@ impl RunContext {
     /// Returns the [`Scenario::validate`] error for unphysical parameters.
     pub fn try_new(scenario: Scenario) -> Result<Self, ScenarioError> {
         scenario.validate()?;
-        Ok(Self { scenario })
+        Ok(Self {
+            scenario,
+            tracker: None,
+        })
+    }
+
+    /// A context that records every canonical scenario field the typed
+    /// accessors read, returned alongside its [`ReadTracker`]. This is the
+    /// instrument behind the dependency-declaration CI check: run an
+    /// experiment under a tracking context and compare
+    /// [`ReadTracker::reads`] with the expansion of its declared paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Scenario::validate`] error for unphysical parameters.
+    pub fn tracking(scenario: Scenario) -> Result<(Self, Arc<ReadTracker>), ScenarioError> {
+        let mut ctx = Self::try_new(scenario)?;
+        let tracker = Arc::new(ReadTracker::new());
+        ctx.tracker = Some(Arc::clone(&tracker));
+        Ok((ctx, tracker))
     }
 
     /// The context reproducing the paper exactly.
@@ -926,22 +980,68 @@ impl RunContext {
         Self::new(Scenario::paper_defaults())
     }
 
-    /// The underlying scenario.
+    /// The underlying scenario. Counts as reading every semantic field when
+    /// tracking: raw access gives no visibility into which fields the caller
+    /// consumed.
     #[must_use]
     pub fn scenario(&self) -> &Scenario {
+        self.record_all();
         &self.scenario
     }
 
     /// Whether this context runs the unmodified paper scenario (used to
-    /// label artifacts and keep paper-anchor notes honest).
+    /// label artifacts and keep paper-anchor notes honest). Compares — and
+    /// therefore reads — every field; experiments with narrow dependency
+    /// sets should use [`Self::grid_is_paper`] / [`Self::fleet_is_paper`]
+    /// instead.
     #[must_use]
     pub fn is_paper(&self) -> bool {
+        self.record_all();
         self.scenario == Scenario::paper_defaults()
+    }
+
+    /// Whether the operational-grid parameters (intensity and renewable
+    /// fraction) match the paper defaults. Reads only those two fields, so
+    /// grid-labeled output stays cacheable across non-grid sweep axes.
+    #[must_use]
+    pub fn grid_is_paper(&self) -> bool {
+        self.record("grid.intensity");
+        self.record("grid.renewable_fraction");
+        let paper = Scenario::paper_defaults();
+        self.scenario.grid.intensity_g_per_kwh == paper.grid.intensity_g_per_kwh
+            && self.scenario.grid.renewable_fraction == paper.grid.renewable_fraction
+    }
+
+    /// Whether the fleet/facility parameters match the paper's Prineville
+    /// configuration. Reads only the `fleet.*` fields.
+    #[must_use]
+    pub fn fleet_is_paper(&self) -> bool {
+        self.record_fleet();
+        self.scenario.fleet == Scenario::paper_defaults().fleet
+    }
+
+    /// Whether the *raw* grid intensity matches the paper default. Reads
+    /// only `grid.intensity` — for paths (the facility model) that consume
+    /// the unblended intensity and ignore the renewable fraction.
+    #[must_use]
+    pub fn grid_intensity_is_paper(&self) -> bool {
+        self.record("grid.intensity");
+        self.scenario.grid.intensity_g_per_kwh
+            == Scenario::paper_defaults().grid.intensity_g_per_kwh
+    }
+
+    /// Records every `fleet.*` semantic field, derived from the canonical
+    /// registry so a new fleet field cannot leave this list behind.
+    fn record_fleet(&self) {
+        for field in deps::expand(&[deps::ScenarioPath::of("fleet.*")]) {
+            self.record(field);
+        }
     }
 
     /// The raw operational grid intensity.
     #[must_use]
     pub fn grid_intensity(&self) -> CarbonIntensity {
+        self.record("grid.intensity");
         CarbonIntensity::from_g_per_kwh(self.scenario.grid.intensity_g_per_kwh)
     }
 
@@ -949,6 +1049,7 @@ impl RunContext {
     /// [`RENEWABLE_PPA_G_PER_KWH`].
     #[must_use]
     pub fn effective_grid_intensity(&self) -> CarbonIntensity {
+        self.record("grid.renewable_fraction");
         self.grid_intensity().blend(
             CarbonIntensity::from_g_per_kwh(RENEWABLE_PPA_G_PER_KWH),
             1.0 - self.scenario.grid.renewable_fraction,
@@ -958,60 +1059,71 @@ impl RunContext {
     /// The assumed device lifetime.
     #[must_use]
     pub fn device_lifetime(&self) -> TimeSpan {
+        self.record("device.lifetime");
         TimeSpan::from_years(self.scenario.device.lifetime_years)
     }
 
     /// The SoC share of device production carbon.
     #[must_use]
     pub fn soc_budget_share(&self) -> f64 {
+        self.record("device.soc_budget_share");
         self.scenario.device.soc_budget_share
     }
 
     /// The featured fab node in nanometres.
     #[must_use]
     pub fn fab_node_nm(&self) -> f64 {
+        self.record("fab.node_nm");
         self.scenario.fab.node_nm
     }
 
     /// The defect-density multiplier.
     #[must_use]
     pub fn fab_yield_factor(&self) -> f64 {
+        self.record("fab.yield_factor");
         self.scenario.fab.yield_factor
     }
 
     /// The renewable share of fab electricity.
     #[must_use]
     pub fn fab_renewable_share(&self) -> f64 {
+        self.record("fab.renewable_share");
         self.scenario.fab.renewable_share
     }
 
     /// The fleet demand multiplier.
     #[must_use]
     pub fn fleet_scale(&self) -> f64 {
+        self.record("fleet.scale");
         self.scenario.fleet.scale
     }
 
-    /// The full fleet/facility parameter block.
+    /// The full fleet/facility parameter block. Returning the whole struct
+    /// counts as reading every `fleet.*` field.
     #[must_use]
     pub fn fleet(&self) -> &FleetParams {
+        self.record_fleet();
         &self.scenario.fleet
     }
 
     /// The facility planning horizon in whole years.
     #[must_use]
     pub fn fleet_horizon_years(&self) -> usize {
+        self.record("fleet.horizon_years");
         self.scenario.fleet.horizon_years as usize
     }
 
     /// The Monte-Carlo base seed.
     #[must_use]
     pub fn mc_seed(&self) -> u64 {
+        self.record("mc.seed");
         self.scenario.mc.seed
     }
 
     /// The Monte-Carlo trial count.
     #[must_use]
     pub fn mc_samples(&self) -> u32 {
+        self.record("mc.samples");
         self.scenario.mc.samples
     }
 }
@@ -1287,6 +1399,52 @@ mod tests {
         // Without a pinned intensity the source decides.
         let s = Scenario::from_toml("[grid]\nsource = \"coal\"\n").unwrap();
         assert_eq!(s.grid.intensity_g_per_kwh, 820.0);
+    }
+
+    #[test]
+    fn tracking_contexts_record_typed_reads() {
+        let (ctx, tracker) = RunContext::tracking(Scenario::paper_defaults()).unwrap();
+        assert!(tracker.reads().is_empty());
+        let _ = ctx.effective_grid_intensity();
+        let _ = ctx.mc_seed();
+        assert_eq!(
+            tracker.reads(),
+            ["grid.intensity", "grid.renewable_fraction", "mc.seed"]
+        );
+        let _ = ctx.fleet();
+        assert!(tracker.reads().contains(&"fleet.renewable_ramp"));
+        // Raw scenario access reads everything semantic.
+        let _ = ctx.scenario();
+        assert_eq!(
+            tracker.reads().len(),
+            deps::FIELDS.iter().filter(|f| f.semantic).count()
+        );
+        // Untracked contexts record nothing and still compare by scenario.
+        let plain = RunContext::paper();
+        let _ = plain.mc_seed();
+        assert_eq!(plain, ctx);
+    }
+
+    #[test]
+    fn sectional_paper_checks_read_only_their_sections() {
+        let (ctx, tracker) = RunContext::tracking(Scenario::paper_defaults()).unwrap();
+        assert!(ctx.grid_is_paper());
+        assert_eq!(
+            tracker.reads(),
+            ["grid.intensity", "grid.renewable_fraction"]
+        );
+        assert!(ctx.fleet_is_paper());
+        assert_eq!(tracker.reads().len(), 9);
+
+        // A non-grid change leaves the grid paper-like but not the fleet.
+        let mut s = Scenario::paper_defaults();
+        s.set("fleet.growth", "1.9").unwrap();
+        let ctx = RunContext::new(s);
+        assert!(ctx.grid_is_paper());
+        assert!(!ctx.fleet_is_paper());
+        let windy = RunContext::new(Scenario::builder().grid_intensity(11.0).build());
+        assert!(!windy.grid_is_paper());
+        assert!(windy.fleet_is_paper());
     }
 
     #[test]

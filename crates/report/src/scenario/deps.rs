@@ -1,0 +1,512 @@
+//! Scenario-dependency metadata: which scenario fields an experiment reads.
+//!
+//! Most experiments read *nothing* from the scenario — they regenerate a
+//! disclosed dataset verbatim — and produce bit-identical output at every
+//! point of a sweep. Declaring each experiment's dependency set makes that
+//! knowledge first-class:
+//!
+//! * a **[`ScenarioPath`]** names one declared dependency — either a single
+//!   canonical field (`fab.node_nm`) or a whole section (`fleet.*`);
+//! * **[`FIELDS`]** is the canonical registry of every settable dotted path
+//!   (type, aliases, paper default via [`Scenario::field_value`], validation
+//!   rule) — the single source of truth behind the generated
+//!   `docs/scenario-reference.md`;
+//! * **[`dependency_fingerprint`]** hashes only the declared fields of a
+//!   scenario, so a sweep runner can dedupe (experiment × point) jobs across
+//!   axes the experiment ignores ([`dedup_groups`]);
+//! * a **[`ReadTracker`]** attached to a tracking
+//!   [`RunContext`](crate::RunContext) records the fields an experiment
+//!   *actually* read, so CI can fail any declaration that disagrees with the
+//!   code.
+//!
+//! The honesty contract: an experiment's output must be a pure function of
+//! the fields its declared paths match. Tracked accessors enforce it — raw
+//! [`Scenario`] access (`RunContext::scenario`, `RunContext::is_paper`)
+//! counts as reading *every* field, so experiments that want a small
+//! dependency set must go through the typed accessors.
+
+use super::Scenario;
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// One declared scenario dependency: a canonical dotted field path
+/// (`"grid.intensity"`) or a section wildcard (`"fleet.*"`) covering every
+/// semantic field in the section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScenarioPath(&'static str);
+
+impl ScenarioPath {
+    /// Wraps a pattern. `const` so dependency sets can live in `static`
+    /// registry entries.
+    #[must_use]
+    pub const fn of(pattern: &'static str) -> Self {
+        Self(pattern)
+    }
+
+    /// The pattern text.
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        self.0
+    }
+
+    /// Whether this pattern covers the canonical field `field`
+    /// (`fleet.*` matches `fleet.growth`; `fab.node_nm` matches itself).
+    #[must_use]
+    pub fn matches(self, field: &str) -> bool {
+        match self.0.strip_suffix(".*") {
+            Some(section) => field
+                .strip_prefix(section)
+                .is_some_and(|rest| rest.starts_with('.')),
+            None => self.0 == field,
+        }
+    }
+}
+
+impl core::fmt::Display for ScenarioPath {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// Metadata for one settable scenario field: the canonical dotted path, its
+/// accepted aliases, type, one-line description and validation rule.
+///
+/// `semantic` distinguishes fields the *models* can read (part of dependency
+/// fingerprints) from labeling/convenience fields: `name` only tags
+/// artifacts, and `grid.source` is resolved into `grid.intensity` at set
+/// time, so neither can change an experiment's numbers on its own.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldInfo {
+    /// Canonical dotted path (`grid.intensity`).
+    pub path: &'static str,
+    /// Accepted alias paths (`grid.intensity_g_per_kwh`).
+    pub aliases: &'static [&'static str],
+    /// Human-readable type (`f64`, `u32`, `string`, `list of f64`).
+    pub ty: &'static str,
+    /// One-line description.
+    pub doc: &'static str,
+    /// Human-readable validation rule enforced by [`Scenario::validate`].
+    pub validation: &'static str,
+    /// Whether the field participates in dependency fingerprints.
+    pub semantic: bool,
+}
+
+/// Every settable scenario field, in canonical (TOML) order. The single
+/// source of truth for `--set` documentation, dependency expansion and the
+/// generated scenario reference.
+pub const FIELDS: [FieldInfo; 18] = [
+    FieldInfo {
+        path: "name",
+        aliases: &[],
+        ty: "string",
+        doc: "Human-readable scenario name; appears in artifact metadata only",
+        validation: "any string",
+        semantic: false,
+    },
+    FieldInfo {
+        path: "grid.intensity",
+        aliases: &["grid.intensity_g_per_kwh"],
+        ty: "f64",
+        doc: "Operational grid carbon intensity in g CO2e/kWh",
+        validation: "finite and > 0",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "grid.source",
+        aliases: &[],
+        ty: "string",
+        doc: "Energy-source label; setting it resolves grid.intensity to the Table II value",
+        validation: "must name a Table II energy source (case-insensitive)",
+        semantic: false,
+    },
+    FieldInfo {
+        path: "grid.renewable_fraction",
+        aliases: &[],
+        ty: "f64",
+        doc: "Fraction of operational energy covered by renewable purchases",
+        validation: "in [0, 1]",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "device.lifetime",
+        aliases: &["device.lifetime_years"],
+        ty: "f64",
+        doc: "Assumed device lifetime in years",
+        validation: "finite and > 0",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "device.soc_budget_share",
+        aliases: &[],
+        ty: "f64",
+        doc: "Share of a device's production carbon attributed to its SoC",
+        validation: "in (0, 1]",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "fab.node_nm",
+        aliases: &["fab.node"],
+        ty: "f64",
+        doc: "Featured process node in nanometres",
+        validation: "> 0",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "fab.yield_factor",
+        aliases: &[],
+        ty: "f64",
+        doc: "Multiplier on the baseline defect density (1.0 = 0.1 /cm2)",
+        validation: "finite and > 0",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "fab.renewable_share",
+        aliases: &[],
+        ty: "f64",
+        doc: "Share of fab electricity from renewables",
+        validation: "in [0, 1]",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "fleet.scale",
+        aliases: &[],
+        ty: "f64",
+        doc: "Demand multiplier applied to fleet-sizing experiments",
+        validation: "finite and > 0",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "fleet.initial_servers",
+        aliases: &[],
+        ty: "u64",
+        doc: "Servers in service in the facility's first simulated year",
+        validation: ">= 1",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "fleet.growth",
+        aliases: &[],
+        ty: "f64",
+        doc: "Annual server-fleet growth factor (1.0 = flat fleet)",
+        validation: "finite and > 0",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "fleet.pue",
+        aliases: &[],
+        ty: "f64",
+        doc: "Power usage effectiveness of the facility",
+        validation: "finite and >= 1.0",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "fleet.renewable_ramp",
+        aliases: &["fleet.ramp"],
+        ty: "list of f64",
+        doc: "Renewable (PPA) coverage fraction per simulated year; last value holds",
+        validation: "non-empty, every value in [0, 1]",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "fleet.construction_kt",
+        aliases: &["fleet.construction"],
+        ty: "f64",
+        doc: "Total construction embodied carbon in kt CO2e",
+        validation: "finite and >= 0",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "fleet.horizon_years",
+        aliases: &["fleet.horizon"],
+        ty: "u32",
+        doc: "Simulated planning horizon in years",
+        validation: "in 1..=200",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "mc.seed",
+        aliases: &[],
+        ty: "u64",
+        doc: "Base RNG seed for the Monte-Carlo experiment",
+        validation: "any",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "mc.samples",
+        aliases: &[],
+        ty: "u32",
+        doc: "Monte-Carlo trials per propagated headline",
+        validation: ">= 1",
+        semantic: true,
+    },
+];
+
+/// The canonical semantic fields covered by `deps`, in [`FIELDS`] order.
+/// Wildcards expand to every semantic field of their section; non-semantic
+/// fields (`name`, `grid.source`) never appear.
+#[must_use]
+pub fn expand(deps: &[ScenarioPath]) -> Vec<&'static str> {
+    FIELDS
+        .iter()
+        .filter(|f| f.semantic && deps.iter().any(|d| d.matches(f.path)))
+        .map(|f| f.path)
+        .collect()
+}
+
+impl Scenario {
+    /// The canonical string form of the field at `path` (canonical paths
+    /// only — aliases are accepted by [`Scenario::set`], not here). This is
+    /// the value text dependency fingerprints hash and the generated
+    /// reference documents as the paper default.
+    #[must_use]
+    pub fn field_value(&self, path: &str) -> Option<String> {
+        Some(match path {
+            "name" => self.name.clone(),
+            "grid.intensity" => format!("{:?}", self.grid.intensity_g_per_kwh),
+            "grid.source" => self.grid.source.clone().unwrap_or_default(),
+            "grid.renewable_fraction" => format!("{:?}", self.grid.renewable_fraction),
+            "device.lifetime" => format!("{:?}", self.device.lifetime_years),
+            "device.soc_budget_share" => format!("{:?}", self.device.soc_budget_share),
+            "fab.node_nm" => format!("{:?}", self.fab.node_nm),
+            "fab.yield_factor" => format!("{:?}", self.fab.yield_factor),
+            "fab.renewable_share" => format!("{:?}", self.fab.renewable_share),
+            "fleet.scale" => format!("{:?}", self.fleet.scale),
+            "fleet.initial_servers" => self.fleet.initial_servers.to_string(),
+            "fleet.growth" => format!("{:?}", self.fleet.growth),
+            "fleet.pue" => format!("{:?}", self.fleet.pue),
+            "fleet.renewable_ramp" => self
+                .fleet
+                .renewable_ramp
+                .iter()
+                .map(|v| format!("{v:?}"))
+                .collect::<Vec<_>>()
+                .join(","),
+            "fleet.construction_kt" => format!("{:?}", self.fleet.construction_kt),
+            "fleet.horizon_years" => self.fleet.horizon_years.to_string(),
+            "mc.seed" => self.mc.seed.to_string(),
+            "mc.samples" => self.mc.samples.to_string(),
+            _ => return None,
+        })
+    }
+}
+
+/// FNV-1a step over one byte string plus a separator.
+fn fnv(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes.iter().chain(&[0u8]) {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash
+}
+
+/// Hashes only the scenario fields covered by `deps` (canonical path and
+/// value text, FNV-1a). Two scenarios that agree on every declared field
+/// fingerprint identically — the property the sweep cache keys on. Empty
+/// `deps` hash identically for *every* scenario: a scenario-independent
+/// experiment runs once per sweep.
+#[must_use]
+pub fn dependency_fingerprint(scenario: &Scenario, deps: &[ScenarioPath]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for field in expand(deps) {
+        hash = fnv(hash, field.as_bytes());
+        let value = scenario
+            .field_value(field)
+            .expect("expand yields canonical fields");
+        hash = fnv(hash, value.as_bytes());
+    }
+    hash
+}
+
+/// Groups scenario indices by [`dependency_fingerprint`], preserving
+/// first-occurrence order: each inner vec's first element is the
+/// representative (the point that actually runs), the rest are cache reuses.
+#[must_use]
+pub fn dedup_groups(scenarios: &[&Scenario], deps: &[ScenarioPath]) -> Vec<Vec<usize>> {
+    let mut order: Vec<u64> = Vec::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (index, scenario) in scenarios.iter().enumerate() {
+        let fp = dependency_fingerprint(scenario, deps);
+        match order.iter().position(|&seen| seen == fp) {
+            Some(at) => groups[at].push(index),
+            None => {
+                order.push(fp);
+                groups.push(vec![index]);
+            }
+        }
+    }
+    groups
+}
+
+/// Records which canonical scenario fields an experiment read, via the
+/// typed accessors of a tracking [`RunContext`](crate::RunContext).
+/// Thread-safe so a tracked context can cross a scoped-thread boundary.
+#[derive(Debug, Default)]
+pub struct ReadTracker {
+    reads: Mutex<BTreeSet<&'static str>>,
+}
+
+impl ReadTracker {
+    /// A tracker with no recorded reads.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one canonical field read.
+    pub fn record(&self, field: &'static str) {
+        self.reads
+            .lock()
+            .expect("no panics under lock")
+            .insert(field);
+    }
+
+    /// The recorded reads, sorted.
+    #[must_use]
+    pub fn reads(&self) -> Vec<&'static str> {
+        self.reads
+            .lock()
+            .expect("no panics under lock")
+            .iter()
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcards_match_sections_and_leaves_match_exactly() {
+        let fleet = ScenarioPath::of("fleet.*");
+        assert!(fleet.matches("fleet.growth"));
+        assert!(fleet.matches("fleet.renewable_ramp"));
+        assert!(!fleet.matches("fab.node_nm"));
+        assert!(!fleet.matches("fleet"));
+        let node = ScenarioPath::of("fab.node_nm");
+        assert!(node.matches("fab.node_nm"));
+        assert!(!node.matches("fab.yield_factor"));
+        assert_eq!(node.to_string(), "fab.node_nm");
+    }
+
+    #[test]
+    fn expansion_covers_sections_and_skips_labels() {
+        assert_eq!(
+            expand(&[ScenarioPath::of("grid.*")]),
+            ["grid.intensity", "grid.renewable_fraction"],
+            "grid.source is a label, not a semantic field"
+        );
+        assert_eq!(expand(&[ScenarioPath::of("fleet.*")]).len(), 7);
+        assert_eq!(expand(&[]), Vec::<&str>::new());
+        // Expansion follows FIELDS order regardless of declaration order.
+        assert_eq!(
+            expand(&[ScenarioPath::of("mc.*"), ScenarioPath::of("device.*")]),
+            [
+                "device.lifetime",
+                "device.soc_budget_share",
+                "mc.seed",
+                "mc.samples"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_semantic_field_has_a_value_and_unknown_paths_do_not() {
+        let s = Scenario::paper_defaults();
+        for field in FIELDS {
+            assert!(
+                s.field_value(field.path).is_some(),
+                "missing value for {}",
+                field.path
+            );
+        }
+        assert_eq!(s.field_value("grid.intensity").unwrap(), "380.0");
+        assert_eq!(s.field_value("fleet.initial_servers").unwrap(), "60000");
+        assert_eq!(
+            s.field_value("fleet.renewable_ramp").unwrap(),
+            "0.05,0.1,0.2,0.35,0.6,0.85,1.0"
+        );
+        assert!(s.field_value("grid.nope").is_none());
+    }
+
+    #[test]
+    fn fingerprint_ignores_undeclared_fields() {
+        let deps = [ScenarioPath::of("fab.node_nm")];
+        let base = Scenario::paper_defaults();
+        let mut other_axis = base.clone();
+        other_axis.set("fleet.growth", "1.9").unwrap();
+        other_axis.set("name", "elsewhere").unwrap();
+        // Points that differ only in ignored fields fingerprint identically.
+        assert_eq!(
+            dependency_fingerprint(&base, &deps),
+            dependency_fingerprint(&other_axis, &deps)
+        );
+        // A declared field moving changes the fingerprint.
+        let mut moved = base.clone();
+        moved.set("fab.node_nm", "7").unwrap();
+        assert_ne!(
+            dependency_fingerprint(&base, &deps),
+            dependency_fingerprint(&moved, &deps)
+        );
+    }
+
+    #[test]
+    fn empty_deps_fingerprint_is_scenario_invariant() {
+        let base = Scenario::paper_defaults();
+        let mut wild = base.clone();
+        for (k, v) in [
+            ("grid.intensity", "11"),
+            ("device.lifetime", "9"),
+            ("fleet.growth", "1.01"),
+            ("mc.seed", "999"),
+        ] {
+            wild.set(k, v).unwrap();
+        }
+        assert_eq!(
+            dependency_fingerprint(&base, &[]),
+            dependency_fingerprint(&wild, &[])
+        );
+    }
+
+    #[test]
+    fn fingerprints_do_not_collide_across_field_boundaries() {
+        // The separator byte keeps ("fab.node_nm", "7") distinct from any
+        // concatenation ambiguity with neighboring fields.
+        let deps = [ScenarioPath::of("device.*")];
+        let mut a = Scenario::paper_defaults();
+        a.set("device.lifetime", "3.5").unwrap();
+        let mut b = Scenario::paper_defaults();
+        b.set("device.soc_budget_share", "0.35").unwrap();
+        assert_ne!(
+            dependency_fingerprint(&a, &deps),
+            dependency_fingerprint(&b, &deps)
+        );
+    }
+
+    #[test]
+    fn dedup_groups_share_points_across_ignored_axes() {
+        let base = Scenario::paper_defaults();
+        let mut g15 = base.clone();
+        g15.set("fleet.growth", "1.5").unwrap();
+        let mut g15_other_name = g15.clone();
+        g15_other_name.set("name", "b").unwrap();
+        let scenarios = [&base, &g15, &g15_other_name];
+
+        // Independent of the swept axis: one group of three.
+        assert_eq!(dedup_groups(&scenarios, &[]), [vec![0, 1, 2]]);
+        // Dependent on it: base alone, the two growth-1.5 points shared.
+        assert_eq!(
+            dedup_groups(&scenarios, &[ScenarioPath::of("fleet.*")]),
+            [vec![0], vec![1, 2]]
+        );
+    }
+
+    #[test]
+    fn tracker_records_deduplicated_sorted_reads() {
+        let t = ReadTracker::new();
+        t.record("mc.seed");
+        t.record("grid.intensity");
+        t.record("mc.seed");
+        assert_eq!(t.reads(), ["grid.intensity", "mc.seed"]);
+    }
+}
