@@ -1,0 +1,72 @@
+//! CI benchmark smoke: times the facility and sweep hot paths with the
+//! `cc_bench` harness and writes a machine-readable `BENCH_ci.json`
+//! (name, mean ns, min ns, iterations) so every CI run contributes a data
+//! point to the perf trajectory.
+//!
+//! ```text
+//! bench-ci                    # writes BENCH_ci.json in the working dir
+//! bench-ci out/BENCH_ci.json  # explicit output path
+//! ```
+//!
+//! The per-benchmark budget is deliberately small (~100 ms): the goal is a
+//! stable order-of-magnitude record per commit, not Criterion-grade
+//! statistics — `cargo bench` remains the place for careful measurement.
+
+use cc_bench::harness::Report;
+use cc_bench::Bencher;
+use cc_core::experiments;
+use cc_report::{dedup_groups, RunContext, Scenario, ScenarioMatrix, SweepSpec};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_ci.json".to_string());
+    let mut report = Report::new();
+    let bencher = Bencher::group("ci").budget(Duration::from_millis(100));
+    let mut bench = |name: &str, f: &mut dyn FnMut()| {
+        report.record(format!("ci/{name}"), bencher.bench(name, f));
+    };
+
+    // Facility hot path: the scenario-driven simulation behind
+    // ext-facility/fig02/fig11, pure and mixed.
+    let paper = RunContext::paper();
+    let facility = experiments::find("ext-facility").expect("registry");
+    bench("facility/paper-run", &mut || {
+        black_box(facility.run(&paper));
+    });
+    let mut ai = Scenario::paper_defaults();
+    ai.set("fleet.mix", "web:0.7,ai-training:0.3")
+        .expect("valid mix");
+    let ai_ctx = RunContext::new(ai);
+    bench("facility/mixed-fleet-run", &mut || {
+        black_box(facility.run(&ai_ctx));
+    });
+    bench("facility/prineville-simulate", &mut || {
+        black_box(cc_dcsim::prineville::simulate());
+    });
+
+    // Sweep hot path: matrix expansion plus the dependency-fingerprint
+    // grouping the cached runner performs before any model runs.
+    let specs = vec![SweepSpec::parse("fleet.growth=1.0..2.0/0.05").expect("valid spec")];
+    bench("sweep/matrix-expand-21-points", &mut || {
+        let matrix =
+            ScenarioMatrix::new(Scenario::paper_defaults(), specs.clone()).expect("valid matrix");
+        black_box(matrix.points().collect::<Vec<_>>());
+    });
+    let matrix = ScenarioMatrix::new(Scenario::paper_defaults(), specs).expect("valid matrix");
+    let points: Vec<_> = matrix.points().collect();
+    let scenarios: Vec<&Scenario> = points.iter().map(|p| &p.scenario).collect();
+    bench("sweep/fingerprint-dedup-full-suite", &mut || {
+        for entry in experiments::entries() {
+            black_box(dedup_groups(&scenarios, entry.deps()));
+        }
+    });
+
+    std::fs::write(&out_path, report.to_json()).unwrap_or_else(|e| {
+        eprintln!("bench-ci: cannot write `{out_path}`: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path} ({} benchmarks)", report.len());
+}

@@ -385,15 +385,15 @@ fn build_groups(
 
 /// Runs the (experiment × point) grid on up to `jobs` worker threads, one
 /// model run per [`WorkGroup`], streaming artifacts out as they complete.
-/// Returns the per-job summary scalars (indexed
-/// `entry_idx * npoints + point_idx`) and the per-entry model-run counts
-/// (the cache footer's "N runs").
+/// Returns the per-job scalar lists (indexed
+/// `entry_idx * npoints + point_idx`; the first scalar is the summary) and
+/// the per-entry model-run counts (the cache footer's "N runs").
 fn run_grid(
     entries: &[&'static Entry],
     points: &[ScenarioPoint],
     contexts: &[RunContext],
     options: &Options,
-) -> (Vec<Option<Scalar>>, Vec<usize>) {
+) -> (Vec<Vec<Scalar>>, Vec<usize>) {
     let npoints = points.len();
     let total = entries.len() * npoints;
     let sweeping = npoints > 1;
@@ -402,7 +402,7 @@ fn run_grid(
     for group in &groups {
         run_counts[group.entry_idx] += 1;
     }
-    let scalars: Vec<Mutex<Option<Scalar>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let scalars: Vec<Mutex<Vec<Scalar>>> = (0..total).map(|_| Mutex::new(Vec::new())).collect();
     let sequencer = Mutex::new(Sequencer::new());
     let next_group = AtomicUsize::new(0);
 
@@ -413,7 +413,7 @@ fn run_grid(
         let entry = entries[group.entry_idx];
         let experiment = entry.build();
         let output = experiment.run(&contexts[group.point_idxs[0]]);
-        let scalar = output.summary_scalar().cloned();
+        let scalar = output.scalars.clone();
         for &point_idx in &group.point_idxs {
             let job_index = group.entry_idx * npoints + point_idx;
             let point = &points[point_idx];
@@ -538,10 +538,13 @@ fn explain(entries: &[&'static Entry], points: &[ScenarioPoint], options: &Optio
     ));
 }
 
-/// Builds one comparison per experiment from the scalar grid: the metric is
-/// the experiment's summary scalar, diffed across every sweep point. With a
-/// single numeric sweep dimension the comparison also carries the axis (and
-/// the scalar's threshold, when declared), enabling crossover analysis.
+/// Builds the comparisons for each experiment from the scalar grid: the
+/// experiment's summary scalar diffed across every sweep point, plus one
+/// comparison per *additional* scalar carrying a decision threshold (a
+/// secondary crossover metric, e.g. ext-facility's cumulative break-even
+/// riding alongside its annual one). With a single numeric sweep dimension
+/// each comparison also carries the axis (and the scalar's threshold, when
+/// declared), enabling crossover analysis.
 ///
 /// A missing scalar is a hard error: every experiment in the registry
 /// declares a summary scalar, so a gap would silently hollow out the
@@ -549,7 +552,7 @@ fn explain(entries: &[&'static Entry], points: &[ScenarioPoint], options: &Optio
 fn build_comparisons(
     entries: &[&'static Entry],
     points: &[ScenarioPoint],
-    scalars: &[Option<Scalar>],
+    scalars: &[Vec<Scalar>],
     matrix: &ScenarioMatrix,
 ) -> Vec<Comparison> {
     let npoints = points.len();
@@ -559,18 +562,22 @@ fn build_comparisons(
         [spec] if spec.values.iter().all(|v| v.parse::<f64>().is_ok()) => Some(spec.path.as_str()),
         _ => None,
     };
-    entries
-        .iter()
-        .enumerate()
-        .map(|(entry_idx, entry)| {
-            let per_point = &scalars[entry_idx * npoints..(entry_idx + 1) * npoints];
-            let metric = per_point.iter().flatten().next().unwrap_or_else(|| {
-                fail(&format!(
-                    "experiment `{}` produced no summary scalar; sweep comparisons \
-                     require full scalar coverage",
-                    entry.key
-                ))
-            });
+    let mut comparisons = Vec::new();
+    for (entry_idx, entry) in entries.iter().enumerate() {
+        let per_point = &scalars[entry_idx * npoints..(entry_idx + 1) * npoints];
+        let reference = per_point.iter().find(|s| !s.is_empty()).unwrap_or_else(|| {
+            fail(&format!(
+                "experiment `{}` produced no summary scalar; sweep comparisons \
+                 require full scalar coverage",
+                entry.key
+            ))
+        });
+        let metrics = reference
+            .iter()
+            .enumerate()
+            .filter(|(i, scalar)| *i == 0 || scalar.threshold.is_some())
+            .map(|(_, scalar)| scalar);
+        for metric in metrics {
             let mut comparison = Comparison::new(entry.key, &metric.name, &metric.unit);
             if let Some(axis) = axis {
                 comparison = comparison.with_axis(axis);
@@ -578,14 +585,18 @@ fn build_comparisons(
             if let Some(threshold) = &metric.threshold {
                 comparison = comparison.with_threshold(threshold.clone());
             }
-            for (point, scalar) in points.iter().zip(per_point) {
-                let scalar = scalar.as_ref().unwrap_or_else(|| {
-                    fail(&format!(
-                        "experiment `{}` produced no summary scalar at point `{}`",
-                        entry.key,
-                        point.display_label()
-                    ))
-                });
+            for (point, point_scalars) in points.iter().zip(per_point) {
+                let scalar = point_scalars
+                    .iter()
+                    .find(|s| s.name == metric.name)
+                    .unwrap_or_else(|| {
+                        fail(&format!(
+                            "experiment `{}` produced no `{}` scalar at point `{}`",
+                            entry.key,
+                            metric.name,
+                            point.display_label()
+                        ))
+                    });
                 let x = axis.and_then(|_| {
                     point
                         .assignments
@@ -597,9 +608,10 @@ fn build_comparisons(
                     None => comparison.push(point.display_label(), Some(scalar.value)),
                 };
             }
-            comparison
-        })
-        .collect()
+            comparisons.push(comparison);
+        }
+    }
+    comparisons
 }
 
 /// Renders the cross-scenario comparison report in the selected format.

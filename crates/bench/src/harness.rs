@@ -35,6 +35,57 @@ impl Measurement {
     }
 }
 
+/// A machine-readable benchmark report: named measurements collected across
+/// groups, serializable to the JSON shape CI archives (`BENCH_ci.json`) so
+/// the perf trajectory has data points to diff between runs.
+#[derive(Debug, Default)]
+pub struct Report {
+    entries: Vec<(String, Measurement)>,
+}
+
+impl Report {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one named measurement.
+    pub fn record(&mut self, name: impl Into<String>, measurement: Measurement) {
+        self.entries.push((name.into(), measurement));
+    }
+
+    /// Number of recorded measurements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The report as a JSON array string: one object per benchmark with
+    /// `name`, `mean_ns`, `min_ns` and `iterations`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let ns = |d: Duration| {
+            cc_report::JsonValue::Integer(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+        };
+        cc_report::JsonValue::array(self.entries.iter().map(|(name, m)| {
+            cc_report::JsonValue::object([
+                ("name", cc_report::JsonValue::from(name.as_str())),
+                ("mean_ns", ns(m.mean)),
+                ("min_ns", ns(m.min)),
+                ("iterations", cc_report::JsonValue::Integer(m.iterations)),
+            ])
+        }))
+        .render()
+    }
+}
+
 /// Runs groups of named benchmarks and prints one line per benchmark.
 #[derive(Debug)]
 pub struct Bencher {
@@ -116,6 +167,25 @@ mod tests {
         assert!(m.iterations > 0);
         assert!(m.mean > Duration::ZERO);
         assert!(m.min <= m.mean * 2);
+    }
+
+    #[test]
+    fn report_serializes_measurements_to_json() {
+        let mut report = Report::new();
+        assert!(report.is_empty());
+        report.record(
+            "facility/paper",
+            Measurement {
+                iterations: 42,
+                mean: Duration::from_nanos(1_500),
+                min: Duration::from_nanos(1_200),
+            },
+        );
+        assert_eq!(report.len(), 1);
+        assert_eq!(
+            report.to_json(),
+            r#"[{"name":"facility/paper","mean_ns":1500,"min_ns":1200,"iterations":42}]"#
+        );
     }
 
     #[test]

@@ -372,8 +372,72 @@ fn full_suite_sweep_has_no_scalar_gaps() {
     assert!(comparison.contains(r#""comparisons":["#));
     assert!(!comparison.contains("(no summary scalar)"));
     assert!(!comparison.contains(r#""value":null"#));
-    // All 26 experiments appear.
-    assert_eq!(comparison.matches(r#""experiment":"#).count(), 26);
+    // All 26 experiments appear; ext-facility contributes a second
+    // comparison for its thresholded cumulative break-even scalar.
+    assert_eq!(comparison.matches(r#""experiment":"#).count(), 27);
+}
+
+#[test]
+fn mixed_fleet_sweep_prints_the_cumulative_payback_crossover() {
+    // The mixed-fleet acceptance criterion end to end: sweeping the
+    // AI-training weight moves the cumulative-carbon break-even across the
+    // one-year-payback threshold, and the comparison report locates the
+    // composition where that happens.
+    let out = stdout_of(
+        repro()
+            .args([
+                "--sweep",
+                "fleet.mix[ai-training]=0..0.4/0.1",
+                "--json",
+                "ext-facility",
+            ])
+            .output()
+            .unwrap(),
+    );
+    let comparison = out.lines().last().unwrap();
+    // Both break-even metrics are compared: the annual summary scalar and
+    // the thresholded cumulative one.
+    assert!(comparison.contains(r#""metric":"opex-capex-breakeven-year""#));
+    assert!(comparison.contains(r#""metric":"cumulative-carbon-breakeven-year""#));
+    assert!(comparison.contains(r#""axis":"fleet.mix[ai-training]""#));
+    assert!(
+        comparison.contains("cumulative-carbon-breakeven-year crosses 2014 year"),
+        "missing cumulative crossover: {comparison}"
+    );
+    assert!(comparison.contains("embodied pays back"));
+    assert!(comparison.contains("at fleet.mix[ai-training] ≈ 0.3"));
+    // Mixed points carry the per-SKU breakdown series; the pure w=0 point
+    // still carries the composition (web at weight 1, AI at 0).
+    assert!(out.contains(r#""name":"facility-operational-carbon-ai-training""#));
+    assert!(out.contains(r#""mix":{"web":1.0,"ai-training":0.0}"#));
+}
+
+#[test]
+fn fleet_sku_and_mix_overrides_flow_into_the_facility() {
+    let storage = stdout_of(
+        repro()
+            .args(["--set", "fleet.sku=storage", "--json", "ext-facility"])
+            .output()
+            .unwrap(),
+    );
+    assert!(storage.contains(r#""sku":"storage""#));
+    let paper = stdout_of(repro().args(["--json", "ext-facility"]).output().unwrap());
+    assert_ne!(storage, paper, "a storage fleet must change the artifact");
+
+    // Unknown SKU names and degenerate mixes are rejected up front.
+    let unknown = repro()
+        .args(["--set", "fleet.sku=mainframe", "ext-facility"])
+        .output()
+        .unwrap();
+    assert_eq!(unknown.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&unknown.stderr).contains("unknown server SKU"));
+
+    let bad_sum = repro()
+        .args(["--set", "fleet.mix=web:0.5,ai-training:0.4", "ext-facility"])
+        .output()
+        .unwrap();
+    assert_eq!(bad_sum.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad_sum.stderr).contains("sum to 1"));
 }
 
 #[test]
@@ -538,6 +602,37 @@ fn experiment_flag_selects_like_a_positional_key() {
             .unwrap(),
     );
     assert_eq!(positional, flagged);
+}
+
+#[test]
+fn bench_ci_writes_a_machine_readable_report() {
+    let dir = std::env::temp_dir().join(format!("cc-bench-ci-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_ci.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_bench-ci"))
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "bench-ci failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.starts_with('['), "{json}");
+    for field in [
+        "\"name\":",
+        "\"mean_ns\":",
+        "\"min_ns\":",
+        "\"iterations\":",
+    ] {
+        assert!(json.contains(field), "missing {field} in {json}");
+    }
+    // The facility and sweep hot paths are both covered.
+    assert!(json.contains("ci/facility/paper-run"));
+    assert!(json.contains("ci/facility/mixed-fleet-run"));
+    assert!(json.contains("ci/sweep/fingerprint-dedup-full-suite"));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -10,7 +10,7 @@
 //! carbon overtake operational carbon?* Under the paper defaults the
 //! simulated facility is exactly the Prineville configuration.
 
-use cc_dcsim::{Facility, FacilityYear, ServerConfig};
+use cc_dcsim::{Facility, FacilityYear, FleetMix, ServerConfig};
 use cc_report::{
     table::num, Experiment, ExperimentId, ExperimentOutput, RunContext, Series, Table,
 };
@@ -24,9 +24,39 @@ pub const START_YEAR: u16 = 2013;
 /// Prineville's operational carbon starting to fall below capex around 2017.
 pub const PAPER_CROSSOVER_YEAR: f64 = 2017.0;
 
-/// Builds the scenario's facility: the fleet parameters applied to the web
-/// SKU on the scenario grid. `fleet.scale` multiplies the initial fleet, so
-/// the demand knob and the capacity-planning knobs compose.
+/// The cumulative break-even threshold: [`START_YEAR`] + 1, i.e. "the
+/// embodied investment pays back within the first year of operation".
+/// Under the paper defaults the web fleet's operations-to-date overtake its
+/// embodied-to-date investment partway through the second simulated year
+/// (~2014.6); AI-heavier mixes burn proportionally more energy per embodied
+/// tonne and pay back sooner, so a `fleet.mix[ai-training]` sweep's
+/// crossover line locates the composition where payback first fits inside
+/// year one (≈ 0.3 AI weight).
+pub const PAPER_CUMULATIVE_PAYBACK_YEAR: f64 = 2014.0;
+
+/// Builds the scenario's fleet composition from the SKU catalog:
+/// `fleet.mix` when non-empty, else a pure `fleet.sku` fleet. SKU names
+/// were validated against the catalog when the context was built.
+#[must_use]
+pub fn fleet_mix_from_context(ctx: &RunContext) -> FleetMix {
+    FleetMix::weighted(
+        ctx.fleet()
+            .composition()
+            .into_iter()
+            .map(|(name, weight)| {
+                let sku = ServerConfig::by_name(&name).unwrap_or_else(|| {
+                    panic!("scenario validation admits only catalog SKUs, got `{name}`")
+                });
+                (sku, weight)
+            })
+            .collect(),
+    )
+}
+
+/// Builds the scenario's facility: the fleet parameters applied to the
+/// scenario's SKU composition on the scenario grid. `fleet.scale`
+/// multiplies the initial fleet, so the demand knob and the
+/// capacity-planning knobs compose.
 #[must_use]
 pub fn facility_from_context(ctx: &RunContext) -> Facility {
     let fleet = ctx.fleet();
@@ -37,6 +67,7 @@ pub fn facility_from_context(ctx: &RunContext) -> Facility {
     // and never reaches the simulated output, so reading it here would only
     // poison the experiment's dependency set.
     Facility::builder("scenario-facility", START_YEAR, ServerConfig::web())
+        .mix(fleet_mix_from_context(ctx))
         .initial_servers(initial)
         .server_growth(fleet.growth)
         .pue(fleet.pue)
@@ -78,6 +109,34 @@ pub fn capex_overtake_year(years: &[FacilityYear]) -> f64 {
         [_, second, ..] if diff(second) >= 0.0 => f64::from(second.year),
         _ => f64::from(years.last().map_or(START_YEAR, |y| y.year)) + 1.0,
     }
+}
+
+/// The cumulative-carbon break-even: the fractional calendar year where
+/// *total operational carbon to date* overtakes *total embodied (capex)
+/// carbon to date* — when the facility's embodied investment has paid
+/// itself back in operational terms. Both totals accrue linearly within a
+/// year, so the crossing interpolates between year-end balances. Returns
+/// the start year when operations outpace capex from the very first year,
+/// and the year after the horizon (a clamp, like
+/// [`capex_overtake_year`]'s) when the investment is never amortized
+/// within it.
+#[must_use]
+pub fn cumulative_payback_year(years: &[FacilityYear]) -> f64 {
+    // Balance = cumulative capex - cumulative operational, in tonnes.
+    let mut balance = 0.0f64;
+    for (i, y) in years.iter().enumerate() {
+        let prev = balance;
+        balance += y.capex_carbon.as_tonnes() - y.market_carbon.as_tonnes();
+        if balance <= 0.0 {
+            if i == 0 {
+                // Operations outrun the embodied investment within the
+                // first year: paid back immediately.
+                return f64::from(y.year);
+            }
+            return f64::from(y.year) + prev / (prev - balance);
+        }
+    }
+    f64::from(years.last().map_or(START_YEAR, |y| y.year)) + 1.0
 }
 
 /// Scenario-driven facility capacity planning.
@@ -127,6 +186,53 @@ impl Experiment for ExtFacility {
         out.table("Facility horizon: operational vs embodied carbon", t);
         out.series(operational).series(capex);
 
+        // Composition breakdown: per-SKU opex/capex series (and a table)
+        // whenever the fleet actually mixes SKUs. A pure fleet's breakdown
+        // would only duplicate the totals above, row for row.
+        if years.first().is_some_and(|y| y.per_sku.len() > 1) {
+            let mut sku_table = Table::new([
+                "Year",
+                "SKU",
+                "Servers",
+                "Energy (GWh)",
+                "Operational (kt, market)",
+                "Embodied (kt)",
+            ]);
+            let sku_names: Vec<String> = years[0].per_sku.iter().map(|s| s.sku.clone()).collect();
+            for name in &sku_names {
+                let mut opex = Series::new(
+                    format!("facility-operational-carbon-{name}"),
+                    "year",
+                    "kt CO2e",
+                );
+                let mut capex =
+                    Series::new(format!("facility-capex-carbon-{name}"), "year", "kt CO2e");
+                for y in &years {
+                    let slice = y
+                        .per_sku
+                        .iter()
+                        .find(|s| &s.sku == name)
+                        .expect("every year carries every composition slice");
+                    opex.push(f64::from(y.year), slice.market_carbon.as_kt());
+                    capex.push(f64::from(y.year), slice.embodied_carbon.as_kt());
+                }
+                out.series(opex).series(capex);
+            }
+            for y in &years {
+                for slice in &y.per_sku {
+                    sku_table.row([
+                        y.year.to_string(),
+                        slice.sku.clone(),
+                        num(slice.servers, 0),
+                        num(slice.energy.as_gwh(), 0),
+                        num(slice.market_carbon.as_kt(), 1),
+                        num(slice.embodied_carbon.as_kt(), 1),
+                    ]);
+                }
+            }
+            out.table("Per-SKU fleet breakdown", sku_table);
+        }
+
         let breakeven = capex_overtake_year(&years);
         let horizon_end = f64::from(years.last().expect("horizon >= 1").year);
         out.scalar_with_threshold(
@@ -135,6 +241,14 @@ impl Experiment for ExtFacility {
             breakeven,
             PAPER_CROSSOVER_YEAR,
             "construction overtakes operations",
+        );
+        let payback = cumulative_payback_year(&years);
+        out.scalar_with_threshold(
+            "cumulative-carbon-breakeven-year",
+            "year",
+            payback,
+            PAPER_CUMULATIVE_PAYBACK_YEAR,
+            "embodied pays back within a year",
         );
         let capex_share = 100.0 * (cumulative_capex / (cumulative_capex + cumulative_opex));
         out.scalar("capex-share-cumulative", "%", capex_share);
@@ -148,6 +262,20 @@ impl Experiment for ExtFacility {
             out.note(format!(
                 "annual capex carbon overtakes market-based operational carbon at ~{breakeven:.1} \
                  (paper: Prineville crosses around {PAPER_CROSSOVER_YEAR:.0})"
+            ));
+        }
+        // A genuine crossing interpolated inside the final year lands in
+        // (horizon_end, horizon_end + 1); only the exact clamp value means
+        // "never paid back within the horizon".
+        if payback >= horizon_end + 1.0 {
+            out.note(format!(
+                "cumulative operational carbon never overtakes the embodied investment within \
+                 the horizon (cumulative break-even clamped to {payback})"
+            ));
+        } else {
+            out.note(format!(
+                "total operational carbon to date overtakes total embodied carbon to date at \
+                 ~{payback:.1} — the embodied investment is paid back in operational terms"
             ));
         }
         out.note(format!(
@@ -246,6 +374,153 @@ mod tests {
             Scenario::builder().fleet_scale(2.0).build(),
         ));
         assert_eq!(scaled[0].servers, paper[0].servers * 2);
+    }
+
+    #[test]
+    fn paper_cumulative_payback_lands_in_the_second_year() {
+        let out = ExtFacility.run(&RunContext::paper());
+        let payback = out.find_scalar("cumulative-carbon-breakeven-year").unwrap();
+        assert!(
+            (2014.0..2015.0).contains(&payback.value),
+            "paper cumulative break-even {} should land in 2014",
+            payback.value
+        );
+        assert_eq!(
+            payback.threshold.as_ref().unwrap().value,
+            PAPER_CUMULATIVE_PAYBACK_YEAR
+        );
+        // The annual scalar stays the summary (sweep comparisons diff it
+        // first); the cumulative one rides alongside.
+        assert_eq!(
+            out.summary_scalar().unwrap().name,
+            "opex-capex-breakeven-year"
+        );
+    }
+
+    #[test]
+    fn ai_mix_sweep_brackets_the_cumulative_payback_threshold() {
+        // The mixed-fleet acceptance criterion: sweeping the AI-training
+        // weight from 0 to 0.4 must move the cumulative break-even across
+        // the one-year-payback threshold so the comparison report prints an
+        // "embodied pays back" crossover line.
+        let payback_at = |weight: &str| {
+            let mut s = Scenario::paper_defaults();
+            s.set("fleet.mix[ai-training]", weight).unwrap();
+            ExtFacility
+                .run(&RunContext::new(s))
+                .find_scalar("cumulative-carbon-breakeven-year")
+                .unwrap()
+                .value
+        };
+        let pure = payback_at("0");
+        let heavy = payback_at("0.4");
+        assert!(
+            pure > heavy,
+            "AI-heavier fleets must pay their embodied investment back sooner"
+        );
+        assert!(
+            pure > PAPER_CUMULATIVE_PAYBACK_YEAR && heavy < PAPER_CUMULATIVE_PAYBACK_YEAR,
+            "sweep endpoints must bracket {PAPER_CUMULATIVE_PAYBACK_YEAR}: got {heavy}..{pure}"
+        );
+        // The zero-weight point is numerically the pure web fleet.
+        let paper = ExtFacility.run(&RunContext::paper());
+        assert_eq!(
+            payback_at("0"),
+            paper
+                .find_scalar("cumulative-carbon-breakeven-year")
+                .unwrap()
+                .value
+        );
+    }
+
+    #[test]
+    fn mixed_fleets_emit_per_sku_series_and_table() {
+        let mut s = Scenario::paper_defaults();
+        s.set("fleet.mix", "web:0.7,ai-training:0.3").unwrap();
+        let out = ExtFacility.run(&RunContext::new(s));
+        for name in [
+            "facility-operational-carbon-web",
+            "facility-capex-carbon-web",
+            "facility-operational-carbon-ai-training",
+            "facility-capex-carbon-ai-training",
+        ] {
+            assert_eq!(
+                out.find_series(name).map(cc_report::Series::len),
+                Some(7),
+                "missing per-SKU series {name}"
+            );
+        }
+        let (title, table) = &out.tables[1];
+        assert_eq!(title, "Per-SKU fleet breakdown");
+        assert_eq!(table.len(), 7 * 2);
+
+        // A pure fleet keeps the original artifact shape: no breakdown.
+        let paper = ExtFacility.run(&RunContext::paper());
+        assert!(paper
+            .find_series("facility-operational-carbon-web")
+            .is_none());
+        assert_eq!(paper.tables.len(), 1);
+    }
+
+    #[test]
+    fn storage_sku_fleet_runs_heavier_than_web() {
+        let mut s = Scenario::paper_defaults();
+        s.set("fleet.sku", "storage").unwrap();
+        let storage = ExtFacility.run(&RunContext::new(s));
+        let paper = ExtFacility.run(&RunContext::paper());
+        let last = |out: &cc_report::ExperimentOutput, name: &str| {
+            out.find_series(name).unwrap().points.last().unwrap().y
+        };
+        assert!(
+            last(&storage, "facility-capex-carbon") > last(&paper, "facility-capex-carbon"),
+            "storage servers embody more carbon per box"
+        );
+        assert!(
+            last(&storage, "facility-operational-carbon")
+                > last(&paper, "facility-operational-carbon")
+        );
+    }
+
+    #[test]
+    fn final_year_payback_is_reported_as_paid_back_not_clamped() {
+        // The paper-default payback (~2014.6) lands inside the final year of
+        // a two-year horizon: a genuine crossing, not a clamp — the note
+        // must say so even though the value exceeds the last simulated year.
+        let ctx = RunContext::new(Scenario::builder().fleet_horizon_years(2).build());
+        let out = ExtFacility.run(&ctx);
+        let payback = out
+            .find_scalar("cumulative-carbon-breakeven-year")
+            .unwrap()
+            .value;
+        assert!(
+            (2014.0..2015.0).contains(&payback),
+            "crossing should land inside the final year, got {payback}"
+        );
+        assert!(
+            out.notes
+                .iter()
+                .any(|n| n.contains("paid back in operational terms")),
+            "a final-year crossing must not be reported as clamped: {:?}",
+            out.notes
+        );
+    }
+
+    #[test]
+    fn cumulative_payback_clamps_when_operations_never_catch_up() {
+        // A fleet that keeps growing on fully-renewable operations never
+        // amortizes its embodied carbon: the scalar clamps past the horizon.
+        let mut s = Scenario::paper_defaults();
+        s.set("fleet.renewable_ramp", "1.0").unwrap();
+        let out = ExtFacility.run(&RunContext::new(s));
+        let payback = out
+            .find_scalar("cumulative-carbon-breakeven-year")
+            .unwrap()
+            .value;
+        assert_eq!(payback, 2020.0, "clamped to horizon end + 1");
+        assert!(out
+            .notes
+            .iter()
+            .any(|n| n.contains("cumulative") && n.contains("clamped")));
     }
 
     #[test]

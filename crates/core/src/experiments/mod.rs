@@ -460,6 +460,8 @@ mod tests {
             ("fab.yield_factor", "1.5"),
             ("fab.renewable_share", "0.5"),
             ("fleet.scale", "2"),
+            ("fleet.sku", "storage"),
+            ("fleet.mix", "web:0.6,ai-training:0.4"),
             ("fleet.initial_servers", "30000"),
             ("fleet.growth", "1.1"),
             ("fleet.pue", "1.3"),
@@ -509,6 +511,25 @@ mod tests {
                     entry.key
                 );
             }
+        }
+    }
+
+    #[test]
+    fn scenario_sku_names_match_the_dcsim_catalog() {
+        // The scenario layer validates fleet compositions against its own
+        // KNOWN_SKUS list (cc_report cannot depend on the simulator crate);
+        // this is the cross-crate check keeping that list and the
+        // cc_dcsim::ServerConfig catalog in lockstep.
+        let catalog: Vec<String> = cc_dcsim::ServerConfig::catalog()
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(cc_report::scenario::KNOWN_SKUS.to_vec(), catalog);
+        for name in cc_report::scenario::KNOWN_SKUS {
+            assert!(
+                cc_dcsim::ServerConfig::by_name(name).is_some(),
+                "scenario SKU `{name}` missing from the catalog"
+            );
         }
     }
 

@@ -1,8 +1,27 @@
 //! A warehouse-scale facility simulated year by year.
 
+use crate::fleet::FleetMix;
 use crate::server::ServerConfig;
 use cc_ghg::{CorporateInventory, PpaPortfolio};
 use cc_units::{CarbonMass, Energy, TimeSpan};
+
+/// One SKU's share of a simulated facility year.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkuYear {
+    /// SKU name (`"web"`, `"ai-training"`, …).
+    pub sku: String,
+    /// Servers of this SKU in service (fractional: a weight share of the
+    /// fleet).
+    pub servers: f64,
+    /// IT + overhead energy this SKU's slice consumed.
+    pub energy: Energy,
+    /// The slice's share of market-based operational carbon (proportional
+    /// to its energy).
+    pub market_carbon: CarbonMass,
+    /// Embodied carbon of this SKU's newly deployed servers (facility-level
+    /// construction carbon is not attributed to SKUs).
+    pub embodied_carbon: CarbonMass,
+}
 
 /// One simulated year of a facility.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +39,9 @@ pub struct FacilityYear {
     /// Capex carbon booked this year: amortized construction plus embodied
     /// carbon of newly deployed servers.
     pub capex_carbon: CarbonMass,
+    /// Per-SKU breakdown of the fleet's share, in composition order (one
+    /// entry for a pure fleet).
+    pub per_sku: Vec<SkuYear>,
 }
 
 impl FacilityYear {
@@ -56,7 +78,7 @@ impl FacilityYear {
 pub struct Facility {
     name: String,
     start_year: u16,
-    sku: ServerConfig,
+    mix: FleetMix,
     initial_servers: u64,
     server_growth: f64,
     pue: f64,
@@ -69,14 +91,15 @@ pub struct Facility {
 }
 
 impl Facility {
-    /// Starts a builder.
+    /// Starts a builder deploying a pure fleet of `sku`; use
+    /// [`FacilityBuilder::mix`] for a weighted multi-SKU composition.
     #[must_use]
     pub fn builder(name: impl Into<String>, start_year: u16, sku: ServerConfig) -> FacilityBuilder {
         FacilityBuilder {
             facility: Facility {
                 name: name.into(),
                 start_year,
-                sku,
+                mix: FleetMix::pure(sku),
                 initial_servers: 10_000,
                 server_growth: 1.25,
                 pue: 1.12,
@@ -112,7 +135,7 @@ impl Facility {
         let mut prev_servers = 0.0f64;
         for i in 0..years {
             let year = self.start_year + i as u16;
-            let it_power = self.sku.average_power() * servers;
+            let it_power = self.mix.average_power() * servers;
             let energy = it_power * TimeSpan::from_years(1.0) * self.pue;
 
             let mut portfolio = PpaPortfolio::new(self.grid);
@@ -122,8 +145,34 @@ impl Facility {
             let market = portfolio.market_carbon(energy);
 
             let new_servers = (servers - prev_servers).max(0.0);
-            let embodied = self.sku.embodied() * new_servers;
+            let embodied = self.mix.embodied_per_server() * new_servers;
             let construction = self.construction / self.construction_amortization_years;
+            // Composition breakdown: each slice's energy via the shared
+            // heterogeneity slice math; market carbon apportioned by energy
+            // share (PPAs cover the fleet, not individual SKUs).
+            let per_sku = self
+                .mix
+                .provision(servers)
+                .into_iter()
+                .zip(self.mix.slices())
+                .map(|(slice, (_, weight))| {
+                    let sku_energy = slice.annual_energy(self.pue);
+                    // A zero-server facility year has zero total energy;
+                    // its slices carry zero carbon, not 0/0 = NaN.
+                    let share = if energy.is_zero() {
+                        0.0
+                    } else {
+                        sku_energy / energy
+                    };
+                    SkuYear {
+                        sku: slice.capability.sku.name.clone(),
+                        servers: slice.servers,
+                        energy: sku_energy,
+                        market_carbon: market * share,
+                        embodied_carbon: slice.capability.sku.embodied() * (new_servers * weight),
+                    }
+                })
+                .collect();
             out.push(FacilityYear {
                 year,
                 servers: servers.round() as u64,
@@ -131,6 +180,7 @@ impl Facility {
                 location_carbon: location,
                 market_carbon: market,
                 capex_carbon: embodied + construction,
+                per_sku,
             });
             prev_servers = servers;
             servers *= self.server_growth;
@@ -146,6 +196,13 @@ pub struct FacilityBuilder {
 }
 
 impl FacilityBuilder {
+    /// Replaces the fleet composition (default: a pure fleet of the SKU
+    /// passed to [`Facility::builder`]).
+    pub fn mix(&mut self, mix: FleetMix) -> &mut Self {
+        self.facility.mix = mix;
+        self
+    }
+
     /// Sets the initial server count (default 10,000).
     pub fn initial_servers(&mut self, servers: u64) -> &mut Self {
         self.facility.initial_servers = servers;
@@ -282,5 +339,54 @@ mod tests {
     #[should_panic(expected = "PUE")]
     fn rejects_sub_unity_pue() {
         Facility::builder("bad", 2013, ServerConfig::web()).pue(0.9);
+    }
+
+    #[test]
+    fn pure_fleet_breakdown_mirrors_the_totals() {
+        let years = facility().simulate(3);
+        for y in &years {
+            assert_eq!(y.per_sku.len(), 1);
+            let slice = &y.per_sku[0];
+            assert_eq!(slice.sku, "web");
+            assert_eq!(slice.energy, y.energy);
+            assert_eq!(slice.market_carbon, y.market_carbon);
+        }
+    }
+
+    #[test]
+    fn mixed_fleet_splits_energy_and_embodied_by_weight() {
+        let mix = crate::fleet::FleetMix::weighted(vec![
+            (ServerConfig::web(), 0.7),
+            (ServerConfig::ai_training(), 0.3),
+        ]);
+        let mut f = Facility::builder("mixed", 2013, ServerConfig::web())
+            .initial_servers(10_000)
+            .mix(mix)
+            .build();
+        let years = f.simulate(2);
+        let y0 = &years[0];
+        assert_eq!(y0.per_sku.len(), 2);
+        let (web, ai) = (&y0.per_sku[0], &y0.per_sku[1]);
+        assert_eq!(web.servers, 7_000.0);
+        assert_eq!(ai.servers, 3_000.0);
+        // 3,000 AI boxes at 1.5 kW out-draw 7,000 web boxes at 250 W.
+        assert!(ai.energy > web.energy * 2.0);
+        // The slices partition the totals.
+        assert!(((web.energy + ai.energy) / y0.energy - 1.0).abs() < 1e-12);
+        assert!(((web.market_carbon + ai.market_carbon) / y0.market_carbon - 1.0).abs() < 1e-12);
+        // Per-SKU embodied sums to the capex term minus construction.
+        let construction = CarbonMass::from_kt(100.0) / 20.0;
+        let embodied_sum = web.embodied_carbon + ai.embodied_carbon;
+        assert!(
+            ((embodied_sum + construction) / y0.capex_carbon - 1.0).abs() < 1e-12,
+            "embodied breakdown must reconcile with capex"
+        );
+        // A mixed fleet is strictly heavier than the pure web fleet.
+        let mut pure = Facility::builder("pure", 2013, ServerConfig::web())
+            .initial_servers(10_000)
+            .build();
+        let pure_years = pure.simulate(2);
+        assert!(y0.energy > pure_years[0].energy);
+        assert!(y0.capex_carbon > pure_years[0].capex_carbon);
     }
 }

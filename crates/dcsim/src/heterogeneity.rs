@@ -8,7 +8,7 @@
 //! capex carbon.
 
 use crate::server::ServerConfig;
-use cc_units::{CarbonIntensity, CarbonMass, TimeSpan};
+use cc_units::{CarbonIntensity, CarbonMass, Energy, TimeSpan};
 
 /// A server SKU annotated with how many workload units one box serves.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,13 +20,20 @@ pub struct SkuCapability {
 }
 
 impl SkuCapability {
+    /// Wraps a plain catalog SKU at 1 workload unit per server — the form
+    /// [`crate::FleetMix`] composes facility fleets from.
+    #[must_use]
+    pub fn of(sku: ServerConfig) -> Self {
+        Self {
+            sku,
+            units_per_server: 1.0,
+        }
+    }
+
     /// A general-purpose CPU server: 1 unit each.
     #[must_use]
     pub fn general_purpose() -> Self {
-        Self {
-            sku: ServerConfig::web(),
-            units_per_server: 1.0,
-        }
+        Self::of(ServerConfig::web())
     }
 
     /// An inference accelerator: ~10 units each at 4× the power and ~3× the
@@ -52,6 +59,26 @@ pub struct FleetSlice {
     pub capability: SkuCapability,
     /// Provisioned servers.
     pub servers: f64,
+}
+
+impl FleetSlice {
+    /// IT + overhead energy this slice consumes in one year at the given
+    /// PUE. Shared by [`provision`] and the facility simulation, so the two
+    /// models price a slice identically.
+    #[must_use]
+    pub fn annual_energy(&self, pue: f64) -> Energy {
+        self.capability.sku.average_power() * self.servers * TimeSpan::from_years(1.0) * pue
+    }
+
+    /// Yearly carbon of this slice on `grid`: operational energy plus
+    /// lifetime-amortized embodied carbon.
+    #[must_use]
+    pub fn yearly_carbon(&self, grid: CarbonIntensity, pue: f64) -> FleetCarbon {
+        FleetCarbon {
+            opex_per_year: self.annual_energy(pue) * grid,
+            capex_per_year: self.capability.sku.embodied_per_year() * self.servers,
+        }
+    }
 }
 
 /// Yearly carbon cost of a fleet: operational plus amortized embodied.
@@ -86,19 +113,12 @@ pub fn provision(
 ) -> (FleetSlice, FleetCarbon) {
     assert!(demand_units >= 0.0, "demand must be non-negative");
     assert!(pue >= 1.0, "PUE is a multiplier >= 1");
-    let servers = (demand_units / capability.units_per_server).ceil();
-    let energy = capability.sku.average_power() * servers * TimeSpan::from_years(1.0) * pue;
-    let carbon = FleetCarbon {
-        opex_per_year: energy * grid,
-        capex_per_year: capability.sku.embodied_per_year() * servers,
+    let slice = FleetSlice {
+        capability: capability.clone(),
+        servers: (demand_units / capability.units_per_server).ceil(),
     };
-    (
-        FleetSlice {
-            capability: capability.clone(),
-            servers,
-        },
-        carbon,
-    )
+    let carbon = slice.yearly_carbon(grid, pue);
+    (slice, carbon)
 }
 
 /// Compares a general-purpose fleet against an accelerator fleet for the same

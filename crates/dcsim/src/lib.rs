@@ -7,11 +7,16 @@
 //! research direction.
 //!
 //! * [`facility`] — the scenario-driven facility model: simulate any fleet
-//!   description over a planning horizon ([`Facility`] / [`FacilityYear`]);
-//!   `ext-facility`, `fig02` and `fig11` all route through it.
+//!   description over a planning horizon ([`Facility`] / [`FacilityYear`],
+//!   with a per-SKU breakdown per year); `ext-facility`, `fig02` and
+//!   `fig11` all route through it.
+//! * [`fleet`] — mixed-SKU fleet composition ([`FleetMix`]): weighted
+//!   server SKUs deployed in proportion, sharing the heterogeneity slice
+//!   math.
 //! * [`prineville`] — the disclosed Prineville trajectory the paper charts;
 //!   the paper-default scenario reproduces it bit for bit.
-//! * [`server`] — per-SKU power/embodied-carbon descriptions.
+//! * [`server`] — per-SKU power/embodied-carbon descriptions and the SKU
+//!   catalog.
 //! * [`scheduler`] — carbon-aware batch scheduling against a daily grid
 //!   profile (`ext-sched`).
 //! * [`heterogeneity`] — general-purpose vs accelerator provisioning
@@ -21,11 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod facility;
+pub mod fleet;
 pub mod heterogeneity;
 pub mod prineville;
 pub mod scheduler;
 pub mod server;
 
-pub use facility::{Facility, FacilityYear};
+pub use facility::{Facility, FacilityYear, SkuYear};
+pub use fleet::FleetMix;
 pub use scheduler::{CarbonAwareScheduler, DayProfile};
 pub use server::ServerConfig;

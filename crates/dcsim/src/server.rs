@@ -51,6 +51,21 @@ impl ServerConfig {
         }
     }
 
+    /// The full SKU catalog a fleet may be composed of. The scenario
+    /// layer's `cc_report::scenario::KNOWN_SKUS` mirrors these names (a
+    /// cross-crate test keeps them agreeing).
+    #[must_use]
+    pub fn catalog() -> [Self; 3] {
+        [Self::web(), Self::storage(), Self::ai_training()]
+    }
+
+    /// Finds the catalog SKU named `name` (`"web"`, `"storage"`,
+    /// `"ai-training"`).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        Self::catalog().into_iter().find(|s| s.name == name)
+    }
+
     /// Average power as a typed quantity.
     #[must_use]
     pub fn average_power(&self) -> Power {

@@ -29,6 +29,16 @@ use std::sync::Arc;
 /// (wind, Table II).
 pub const RENEWABLE_PPA_G_PER_KWH: f64 = 11.0;
 
+/// Server SKU names a fleet may be composed of (`fleet.sku` /
+/// `fleet.mix`). These mirror the `cc_dcsim::ServerConfig` catalog — a
+/// cross-crate test in `cc_core` keeps the two lists agreeing — so the
+/// scenario layer can validate fleet compositions without depending on the
+/// simulator crate.
+pub const KNOWN_SKUS: [&str; 3] = ["web", "storage", "ai-training"];
+
+/// Tolerance when checking that `fleet.mix` weights sum to 1.
+pub const MIX_WEIGHT_TOLERANCE: f64 = 1e-6;
+
 /// Operational-energy parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GridParams {
@@ -78,6 +88,15 @@ pub struct FleetParams {
     /// Demand multiplier applied to fleet-sizing experiments (scales the
     /// initial server count of the facility model).
     pub scale: f64,
+    /// Server SKU of a pure (single-SKU) fleet — one of [`KNOWN_SKUS`]. The
+    /// paper's facility deploys web servers; a non-empty [`Self::mix`]
+    /// overrides this with a weighted composition.
+    pub sku: String,
+    /// Weighted fleet composition as `(sku, weight)` pairs (weights sum
+    /// to 1). Empty means a pure fleet of [`Self::sku`]. Settable as
+    /// `fleet.mix = "web:0.7,ai-training:0.3"` or per-SKU via
+    /// `fleet.mix[ai-training] = 0.3` (which renormalizes the rest).
+    pub mix: Vec<(String, f64)>,
     /// Servers in service in the facility's first simulated year.
     pub initial_servers: u64,
     /// Annual server-fleet growth factor (1.0 = flat fleet).
@@ -93,6 +112,66 @@ pub struct FleetParams {
     pub construction_kt: f64,
     /// Simulated planning horizon in years.
     pub horizon_years: u32,
+}
+
+impl FleetParams {
+    /// The effective fleet composition: [`Self::mix`] when non-empty,
+    /// otherwise a pure fleet of [`Self::sku`] at weight 1.
+    #[must_use]
+    pub fn composition(&self) -> Vec<(String, f64)> {
+        if self.mix.is_empty() {
+            vec![(self.sku.clone(), 1.0)]
+        } else {
+            self.mix.clone()
+        }
+    }
+
+    /// Sets one SKU's weight in the composition, rescaling every other
+    /// entry proportionally so the weights keep summing to 1. An empty mix
+    /// starts from the pure [`Self::sku`] fleet, so
+    /// `set_mix_weight("ai-training", 0.3)` on the paper defaults yields
+    /// `web:0.7,ai-training:0.3`.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Invalid`] when `weight` lies outside `[0, 1]`, or
+    /// when the remaining entries carry no weight to rescale (e.g. setting
+    /// the only SKU's weight below 1), which would leave the weights unable
+    /// to sum to 1.
+    pub fn set_mix_weight(&mut self, sku: &str, weight: f64) -> Result<(), ScenarioError> {
+        if !weight.is_finite() || !(0.0..=1.0).contains(&weight) {
+            // Rejecting here names the assignment the user actually made;
+            // rescaling first would surface as a negative weight on some
+            // *other* SKU at validation time.
+            return Err(ScenarioError::Invalid(format!(
+                "fleet.mix[{sku}] weight must lie in [0, 1], got {weight}"
+            )));
+        }
+        let mut mix = self.composition();
+        if !mix.iter().any(|(name, _)| name == sku) {
+            mix.push((sku.to_string(), 0.0));
+        }
+        let others: f64 = mix
+            .iter()
+            .filter(|(name, _)| name != sku)
+            .map(|(_, w)| w)
+            .sum();
+        if others == 0.0 && weight != 1.0 {
+            return Err(ScenarioError::Invalid(format!(
+                "fleet.mix[{sku}] = {weight} leaves no other SKU weight to rescale \
+                 (the mix must keep summing to 1)"
+            )));
+        }
+        for (name, w) in &mut mix {
+            if name == sku {
+                *w = weight;
+            } else if others > 0.0 {
+                *w *= (1.0 - weight) / others;
+            }
+        }
+        self.mix = mix;
+        Ok(())
+    }
 }
 
 /// Monte-Carlo parameters for `ext-mc`.
@@ -162,6 +241,8 @@ impl Scenario {
             },
             fleet: FleetParams {
                 scale: 1.0,
+                sku: "web".to_string(),
+                mix: Vec::new(),
                 initial_servers: 60_000,
                 growth: 1.28,
                 pue: 1.10,
@@ -234,6 +315,15 @@ impl Scenario {
             "fab.yield_factor" => self.fab.yield_factor = f64_of(key, value)?,
             "fab.renewable_share" => self.fab.renewable_share = f64_of(key, value)?,
             "fleet.scale" => self.fleet.scale = f64_of(key, value)?,
+            "fleet.sku" => self.fleet.sku = unquote(value),
+            "fleet.mix" => self.fleet.mix = parse_mix(key, value)?,
+            _ if key.starts_with("fleet.mix[") && key.ends_with(']') => {
+                let sku = key["fleet.mix[".len()..key.len() - 1].trim();
+                if sku.is_empty() {
+                    return Err(ScenarioError::UnknownKey(key.to_string()));
+                }
+                self.fleet.set_mix_weight(sku, f64_of(key, value)?)?;
+            }
             "fleet.initial_servers" => self.fleet.initial_servers = u64_of(key, value)?,
             "fleet.growth" => self.fleet.growth = f64_of(key, value)?,
             "fleet.pue" => self.fleet.pue = f64_of(key, value)?,
@@ -375,6 +465,10 @@ impl Scenario {
         ));
         out.push_str("\n[fleet]\n");
         out.push_str(&format!("scale = {:?}\n", self.fleet.scale));
+        out.push_str(&format!("sku = {}\n", quote(&self.fleet.sku)));
+        if !self.fleet.mix.is_empty() {
+            out.push_str(&format!("mix = {}\n", quote(&format_mix(&self.fleet.mix))));
+        }
         out.push_str(&format!(
             "initial_servers = {}\n",
             self.fleet.initial_servers
@@ -446,6 +540,16 @@ impl Scenario {
                 "fleet",
                 JsonValue::object([
                     ("scale", JsonValue::from(self.fleet.scale)),
+                    ("sku", JsonValue::from(self.fleet.sku.as_str())),
+                    (
+                        "mix",
+                        JsonValue::object(
+                            self.fleet
+                                .mix
+                                .iter()
+                                .map(|(name, w)| (name.clone(), JsonValue::from(*w))),
+                        ),
+                    ),
                     (
                         "initial_servers",
                         JsonValue::Integer(self.fleet.initial_servers),
@@ -514,6 +618,7 @@ impl Scenario {
                 return Err(ScenarioError::UnknownSource(source.clone()));
             }
         }
+        self.validate_fleet_composition()?;
         let checks: [(&str, bool); 15] = [
             (
                 "grid.intensity must be finite and positive",
@@ -579,6 +684,45 @@ impl Scenario {
             if !ok {
                 return Err(ScenarioError::Invalid(message.to_string()));
             }
+        }
+        Ok(())
+    }
+
+    /// Checks `fleet.sku` and `fleet.mix` describe a deployable fleet:
+    /// known SKU names only, no duplicates, finite non-negative weights
+    /// summing to 1 within [`MIX_WEIGHT_TOLERANCE`].
+    fn validate_fleet_composition(&self) -> Result<(), ScenarioError> {
+        let known = |name: &str| KNOWN_SKUS.contains(&name);
+        let unknown = |field: &str, name: &str| {
+            ScenarioError::Invalid(format!(
+                "{field} names unknown server SKU `{name}` (known: {})",
+                KNOWN_SKUS.join(", ")
+            ))
+        };
+        if !known(&self.fleet.sku) {
+            return Err(unknown("fleet.sku", &self.fleet.sku));
+        }
+        let mut sum = 0.0;
+        for (i, (name, weight)) in self.fleet.mix.iter().enumerate() {
+            if !known(name) {
+                return Err(unknown("fleet.mix", name));
+            }
+            if self.fleet.mix[..i].iter().any(|(prior, _)| prior == name) {
+                return Err(ScenarioError::Invalid(format!(
+                    "fleet.mix lists SKU `{name}` more than once"
+                )));
+            }
+            if !weight.is_finite() || *weight < 0.0 {
+                return Err(ScenarioError::Invalid(format!(
+                    "fleet.mix weight for `{name}` must be finite and non-negative, got {weight}"
+                )));
+            }
+            sum += weight;
+        }
+        if !self.fleet.mix.is_empty() && (sum - 1.0).abs() > MIX_WEIGHT_TOLERANCE {
+            return Err(ScenarioError::Invalid(format!(
+                "fleet.mix weights must sum to 1, got {sum}"
+            )));
         }
         Ok(())
     }
@@ -662,6 +806,24 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn fleet_scale(mut self, scale: f64) -> Self {
         self.scenario.fleet.scale = scale;
+        self
+    }
+
+    /// Sets the server SKU of a pure fleet (one of
+    /// [`KNOWN_SKUS`]; unknown names are rejected by
+    /// [`Scenario::validate`]).
+    #[must_use]
+    pub fn fleet_sku(mut self, sku: impl Into<String>) -> Self {
+        self.scenario.fleet.sku = sku.into();
+        self
+    }
+
+    /// Sets the weighted fleet composition as `(sku, weight)` pairs
+    /// (weights must sum to 1; an empty mix means a pure
+    /// [`Self::fleet_sku`] fleet).
+    #[must_use]
+    pub fn fleet_mix(mut self, mix: Vec<(String, f64)>) -> Self {
+        self.scenario.fleet.mix = mix;
         self
     }
 
@@ -796,6 +958,41 @@ fn parse_ramp(key: &str, value: &str) -> Result<Vec<f64>, ScenarioError> {
     text.split(',')
         .map(|part| part.trim().parse::<f64>().map_err(|_| invalid()))
         .collect()
+}
+
+/// Parses a fleet-mix value: comma-separated `sku:weight` pairs, optionally
+/// TOML-quoted (`"web:0.7,ai-training:0.3"`). An empty string is the empty
+/// mix (a pure `fleet.sku` fleet). SKU-name and weight-sum checking happens
+/// in [`Scenario::validate`]; this only requires the `name:number` shape.
+fn parse_mix(key: &str, value: &str) -> Result<Vec<(String, f64)>, ScenarioError> {
+    let invalid = || ScenarioError::InvalidValue {
+        key: key.to_string(),
+        value: value.to_string(),
+    };
+    let text = unquote(value);
+    let text = text.trim();
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|part| {
+            let (name, weight) = part.split_once(':').ok_or_else(invalid)?;
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(invalid());
+            }
+            let weight: f64 = weight.trim().parse().map_err(|_| invalid())?;
+            Ok((name.to_string(), weight))
+        })
+        .collect()
+}
+
+/// Canonical text form of a fleet mix, parseable by [`parse_mix`].
+fn format_mix(mix: &[(String, f64)]) -> String {
+    mix.iter()
+        .map(|(name, w)| format!("{name}:{w:?}"))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 /// Canonical text form of a renewable ramp, parseable by [`parse_ramp`].
@@ -1296,6 +1493,145 @@ mod tests {
     }
 
     #[test]
+    fn fleet_mix_round_trips_through_toml_and_set() {
+        let s = Scenario::builder()
+            .name("ai-buildout")
+            .fleet_mix(vec![
+                ("web".to_string(), 0.7),
+                ("ai-training".to_string(), 0.3),
+            ])
+            .build();
+        s.validate().unwrap();
+        let back = Scenario::from_toml(&s.to_toml()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_toml(), s.to_toml());
+
+        // --set style: the whole composition in one assignment.
+        let mut by_set = Scenario::paper_defaults();
+        by_set.set("fleet.mix", "web:0.7,ai-training:0.3").unwrap();
+        assert_eq!(by_set.fleet.mix, s.fleet.mix);
+        by_set.validate().unwrap();
+
+        // A quoted value (the TOML form) parses identically.
+        let mut quoted = Scenario::paper_defaults();
+        quoted
+            .set("fleet.mix", "\"web:0.7,ai-training:0.3\"")
+            .unwrap();
+        assert_eq!(quoted.fleet.mix, s.fleet.mix);
+
+        // fleet.sku round-trips and defaults to the paper's web SKU.
+        assert_eq!(Scenario::paper_defaults().fleet.sku, "web");
+        let mut storage = Scenario::paper_defaults();
+        storage.set("fleet.sku", "storage").unwrap();
+        storage.validate().unwrap();
+        assert_eq!(
+            Scenario::from_toml(&storage.to_toml()).unwrap().fleet.sku,
+            "storage"
+        );
+    }
+
+    #[test]
+    fn fleet_mix_bracket_paths_set_one_weight_and_renormalize() {
+        // On the paper defaults (pure web) the complement goes to web.
+        let mut s = Scenario::paper_defaults();
+        s.set("fleet.mix[ai-training]", "0.3").unwrap();
+        assert_eq!(
+            s.fleet.mix,
+            vec![("web".to_string(), 0.7), ("ai-training".to_string(), 0.3)]
+        );
+        s.validate().unwrap();
+
+        // Weight 0 keeps the pure fleet's numbers exact (web stays at 1.0).
+        let mut zero = Scenario::paper_defaults();
+        zero.set("fleet.mix[ai-training]", "0").unwrap();
+        assert_eq!(
+            zero.fleet.mix,
+            vec![("web".to_string(), 1.0), ("ai-training".to_string(), 0.0)]
+        );
+        zero.validate().unwrap();
+
+        // Re-setting an existing entry rescales the others proportionally.
+        let mut s = Scenario::paper_defaults();
+        s.set("fleet.mix", "web:0.5,storage:0.25,ai-training:0.25")
+            .unwrap();
+        s.set("fleet.mix[ai-training]", "0.5").unwrap();
+        let weight = |s: &Scenario, name: &str| {
+            s.fleet
+                .mix
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, w)| *w)
+                .unwrap()
+        };
+        assert!((weight(&s, "ai-training") - 0.5).abs() < 1e-12);
+        assert!((weight(&s, "web") - 1.0 / 3.0).abs() < 1e-12);
+        assert!((weight(&s, "storage") - 1.0 / 6.0).abs() < 1e-12);
+        s.validate().unwrap();
+
+        // Setting the only SKU below full weight cannot renormalize.
+        let mut stuck = Scenario::paper_defaults();
+        assert!(matches!(
+            stuck.set("fleet.mix[web]", "0.5"),
+            Err(ScenarioError::Invalid(_))
+        ));
+        // Out-of-range weights are rejected at set time, naming the SKU the
+        // user actually assigned (not whichever other SKU would have gone
+        // negative after rescaling).
+        let mut over = Scenario::paper_defaults();
+        let err = over.set("fleet.mix[ai-training]", "1.5").unwrap_err();
+        assert!(
+            matches!(&err, ScenarioError::Invalid(m) if m.contains("fleet.mix[ai-training]")),
+            "got {err:?}"
+        );
+        assert!(over.set("fleet.mix[ai-training]", "-0.1").is_err());
+        // An empty bracket name is an unknown key, not a silent no-op.
+        assert!(matches!(
+            Scenario::paper_defaults().set("fleet.mix[]", "0.5"),
+            Err(ScenarioError::UnknownKey(_))
+        ));
+    }
+
+    #[test]
+    fn fleet_mix_validation_rejects_bad_compositions() {
+        let invalid = |key: &str, value: &str| {
+            let mut s = Scenario::paper_defaults();
+            s.set(key, value).unwrap();
+            match s.validate() {
+                Err(ScenarioError::Invalid(message)) => message,
+                other => panic!("{key}={value} must fail validation, got {other:?}"),
+            }
+        };
+        // Unknown SKU names, in both the pure field and the mix.
+        assert!(invalid("fleet.sku", "mainframe").contains("unknown server SKU"));
+        assert!(invalid("fleet.mix", "web:0.5,mainframe:0.5").contains("mainframe"));
+        // Negative weights.
+        assert!(invalid("fleet.mix", "web:1.5,ai-training:-0.5").contains("non-negative"));
+        // Weights that don't sum to 1 (outside tolerance).
+        assert!(invalid("fleet.mix", "web:0.5,ai-training:0.4").contains("sum to 1"));
+        // Duplicate SKUs.
+        assert!(invalid("fleet.mix", "web:0.5,web:0.5").contains("more than once"));
+        // Within tolerance passes.
+        let mut ok = Scenario::paper_defaults();
+        ok.set("fleet.mix", "web:0.3333333,ai-training:0.6666667")
+            .unwrap();
+        ok.validate().unwrap();
+        // Malformed pairs fail at set time.
+        let mut s = Scenario::paper_defaults();
+        assert!(matches!(
+            s.set("fleet.mix", "web-0.5"),
+            Err(ScenarioError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            s.set("fleet.mix", "web:heavy"),
+            Err(ScenarioError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            s.set("fleet.mix", ":0.5"),
+            Err(ScenarioError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
     fn paper_fleet_defaults_pin_the_prineville_facility() {
         let fleet = Scenario::paper_defaults().fleet;
         assert_eq!(fleet.initial_servers, 60_000);
@@ -1434,7 +1770,8 @@ mod tests {
             ["grid.intensity", "grid.renewable_fraction"]
         );
         assert!(ctx.fleet_is_paper());
-        assert_eq!(tracker.reads().len(), 9);
+        // grid.intensity + grid.renewable_fraction + the nine fleet fields.
+        assert_eq!(tracker.reads().len(), 11);
 
         // A non-grid change leaves the grid paper-like but not the fleet.
         let mut s = Scenario::paper_defaults();

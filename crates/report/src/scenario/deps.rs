@@ -94,7 +94,7 @@ pub struct FieldInfo {
 /// Every settable scenario field, in canonical (TOML) order. The single
 /// source of truth for `--set` documentation, dependency expansion and the
 /// generated scenario reference.
-pub const FIELDS: [FieldInfo; 18] = [
+pub const FIELDS: [FieldInfo; 20] = [
     FieldInfo {
         path: "name",
         aliases: &[],
@@ -173,6 +173,23 @@ pub const FIELDS: [FieldInfo; 18] = [
         ty: "f64",
         doc: "Demand multiplier applied to fleet-sizing experiments",
         validation: "finite and > 0",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "fleet.sku",
+        aliases: &[],
+        ty: "string",
+        doc: "Server SKU of a pure (single-SKU) fleet; a non-empty fleet.mix overrides it",
+        validation: "one of: web, storage, ai-training",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "fleet.mix",
+        aliases: &[],
+        ty: "weighted list",
+        doc: "Weighted fleet composition (`web:0.7,ai-training:0.3`); one SKU's weight is \
+              sweepable via `fleet.mix[<sku>]`, which renormalizes the rest",
+        validation: "known SKUs, no duplicates, weights >= 0 summing to 1; empty = pure fleet.sku",
         semantic: true,
     },
     FieldInfo {
@@ -271,6 +288,8 @@ impl Scenario {
             "fab.yield_factor" => format!("{:?}", self.fab.yield_factor),
             "fab.renewable_share" => format!("{:?}", self.fab.renewable_share),
             "fleet.scale" => format!("{:?}", self.fleet.scale),
+            "fleet.sku" => self.fleet.sku.clone(),
+            "fleet.mix" => super::format_mix(&self.fleet.mix),
             "fleet.initial_servers" => self.fleet.initial_servers.to_string(),
             "fleet.growth" => format!("{:?}", self.fleet.growth),
             "fleet.pue" => format!("{:?}", self.fleet.pue),
@@ -396,7 +415,7 @@ mod tests {
             ["grid.intensity", "grid.renewable_fraction"],
             "grid.source is a label, not a semantic field"
         );
-        assert_eq!(expand(&[ScenarioPath::of("fleet.*")]).len(), 7);
+        assert_eq!(expand(&[ScenarioPath::of("fleet.*")]).len(), 9);
         assert_eq!(expand(&[]), Vec::<&str>::new());
         // Expansion follows FIELDS order regardless of declaration order.
         assert_eq!(
@@ -427,6 +446,28 @@ mod tests {
             "0.05,0.1,0.2,0.35,0.6,0.85,1.0"
         );
         assert!(s.field_value("grid.nope").is_none());
+    }
+
+    #[test]
+    fn mix_and_sku_participate_in_fleet_fingerprints() {
+        let deps = [ScenarioPath::of("fleet.*")];
+        let base = Scenario::paper_defaults();
+        let mut storage = base.clone();
+        storage.set("fleet.sku", "storage").unwrap();
+        assert_ne!(
+            dependency_fingerprint(&base, &deps),
+            dependency_fingerprint(&storage, &deps)
+        );
+        let mut mixed = base.clone();
+        mixed.set("fleet.mix", "web:0.7,ai-training:0.3").unwrap();
+        assert_ne!(
+            dependency_fingerprint(&base, &deps),
+            dependency_fingerprint(&mixed, &deps)
+        );
+        assert_eq!(
+            mixed.field_value("fleet.mix").unwrap(),
+            "web:0.7,ai-training:0.3"
+        );
     }
 
     #[test]

@@ -71,6 +71,57 @@ fn fleet_params_drive_the_facility_experiment_through_the_facade() {
 }
 
 #[test]
+fn fleet_mix_drives_the_facility_and_round_trips_through_the_facade() {
+    // A mixed fleet must change the facility numbers, and the composition
+    // must survive a TOML round-trip.
+    let mixed = {
+        let mut s = Scenario::paper_defaults();
+        s.set("fleet.mix", "web:0.6,ai-training:0.4").unwrap();
+        s
+    };
+    assert_eq!(Scenario::from_toml(&mixed.to_toml()).unwrap(), mixed);
+    let run = |s: Scenario| {
+        chasing_carbon::core::experiments::find("ext-facility")
+            .unwrap()
+            .run(&RunContext::new(s))
+    };
+    let paper = run(Scenario::paper_defaults());
+    let ai = run(mixed);
+    let payback = |out: &cc_report::ExperimentOutput| {
+        out.find_scalar("cumulative-carbon-breakeven-year")
+            .unwrap()
+            .value
+    };
+    assert!(
+        payback(&ai) < payback(&paper),
+        "an AI-heavy fleet must pay its embodied investment back sooner"
+    );
+    assert!(
+        ai.find_series("facility-capex-carbon-ai-training")
+            .is_some(),
+        "mixed fleets expose per-SKU series"
+    );
+}
+
+#[test]
+fn fleet_composition_validation_guards_the_context_boundary() {
+    for (key, value) in [
+        ("fleet.sku", "mainframe"),
+        ("fleet.mix", "web:0.5,mainframe:0.5"),
+        ("fleet.mix", "web:1.3,ai-training:-0.3"),
+        ("fleet.mix", "web:0.6,ai-training:0.3"),
+        ("fleet.mix", "web:0.5,web:0.5"),
+    ] {
+        let mut s = Scenario::paper_defaults();
+        s.set(key, value).unwrap();
+        assert!(
+            RunContext::try_new(s).is_err(),
+            "{key}={value} must be rejected before any model runs"
+        );
+    }
+}
+
+#[test]
 fn fleet_validation_rejects_unphysical_facilities_at_the_context_boundary() {
     for (key, value) in [
         ("fleet.pue", "0.9"),
