@@ -1,28 +1,59 @@
-//! CI benchmark smoke: times the facility and sweep hot paths with the
-//! `cc_bench` harness and writes a machine-readable `BENCH_ci.json`
+//! CI benchmark smoke: times the facility, sweep and serve hot paths with
+//! the `cc_bench` harness and writes a machine-readable `BENCH_ci.json`
 //! (name, mean ns, min ns, iterations) so every CI run contributes a data
 //! point to the perf trajectory.
 //!
 //! ```text
-//! bench-ci                    # writes BENCH_ci.json in the working dir
-//! bench-ci out/BENCH_ci.json  # explicit output path
+//! bench-ci                                  # writes BENCH_ci.json
+//! bench-ci out/BENCH_ci.json                # explicit output path
+//! bench-ci --baseline BENCH_baseline.json   # …and gate: fail on a >25%
+//!                                           # mean_ns regression on any
+//!                                           # bench named in the baseline
 //! ```
 //!
 //! The per-benchmark budget is deliberately small (~100 ms): the goal is a
 //! stable order-of-magnitude record per commit, not Criterion-grade
 //! statistics — `cargo bench` remains the place for careful measurement.
+//! The serve benches drive a real `cc_engine::Server` over loopback TCP on
+//! a pre-warmed cache, so `serve/cache-hit-latency` is the end-to-end cost
+//! of a cache-hit request (implied requests/sec = 1e9 / mean_ns) and
+//! `serve/sustained-requests-x16` measures 16 pipelined requests.
 
 use cc_bench::harness::Report;
 use cc_bench::Bencher;
 use cc_core::experiments;
-use cc_report::{dedup_groups, RunContext, Scenario, ScenarioMatrix, SweepSpec};
+use cc_engine::{Engine, Server};
+use cc_report::{dedup_groups, JsonValue, RunContext, Scenario, ScenarioMatrix, SweepSpec};
 use std::hint::black_box;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Duration;
 
+/// Maximum tolerated `mean_ns` growth over the checked-in baseline before
+/// the gate fails CI.
+const REGRESSION_RATIO: f64 = 1.25;
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_ci.json".to_string());
+    let mut baseline: Option<String> = None;
+    let mut out_path = "BENCH_ci.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("bench-ci: --baseline requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("bench-ci: unknown option `{flag}`");
+                std::process::exit(2);
+            }
+            path => out_path = path.to_string(),
+        }
+    }
+
     let mut report = Report::new();
     let bencher = Bencher::group("ci").budget(Duration::from_millis(100));
     let mut bench = |name: &str, f: &mut dyn FnMut()| {
@@ -64,9 +95,153 @@ fn main() {
         }
     });
 
+    // Serve hot path: a resident daemon on loopback TCP, one persistent
+    // client connection, cache pre-warmed so every measured request is the
+    // full protocol round-trip (parse → validate → cache hit → render →
+    // stream) without model runs.
+    let engine = Arc::new(Engine::new());
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), 2).unwrap_or_else(|e| {
+        eprintln!("bench-ci: cannot bind loopback server: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.local_addr().expect("bound address");
+    let daemon = std::thread::spawn(move || server.run());
+    let stream = TcpStream::connect(addr).expect("connect to loopback server");
+    stream.set_nodelay(true).expect("set TCP_NODELAY");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    let single = r#"{"op":"run","experiments":["fig05"]}"#;
+    let sweep = r#"{"op":"run","experiments":["fig10"],"sweep":["grid.intensity=50,380,700"]}"#;
+    roundtrip(&mut reader, &mut writer, single); // warm
+    roundtrip(&mut reader, &mut writer, sweep); // warm
+    bench("serve/cache-hit-latency", &mut || {
+        roundtrip(&mut reader, &mut writer, single);
+    });
+    bench("serve/sweep-replay-3-points", &mut || {
+        roundtrip(&mut reader, &mut writer, sweep);
+    });
+    bench("serve/sustained-requests-x16", &mut || {
+        for _ in 0..16 {
+            writeln!(writer, "{single}").expect("send request");
+        }
+        let mut done = 0;
+        let mut response = String::new();
+        while done < 16 {
+            response.clear();
+            reader.read_line(&mut response).expect("read response");
+            if response.contains("\"type\":\"done\"") {
+                done += 1;
+            }
+        }
+    });
+    roundtrip(&mut reader, &mut writer, r#"{"op":"shutdown"}"#);
+    daemon
+        .join()
+        .expect("daemon thread joins")
+        .expect("daemon exits cleanly");
+
     std::fs::write(&out_path, report.to_json()).unwrap_or_else(|e| {
         eprintln!("bench-ci: cannot write `{out_path}`: {e}");
         std::process::exit(1);
     });
     println!("wrote {out_path} ({} benchmarks)", report.len());
+
+    if let Some(baseline_path) = baseline {
+        compare_against_baseline(&report, &baseline_path);
+    }
+}
+
+/// Sends one request line and drains responses through the terminal line.
+fn roundtrip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, line: &str) {
+    writeln!(writer, "{line}").expect("send request");
+    let mut response = String::new();
+    loop {
+        response.clear();
+        reader.read_line(&mut response).expect("read response");
+        if response.contains("\"type\":\"done\"")
+            || response.contains("\"type\":\"error\"")
+            || response.contains("\"type\":\"bye\"")
+        {
+            break;
+        }
+    }
+}
+
+/// One row of a `BENCH_*.json` report.
+struct BenchRow {
+    name: String,
+    mean_ns: f64,
+    min_ns: f64,
+}
+
+/// Parses a `BENCH_*.json` report into named rows.
+fn parse_report(text: &str, what: &str) -> Vec<BenchRow> {
+    let value = JsonValue::parse(text).unwrap_or_else(|e| {
+        eprintln!("bench-ci: unparseable {what}: {e}");
+        std::process::exit(1);
+    });
+    let entries = value.as_array().unwrap_or_else(|| {
+        eprintln!("bench-ci: {what} must be a JSON array");
+        std::process::exit(1);
+    });
+    entries
+        .iter()
+        .filter_map(|entry| {
+            Some(BenchRow {
+                name: entry.get("name")?.as_str()?.to_string(),
+                mean_ns: entry.get("mean_ns")?.as_f64()?,
+                min_ns: entry.get("min_ns")?.as_f64()?,
+            })
+        })
+        .collect()
+}
+
+/// The perf gate: every bench named in the baseline must exist in the
+/// current report with `mean_ns` within [`REGRESSION_RATIO`]× of its
+/// baseline value. A transient load spike inflates the mean but not the
+/// minimum, so a bench only counts as regressed when `min_ns` breaches the
+/// same ratio — a genuine code regression shifts both. Benches the current
+/// report adds on top of the baseline pass silently (the baseline is
+/// refreshed deliberately, not implicitly).
+fn compare_against_baseline(report: &Report, baseline_path: &str) {
+    let baseline_text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!("bench-ci: cannot read baseline `{baseline_path}`: {e}");
+        std::process::exit(1);
+    });
+    let baseline = parse_report(&baseline_text, "baseline");
+    let current = parse_report(&report.to_json(), "bench report");
+    let mut regressions = Vec::new();
+    for base in &baseline {
+        let Some(now) = current.iter().find(|row| row.name == base.name) else {
+            regressions.push(format!(
+                "{}: present in baseline but missing from this run",
+                base.name
+            ));
+            continue;
+        };
+        let mean_ratio = now.mean_ns / base.mean_ns;
+        let min_ratio = now.min_ns / base.min_ns;
+        println!(
+            "bench-ci: {}: {:.0} ns vs baseline {:.0} ns ({mean_ratio:.2}x mean, {min_ratio:.2}x min)",
+            base.name, now.mean_ns, base.mean_ns
+        );
+        if mean_ratio > REGRESSION_RATIO && min_ratio > REGRESSION_RATIO {
+            regressions.push(format!(
+                "{}: {:.0} ns is {mean_ratio:.2}x the baseline {:.0} ns \
+                 (min {min_ratio:.2}x; limit {REGRESSION_RATIO}x)",
+                base.name, now.mean_ns, base.mean_ns
+            ));
+        }
+    }
+    if !regressions.is_empty() {
+        eprintln!("bench-ci: perf regression gate failed:");
+        for regression in &regressions {
+            eprintln!("  {regression}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "bench-ci: perf gate passed ({} benches within {REGRESSION_RATIO}x of baseline)",
+        baseline.len()
+    );
 }

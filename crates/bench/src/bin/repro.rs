@@ -13,6 +13,12 @@
 //!       --jobs 4 --json --out out/             # scenario sweep: one artifact
 //!                                              # per grid point, plus a
 //!                                              # cross-scenario comparison
+//! repro serve --addr 127.0.0.1:7878            # resident sweep-as-a-service
+//!                                              # daemon (NDJSON over TCP)
+//! repro client --addr 127.0.0.1:7878 \
+//!       --experiment fig10 \
+//!       --sweep grid.intensity=100,300 \
+//!       --out out/                             # drive a daemon from the CLI
 //! ```
 //!
 //! With `--sweep`, the runner expands the cartesian product of all sweep
@@ -22,26 +28,30 @@
 //! keeps stdout in grid order), and each point's summary scalar feeds the
 //! comparison report emitted at the end.
 //!
-//! The work-queue dedupes jobs through each experiment's declared
-//! scenario-dependency set: (experiment × point) jobs whose dependency
-//! fingerprints agree share one model run, so scenario-independent
-//! experiments execute once per sweep and partially-dependent ones skip
-//! axes they ignore. `--no-cache` restores the one-run-per-job behavior,
-//! `--explain` prints the dedup plan without running anything, and a sweep's
-//! footer reports the per-experiment run/reuse counts.
+//! All execution routes through [`cc_engine`]: the work-queue dedupes jobs
+//! through each experiment's declared scenario-dependency set, so
+//! (experiment × point) jobs whose dependency fingerprints agree share one
+//! model run, scenario-independent experiments execute once per sweep and
+//! partially-dependent ones skip axes they ignore. `--no-cache` restores
+//! the one-run-per-job behavior, `--explain` prints the dedup plan without
+//! running anything, and a sweep's footer reports the per-experiment
+//! run/reuse counts. `repro serve` keeps the same engine resident behind a
+//! TCP listener, so repeated and overlapping requests are answered from its
+//! sharded fingerprint→artifact cache.
 
 use cc_core::experiments::{self, Entry, Tag};
-use cc_report::{
-    dedup_groups, Comparison, Experiment, ExperimentOutput, JsonValue, RunContext, Scalar,
-    Scenario, ScenarioMatrix, ScenarioPoint, SweepSpec,
-};
-use std::collections::BTreeMap;
-use std::io::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use cc_engine::artifact::{artifact_file_name, render_artifact, render_comparisons};
+use cc_engine::grid::{build_comparisons, explain_lines, footer_lines};
+use cc_engine::{Engine, Format, GridConfig, GridJob, Server};
+use cc_report::{JsonValue, RunContext, Scenario, ScenarioMatrix, ScenarioPoint, SweepSpec};
+use std::io::{BufRead, Write as _};
+use std::sync::Arc;
 
 fn print_usage() {
     eprintln!("usage: repro [options] [<experiment-key>...]");
+    eprintln!("       repro serve --addr <host:port> [--jobs <n>] [--cache-capacity <n>]");
+    eprintln!("       repro client --addr <host:port> [selection options] [--out <dir>]");
+    eprintln!("       repro client --addr <host:port> --stats | --shutdown");
     eprintln!();
     eprintln!("options:");
     eprintln!("  --list               list selected experiment keys and exit");
@@ -67,6 +77,12 @@ fn print_usage() {
     eprintln!("  --explain            print each experiment's scenario dependencies and");
     eprintln!("                       the sweep's run/reuse plan, without running");
     eprintln!();
+    eprintln!("serve mode: a resident daemon speaking newline-delimited JSON over TCP.");
+    eprintln!("  every connection shares one engine, so artifacts computed for one");
+    eprintln!("  client are cache hits for every other. `--jobs` caps per-request");
+    eprintln!("  parallelism; bind port 0 to let the OS pick (the chosen address is");
+    eprintln!("  printed as `listening on <addr>`).");
+    eprintln!();
     let tags: Vec<&str> = Tag::ALL.iter().map(|t| t.name()).collect();
     eprintln!("tags: {}", tags.join(", "));
     eprintln!();
@@ -91,25 +107,6 @@ fn fail(message: &str) -> ! {
     std::process::exit(2);
 }
 
-#[derive(Clone, Copy, PartialEq)]
-enum Format {
-    Text,
-    Markdown,
-    Csv,
-    Json,
-}
-
-impl Format {
-    fn extension(self) -> &'static str {
-        match self {
-            Self::Text => "txt",
-            Self::Markdown => "md",
-            Self::Csv => "csv",
-            Self::Json => "json",
-        }
-    }
-}
-
 struct Options {
     list: bool,
     explain: bool,
@@ -123,8 +120,13 @@ struct Options {
     keys: Vec<String>,
 }
 
-fn parse_args() -> Options {
-    let mut args = std::env::args().skip(1).peekable();
+fn value_of(flag: &str, args: &mut dyn Iterator<Item = String>) -> String {
+    args.next()
+        .unwrap_or_else(|| fail(&format!("{flag} requires a value")))
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Options {
+    let mut args = args.peekable();
     let mut list = false;
     let mut explain = false;
     let mut no_cache = false;
@@ -136,11 +138,6 @@ fn parse_args() -> Options {
     let mut out_dir = None;
     let mut jobs = 1usize;
     let mut keys = Vec::new();
-
-    let value_of = |flag: &str, args: &mut dyn Iterator<Item = String>| -> String {
-        args.next()
-            .unwrap_or_else(|| fail(&format!("{flag} requires a value")))
-    };
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -249,478 +246,205 @@ fn select(options: &Options) -> Vec<&'static Entry> {
     selected
 }
 
-/// Renders one (experiment × scenario-point) artifact from an
-/// already-computed output. Kept separate from the model run so the sweep
-/// cache can render a shared [`ExperimentOutput`] once per point, with each
-/// point's own scenario/point metadata.
-fn render_output(
-    entry: &Entry,
-    experiment: &dyn Experiment,
-    output: &ExperimentOutput,
-    ctx: &RunContext,
-    point: Option<&ScenarioPoint>,
-    format: Format,
-) -> String {
-    match format {
-        Format::Text => format!(
-            "==============================================================\n\
-             {} — {}\n\
-             ==============================================================\n\
-             {}",
-            experiment.id(),
-            experiment.description(),
-            output.render()
-        ),
-        Format::Markdown => format!(
-            "## {} — {}\n\n{}",
-            experiment.id(),
-            experiment.description(),
-            output.render_markdown()
-        ),
-        Format::Csv => format!(
-            "# {} — {}\n{}",
-            experiment.id(),
-            experiment.description(),
-            output.render_csv()
-        ),
-        Format::Json => {
-            let mut fields = vec![
-                ("key", JsonValue::from(entry.key)),
-                ("title", JsonValue::from(experiment.id().to_string())),
-                ("description", JsonValue::from(experiment.description())),
-                (
-                    "tags",
-                    JsonValue::array(entry.tags.iter().map(|t| JsonValue::from(t.name()))),
-                ),
-            ];
-            if let Some(point) = point {
-                fields.push(("point", point.to_json()));
-            }
-            fields.push(("scenario", ctx.scenario().to_json()));
-            fields.push(("output", output.to_json()));
-            JsonValue::object(fields).render()
-        }
-    }
-}
-
-/// Reorder buffer between out-of-order job completion and in-order stdout:
-/// workers hand in `(job index, lines)`, the sequencer emits every line whose
-/// predecessors have all arrived, buffering only the gap.
-struct Sequencer {
-    next: usize,
-    pending: BTreeMap<usize, Vec<String>>,
-}
-
-impl Sequencer {
-    fn new() -> Self {
-        Self {
-            next: 0,
-            pending: BTreeMap::new(),
-        }
-    }
-
-    fn complete(&mut self, index: usize, lines: Vec<String>) {
-        self.pending.insert(index, lines);
-        while let Some(lines) = self.pending.remove(&self.next) {
-            for line in lines {
-                emit(line);
-            }
-            self.next += 1;
-        }
-    }
-}
-
-/// Replaces filename-hostile characters in a sweep-point label.
-fn sanitize(label: &str) -> String {
-    label
-        .chars()
-        .map(|c| {
-            if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_') {
-                c
-            } else {
-                '-'
-            }
-        })
-        .collect()
-}
-
-/// One unit of scheduled work: an experiment plus every grid point sharing
-/// one dependency fingerprint. The first point is the representative whose
-/// context actually runs the models; the remaining points reuse the output
-/// (their declared-dependency fields are identical, so so is the output).
-struct WorkGroup {
-    entry_idx: usize,
-    point_idxs: Vec<usize>,
-}
-
-/// Groups the (experiment × point) grid by dependency fingerprint. With
-/// `--no-cache` every job is its own group, restoring one model run per
-/// grid cell.
-fn build_groups(
-    entries: &[&'static Entry],
-    points: &[ScenarioPoint],
-    no_cache: bool,
-) -> Vec<WorkGroup> {
-    let scenarios: Vec<&Scenario> = points.iter().map(|p| &p.scenario).collect();
-    let mut groups = Vec::new();
-    for (entry_idx, entry) in entries.iter().enumerate() {
-        if no_cache {
-            groups.extend((0..points.len()).map(|point_idx| WorkGroup {
-                entry_idx,
-                point_idxs: vec![point_idx],
-            }));
-        } else {
-            groups.extend(
-                dedup_groups(&scenarios, entry.deps())
-                    .into_iter()
-                    .map(|point_idxs| WorkGroup {
-                        entry_idx,
-                        point_idxs,
-                    }),
-            );
-        }
-    }
-    groups
-}
-
-/// Runs the (experiment × point) grid on up to `jobs` worker threads, one
-/// model run per [`WorkGroup`], streaming artifacts out as they complete.
-/// Returns the per-job scalar lists (indexed
-/// `entry_idx * npoints + point_idx`; the first scalar is the summary) and
-/// the per-entry model-run counts (the cache footer's "N runs").
-fn run_grid(
-    entries: &[&'static Entry],
-    points: &[ScenarioPoint],
-    contexts: &[RunContext],
-    options: &Options,
-) -> (Vec<Vec<Scalar>>, Vec<usize>) {
-    let npoints = points.len();
-    let total = entries.len() * npoints;
-    let sweeping = npoints > 1;
-    let groups = build_groups(entries, points, options.no_cache);
-    let mut run_counts = vec![0usize; entries.len()];
-    for group in &groups {
-        run_counts[group.entry_idx] += 1;
-    }
-    let scalars: Vec<Mutex<Vec<Scalar>>> = (0..total).map(|_| Mutex::new(Vec::new())).collect();
-    let sequencer = Mutex::new(Sequencer::new());
-    let next_group = AtomicUsize::new(0);
-
-    // Shared by the sequential path and every worker: run one group's models
-    // once, then render/write every member point's artifact (each with its
-    // own point/scenario metadata) and queue its stdout lines.
-    let process = |group: &WorkGroup| {
-        let entry = entries[group.entry_idx];
-        let experiment = entry.build();
-        let output = experiment.run(&contexts[group.point_idxs[0]]);
-        let scalar = output.scalars.clone();
-        for &point_idx in &group.point_idxs {
-            let job_index = group.entry_idx * npoints + point_idx;
-            let point = &points[point_idx];
-            let artifact = render_output(
-                entry,
-                experiment.as_ref(),
-                &output,
-                &contexts[point_idx],
-                sweeping.then_some(point),
-                options.format,
-            );
-            *scalars[job_index].lock().expect("no panics under lock") = scalar.clone();
-            let lines = match &options.out_dir {
-                None => vec![artifact],
-                Some(dir) => {
-                    let name = if sweeping {
-                        format!(
-                            "{}@{}.{}",
-                            entry.key,
-                            sanitize(&point.label),
-                            options.format.extension()
-                        )
-                    } else {
-                        format!("{}.{}", entry.key, options.format.extension())
-                    };
-                    let path = dir.join(name);
-                    // Streamed: the file lands the moment the job finishes,
-                    // not after the whole grid drains.
-                    std::fs::write(&path, &artifact).unwrap_or_else(|e| {
-                        fail(&format!("cannot write `{}`: {e}", path.display()))
-                    });
-                    vec![format!("wrote {}", path.display())]
-                }
-            };
-            sequencer
-                .lock()
-                .expect("no panics under lock")
-                .complete(job_index, lines);
-        }
-    };
-
-    let workers = options.jobs.min(groups.len().max(1));
-    if workers <= 1 {
-        for group in &groups {
-            process(group);
-        }
-    } else {
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let group_index = next_group.fetch_add(1, Ordering::Relaxed);
-                    let Some(group) = groups.get(group_index) else {
-                        break;
-                    };
-                    process(group);
+/// `repro serve`: bind the listener, print the chosen address (port 0 is
+/// resolved by the OS) and serve until a client sends `{"op":"shutdown"}`.
+fn serve_main(args: &[String]) {
+    let mut args = args.iter().cloned();
+    let mut addr: Option<String> = None;
+    let mut jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut capacity = cc_engine::DEFAULT_CACHE_CAPACITY;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(value_of("--addr", &mut args)),
+            "--jobs" => {
+                let n = value_of("--jobs", &mut args);
+                jobs = n.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                    fail(&format!("--jobs expects a positive integer, got `{n}`"))
                 });
             }
-        });
-    }
-
-    let scalars = scalars
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("no panics under lock"))
-        .collect();
-    (scalars, run_counts)
-}
-
-/// `1 run`, `7 reuses`: exact counts with naive pluralization.
-fn count(n: usize, noun: &str) -> String {
-    if n == 1 {
-        format!("{n} {noun}")
-    } else {
-        format!("{n} {noun}s")
-    }
-}
-
-/// Prints the dependency plan for the selected experiments over the matrix:
-/// declared dependency paths plus how many model runs (and cache reuses)
-/// the grid needs — without running anything.
-fn explain(entries: &[&'static Entry], points: &[ScenarioPoint], options: &Options) {
-    let npoints = points.len();
-    let scenarios: Vec<&Scenario> = points.iter().map(|p| &p.scenario).collect();
-    emit(format_args!(
-        "dependency plan — {} x {} = {}",
-        count(entries.len(), "experiment"),
-        count(npoints, "point"),
-        count(entries.len() * npoints, "job"),
-    ));
-    let mut total_runs = 0usize;
-    for entry in entries {
-        let runs = if options.no_cache {
-            npoints
-        } else {
-            dedup_groups(&scenarios, entry.deps()).len()
-        };
-        total_runs += runs;
-        let deps = if entry.is_scenario_independent() {
-            "(scenario-independent)".to_string()
-        } else {
-            format!(
-                "deps: {}",
-                entry
-                    .deps()
-                    .iter()
-                    .map(|d| d.as_str())
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            )
-        };
-        emit(format_args!(
-            "  {:13} {:>9}, {:>9}   {}",
-            entry.key,
-            count(runs, "run"),
-            count(npoints - runs, "reuse"),
-            deps
-        ));
-    }
-    emit(format_args!(
-        "total: {}, {}",
-        count(total_runs, "run"),
-        count(entries.len() * npoints - total_runs, "reuse"),
-    ));
-}
-
-/// Builds the comparisons for each experiment from the scalar grid: the
-/// experiment's summary scalar diffed across every sweep point, plus one
-/// comparison per *additional* scalar carrying a decision threshold (a
-/// secondary crossover metric, e.g. ext-facility's cumulative break-even
-/// riding alongside its annual one). With a single numeric sweep dimension
-/// each comparison also carries the axis (and the scalar's threshold, when
-/// declared), enabling crossover analysis.
-///
-/// A missing scalar is a hard error: every experiment in the registry
-/// declares a summary scalar, so a gap would silently hollow out the
-/// comparison's spread statistics.
-fn build_comparisons(
-    entries: &[&'static Entry],
-    points: &[ScenarioPoint],
-    scalars: &[Vec<Scalar>],
-    matrix: &ScenarioMatrix,
-) -> Vec<Comparison> {
-    let npoints = points.len();
-    // The crossover x-axis: the swept path, when exactly one dimension is
-    // swept and every value on it is numeric.
-    let axis: Option<&str> = match matrix.specs() {
-        [spec] if spec.values.iter().all(|v| v.parse::<f64>().is_ok()) => Some(spec.path.as_str()),
-        _ => None,
-    };
-    let mut comparisons = Vec::new();
-    for (entry_idx, entry) in entries.iter().enumerate() {
-        let per_point = &scalars[entry_idx * npoints..(entry_idx + 1) * npoints];
-        let reference = per_point.iter().find(|s| !s.is_empty()).unwrap_or_else(|| {
-            fail(&format!(
-                "experiment `{}` produced no summary scalar; sweep comparisons \
-                 require full scalar coverage",
-                entry.key
-            ))
-        });
-        let metrics = reference
-            .iter()
-            .enumerate()
-            .filter(|(i, scalar)| *i == 0 || scalar.threshold.is_some())
-            .map(|(_, scalar)| scalar);
-        for metric in metrics {
-            let mut comparison = Comparison::new(entry.key, &metric.name, &metric.unit);
-            if let Some(axis) = axis {
-                comparison = comparison.with_axis(axis);
-            }
-            if let Some(threshold) = &metric.threshold {
-                comparison = comparison.with_threshold(threshold.clone());
-            }
-            for (point, point_scalars) in points.iter().zip(per_point) {
-                let scalar = point_scalars
-                    .iter()
-                    .find(|s| s.name == metric.name)
-                    .unwrap_or_else(|| {
-                        fail(&format!(
-                            "experiment `{}` produced no `{}` scalar at point `{}`",
-                            entry.key,
-                            metric.name,
-                            point.display_label()
-                        ))
-                    });
-                let x = axis.and_then(|_| {
-                    point
-                        .assignments
-                        .first()
-                        .and_then(|(_, v)| v.parse::<f64>().ok())
+            "--cache-capacity" => {
+                let n = value_of("--cache-capacity", &mut args);
+                capacity = n.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                    fail(&format!(
+                        "--cache-capacity expects a positive integer, got `{n}`"
+                    ))
                 });
-                match x {
-                    Some(x) => comparison.push_at(point.display_label(), x, Some(scalar.value)),
-                    None => comparison.push(point.display_label(), Some(scalar.value)),
+            }
+            flag => fail(&format!("unknown serve option `{flag}`")),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| fail("serve requires --addr <host:port>"));
+    let engine = Arc::new(Engine::with_capacity(capacity));
+    let server = Server::bind(&addr, engine, jobs)
+        .unwrap_or_else(|e| fail(&format!("cannot bind `{addr}`: {e}")));
+    let local = server
+        .local_addr()
+        .unwrap_or_else(|e| fail(&format!("cannot read bound address: {e}")));
+    emit(format_args!("listening on {local}"));
+    server
+        .run()
+        .unwrap_or_else(|e| fail(&format!("serve failed: {e}")));
+}
+
+/// `repro client`: build one protocol request from CLI-shaped flags, send
+/// it, and stream the responses — artifacts to `--out` files (byte-identical
+/// to one-shot `repro --json --out` artifacts) or raw to stdout.
+fn client_main(args: &[String]) {
+    let mut args = args.iter().cloned();
+    let mut addr: Option<String> = None;
+    let mut keys: Vec<String> = Vec::new();
+    let mut tags: Vec<String> = Vec::new();
+    let mut sets: Vec<(String, String)> = Vec::new();
+    let mut sweeps: Vec<String> = Vec::new();
+    let mut jobs: Option<usize> = None;
+    let mut no_cache = false;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut stats = false;
+    let mut shutdown = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(value_of("--addr", &mut args)),
+            "--experiment" => keys.push(value_of("--experiment", &mut args)),
+            "--tag" => tags.push(value_of("--tag", &mut args)),
+            "--set" => {
+                let pair = value_of("--set", &mut args);
+                let Some((key, value)) = pair.split_once('=') else {
+                    fail(&format!("--set expects key=value, got `{pair}`"));
                 };
+                sets.push((key.trim().to_string(), value.trim().to_string()));
             }
-            comparisons.push(comparison);
+            "--sweep" => sweeps.push(value_of("--sweep", &mut args)),
+            "--jobs" => {
+                let n = value_of("--jobs", &mut args);
+                jobs = Some(n.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                    fail(&format!("--jobs expects a positive integer, got `{n}`"))
+                }));
+            }
+            "--no-cache" => no_cache = true,
+            "--out" => out_dir = Some(std::path::PathBuf::from(value_of("--out", &mut args))),
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            flag => fail(&format!("unknown client option `{flag}`")),
         }
     }
-    comparisons
-}
+    let addr = addr.unwrap_or_else(|| fail("client requires --addr <host:port>"));
 
-/// Renders the cross-scenario comparison report in the selected format.
-fn render_comparisons(
-    comparisons: &[Comparison],
-    matrix: &ScenarioMatrix,
-    format: Format,
-) -> String {
-    match format {
-        Format::Json => JsonValue::object([
-            (
+    let request = if stats {
+        JsonValue::object([("op", JsonValue::from("stats"))])
+    } else if shutdown {
+        JsonValue::object([("op", JsonValue::from("shutdown"))])
+    } else {
+        let mut fields = vec![("op", JsonValue::from("run"))];
+        if !keys.is_empty() {
+            fields.push((
+                "experiments",
+                JsonValue::array(keys.iter().map(|k| JsonValue::from(k.as_str()))),
+            ));
+        }
+        if !tags.is_empty() {
+            fields.push((
+                "tags",
+                JsonValue::array(tags.iter().map(|t| JsonValue::from(t.as_str()))),
+            ));
+        }
+        if !sets.is_empty() {
+            fields.push((
+                "set",
+                JsonValue::Object(
+                    sets.iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::from(v.as_str())))
+                        .collect(),
+                ),
+            ));
+        }
+        if !sweeps.is_empty() {
+            fields.push((
                 "sweep",
-                JsonValue::array(matrix.specs().iter().map(|spec| {
-                    JsonValue::object([
-                        ("path", JsonValue::from(spec.path.as_str())),
-                        (
-                            "values",
-                            JsonValue::array(
-                                spec.values.iter().map(|v| JsonValue::from(v.as_str())),
-                            ),
-                        ),
-                    ])
-                })),
-            ),
-            ("points", JsonValue::Integer(matrix.len() as u64)),
-            (
-                "comparisons",
-                JsonValue::array(comparisons.iter().map(Comparison::to_json)),
-            ),
-        ])
-        .render(),
-        Format::Markdown => {
-            let mut out = String::from("# Cross-scenario comparison\n");
-            for c in comparisons {
-                out.push_str(&format!(
-                    "\n## {} — {} ({})\n\n{}",
-                    c.experiment,
-                    c.metric,
-                    c.unit,
-                    c.to_table().to_markdown()
-                ));
-                if let Some(s) = c.summary() {
-                    out.push_str(&format!(
-                        "\nspread: min {:.4}, max {:.4}, mean {:.4}{}\n",
-                        s.min,
-                        s.max,
-                        s.mean,
-                        s.spread_ratio()
-                            .map_or(String::new(), |r| format!(", {r:.2}x min..max")),
-                    ));
-                }
-                for crossing in c.crossings() {
-                    out.push_str(&format!("\ncrossing: {}\n", crossing.line));
-                }
-            }
-            out
+                JsonValue::array(sweeps.iter().map(|s| JsonValue::from(s.as_str()))),
+            ));
         }
-        Format::Csv => {
-            let mut out = String::new();
-            for c in comparisons {
-                out.push_str(&format!(
-                    "# comparison: {} — {} ({})\n{}",
-                    c.experiment,
-                    c.metric,
-                    c.unit,
-                    c.to_table().to_csv()
-                ));
-                for crossing in c.crossings() {
-                    out.push_str(&format!("# crossing: {}\n", crossing.line));
-                }
-            }
-            out
+        if let Some(jobs) = jobs {
+            fields.push(("jobs", JsonValue::Integer(jobs as u64)));
         }
-        Format::Text => {
-            let mut out = format!(
-                "==============================================================\n\
-                 Cross-scenario comparison — {} sweep point(s)\n\
-                 ==============================================================\n",
-                matrix.len()
-            );
-            for c in comparisons {
-                out.push_str(&format!(
-                    "\n{} — {} ({})\n{}",
-                    c.experiment,
-                    c.metric,
-                    c.unit,
-                    c.to_table().render()
-                ));
-                if let Some(s) = c.summary() {
-                    out.push_str(&format!(
-                        "spread: min {:.4}, max {:.4}, mean {:.4}{}\n",
-                        s.min,
-                        s.max,
-                        s.mean,
-                        s.spread_ratio()
-                            .map_or(String::new(), |r| format!(" ({r:.2}x min..max)")),
-                    ));
-                }
-                for crossing in c.crossings() {
-                    out.push_str(&format!("crossing: {}\n", crossing.line));
+        if no_cache {
+            fields.push(("no_cache", JsonValue::Bool(true)));
+        }
+        JsonValue::object(fields)
+    };
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| fail(&format!("cannot create `{}`: {e}", dir.display())));
+    }
+
+    let stream = std::net::TcpStream::connect(&addr)
+        .unwrap_or_else(|e| fail(&format!("cannot connect to `{addr}`: {e}")));
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream
+        .try_clone()
+        .unwrap_or_else(|e| fail(&format!("cannot clone connection: {e}")));
+    writeln!(writer, "{request}").unwrap_or_else(|e| fail(&format!("cannot send request: {e}")));
+
+    for line in std::io::BufReader::new(stream).lines() {
+        let line = line.unwrap_or_else(|e| fail(&format!("connection lost: {e}")));
+        let response =
+            JsonValue::parse(&line).unwrap_or_else(|e| fail(&format!("unparseable response: {e}")));
+        match response.get("type").and_then(JsonValue::as_str) {
+            Some("artifact") | Some("comparison") => {
+                let payload = response
+                    .get("artifact")
+                    .or_else(|| response.get("comparison"))
+                    .unwrap_or_else(|| fail("response is missing its payload"));
+                match &out_dir {
+                    // Re-rendering the parsed payload reproduces the server's
+                    // bytes exactly (the JSON renderer is round-trip stable),
+                    // which in turn match one-shot `repro --json --out` files.
+                    Some(dir) => {
+                        let name = response
+                            .get("name")
+                            .and_then(JsonValue::as_str)
+                            .unwrap_or_else(|| fail("response is missing its artifact name"));
+                        let path = dir.join(name);
+                        std::fs::write(&path, payload.render()).unwrap_or_else(|e| {
+                            fail(&format!("cannot write `{}`: {e}", path.display()))
+                        });
+                        emit(format_args!("wrote {}", path.display()));
+                    }
+                    None => emit(payload.render()),
                 }
             }
-            out
+            Some("done") | Some("stats") => {
+                emit(line);
+                return;
+            }
+            Some("bye") => return,
+            Some("error") => {
+                let category = response
+                    .get("error")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("error");
+                let message = response
+                    .get("message")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("(no message)");
+                fail(&format!(
+                    "server rejected the request: {category}: {message}"
+                ));
+            }
+            _ => fail(&format!("unexpected response `{line}`")),
         }
     }
+    fail("server closed the connection before finishing the response");
 }
 
 fn main() {
-    let options = parse_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => return serve_main(&args[1..]),
+        Some("client") => return client_main(&args[1..]),
+        _ => {}
+    }
+    let options = parse_args(args.into_iter());
     let selected = select(&options);
 
     if options.list {
@@ -758,7 +482,9 @@ fn main() {
         .collect();
 
     if options.explain {
-        explain(&selected, &points, &options);
+        for line in explain_lines(&selected, &points, options.no_cache) {
+            emit(line);
+        }
         return;
     }
 
@@ -767,12 +493,52 @@ fn main() {
             .unwrap_or_else(|e| fail(&format!("cannot create `{}`: {e}", dir.display())));
     }
 
-    let (scalars, run_counts) = run_grid(&selected, &points, &contexts, &options);
+    // A throwaway engine: the CLI is one request against a cold cache. The
+    // run/reuse accounting comes from the dependency plan (group counts),
+    // so the footer is identical to what a resident engine would print.
+    let engine = Engine::new();
+    engine.count_request();
+    let config = GridConfig {
+        jobs: options.jobs,
+        no_cache: options.no_cache,
+        format: options.format,
+    };
+    // Renders one artifact on the worker thread, streaming it to `--out`
+    // the moment the job finishes (not after the whole grid drains); the
+    // returned lines reach stdout in grid order via the engine's sequencer.
+    let render = |job: &GridJob<'_>| {
+        let artifact = render_artifact(
+            job.entry,
+            job.experiment,
+            job.output,
+            job.context,
+            job.sweeping.then_some(job.point),
+            job.format,
+        );
+        match &options.out_dir {
+            None => vec![artifact],
+            Some(dir) => {
+                let name = artifact_file_name(
+                    job.entry.key,
+                    job.sweeping.then_some(job.point),
+                    job.format,
+                );
+                let path = dir.join(name);
+                std::fs::write(&path, &artifact)
+                    .unwrap_or_else(|e| fail(&format!("cannot write `{}`: {e}", path.display())));
+                vec![format!("wrote {}", path.display())]
+            }
+        }
+    };
+    let result = engine.run_grid(&selected, &points, &contexts, &config, render, |line| {
+        emit(line);
+    });
 
     // With an active sweep, diff every experiment's summary scalar across the
     // grid points into the comparison report.
     if matrix.is_sweep() {
-        let comparisons = build_comparisons(&selected, &points, &scalars, &matrix);
+        let comparisons = build_comparisons(&selected, &points, &result.scalars, &matrix)
+            .unwrap_or_else(|e| fail(&e.to_string()));
         let report = render_comparisons(&comparisons, &matrix, options.format);
         match &options.out_dir {
             None => emit(&report),
@@ -787,28 +553,11 @@ fn main() {
         // Cache footer: how the dependency dedup compressed the grid. Not
         // part of the comparison artifact itself — a cached and an uncached
         // run must produce byte-identical comparison files — and kept off
-        // stdout when stdout is a pure-JSON stream.
+        // stdout in *every* JSON mode, so JSON consumers can parse stdout
+        // whether or not artifacts went to `--out`.
         if !options.no_cache {
-            let to_stderr = options.format == Format::Json && options.out_dir.is_none();
-            let mut footer: Vec<String> = selected
-                .iter()
-                .zip(&run_counts)
-                .map(|(entry, &runs)| {
-                    format!(
-                        "cache: {}: {}, {}",
-                        entry.key,
-                        count(runs, "run"),
-                        count(points.len() - runs, "reuse")
-                    )
-                })
-                .collect();
-            let total_runs: usize = run_counts.iter().sum();
-            footer.push(format!(
-                "cache: total: {}, {}",
-                count(total_runs, "run"),
-                count(selected.len() * points.len() - total_runs, "reuse")
-            ));
-            for line in footer {
+            let to_stderr = options.format == Format::Json;
+            for line in footer_lines(&selected, points.len(), &result.run_counts) {
                 if to_stderr {
                     eprintln!("{line}");
                 } else {

@@ -17,6 +17,23 @@ fn stdout_of(output: std::process::Output) -> String {
     String::from_utf8(output.stdout).expect("utf-8 stdout")
 }
 
+struct Streams {
+    stdout: String,
+    stderr: String,
+}
+
+fn streams_of(output: std::process::Output) -> Streams {
+    assert!(
+        output.status.success(),
+        "repro failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    Streams {
+        stdout: String::from_utf8(output.stdout).expect("utf-8 stdout"),
+        stderr: String::from_utf8(output.stderr).expect("utf-8 stderr"),
+    }
+}
+
 #[test]
 fn list_prints_all_26_keys() {
     let out = stdout_of(repro().arg("--list").output().unwrap());
@@ -162,7 +179,7 @@ fn energy_source_names_resolve_to_intensities() {
 fn sweep_writes_labeled_artifacts_plus_comparison() {
     let dir = std::env::temp_dir().join(format!("cc-repro-sweep-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
-    let out = stdout_of(
+    let out = streams_of(
         repro()
             .args([
                 "--experiment",
@@ -178,17 +195,18 @@ fn sweep_writes_labeled_artifacts_plus_comparison() {
             .output()
             .unwrap(),
     );
-    // One `wrote …` line per grid point, the comparison report, then the
-    // cache footer (fig10 depends on the swept grid axis, so every point
-    // runs), in grid order (the reorder buffer keeps stdout deterministic).
-    let lines: Vec<&str> = out.lines().collect();
-    assert_eq!(lines.len(), 6, "{out}");
+    // One `wrote …` line per grid point then the comparison report, in grid
+    // order (the reorder buffer keeps stdout deterministic). The cache
+    // footer (fig10 depends on the swept grid axis, so every point runs)
+    // goes to stderr in every JSON mode, `--out` or not.
+    let lines: Vec<&str> = out.stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "{}", out.stdout);
     assert!(lines[0].ends_with("fig10@grid.intensity-50.json"));
     assert!(lines[1].ends_with("fig10@grid.intensity-380.json"));
     assert!(lines[2].ends_with("fig10@grid.intensity-700.json"));
     assert!(lines[3].ends_with("comparison.json"));
-    assert_eq!(lines[4], "cache: fig10: 3 runs, 0 reuses");
-    assert_eq!(lines[5], "cache: total: 3 runs, 0 reuses");
+    assert!(out.stderr.contains("cache: fig10: 3 runs, 0 reuses"));
+    assert!(out.stderr.contains("cache: total: 3 runs, 0 reuses"));
 
     // Each artifact is labeled with its point and carries the point's
     // scenario.
@@ -503,24 +521,30 @@ fn growth_sweep_runs_scenario_independent_experiments_once() {
             out_dir.to_str().unwrap(),
         ];
         args.extend_from_slice(extra);
-        stdout_of(repro().args(&args).output().unwrap())
+        streams_of(repro().args(&args).output().unwrap())
     };
 
     let cached = sweep(&cached_dir, &[]);
     // Scenario-independent experiments: one run, four reuses across the
-    // five growth points. Fleet-dependent ones re-run everywhere.
-    assert!(cached.contains("cache: fig05: 1 run, 4 reuses"), "{cached}");
-    assert!(cached.contains("cache: fig09: 1 run, 4 reuses"));
-    assert!(cached.contains("cache: ext-facility: 5 runs, 0 reuses"));
-    assert!(cached.contains("cache: fig02: 5 runs, 0 reuses"));
+    // five growth points. Fleet-dependent ones re-run everywhere. The
+    // footer rides on stderr (JSON mode keeps stdout machine-parseable).
+    let footer = &cached.stderr;
+    assert!(footer.contains("cache: fig05: 1 run, 4 reuses"), "{footer}");
+    assert!(footer.contains("cache: fig09: 1 run, 4 reuses"));
+    assert!(footer.contains("cache: ext-facility: 5 runs, 0 reuses"));
+    assert!(footer.contains("cache: fig02: 5 runs, 0 reuses"));
     // Partially dependent experiments ignore the growth axis entirely.
-    assert!(cached.contains("cache: fig10: 1 run, 4 reuses"));
-    assert!(cached.contains("cache: ext-sched: 1 run, 4 reuses"));
-    assert!(cached.contains("cache: total: 38 runs, 92 reuses"));
+    assert!(footer.contains("cache: fig10: 1 run, 4 reuses"));
+    assert!(footer.contains("cache: ext-sched: 1 run, 4 reuses"));
+    assert!(footer.contains("cache: total: 38 runs, 92 reuses"));
+    assert!(
+        !cached.stdout.contains("cache:"),
+        "the footer must stay off JSON-mode stdout"
+    );
 
     let uncached = sweep(&uncached_dir, &["--no-cache"]);
     assert!(
-        !uncached.contains("cache:"),
+        !uncached.stdout.contains("cache:") && !uncached.stderr.contains("cache:"),
         "--no-cache must not print a cache footer"
     );
 
@@ -555,6 +579,43 @@ fn json_sweep_to_stdout_keeps_the_footer_on_stderr() {
         .lines()
         .all(|l| l.starts_with('{') || l.starts_with('[')));
     assert!(stderr.contains("cache: ext-facility: 2 runs, 0 reuses"));
+}
+
+#[test]
+fn every_json_mode_keeps_stdout_machine_parseable() {
+    // The full audit of `--json` × `--out` combinations: whatever lands on
+    // stdout must parse as JSON, line by line (`--out` modes print
+    // `wrote …` paths, which are exempt — they are not a JSON stream).
+    let dir = std::env::temp_dir().join(format!("cc-repro-parse-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let sweep = ["--sweep", "fleet.growth=1.0,1.5", "--json", "ext-facility"];
+
+    // Pure-JSON stdout: every line must round-trip through the parser.
+    let plain = streams_of(repro().args(sweep).output().unwrap());
+    for line in plain.stdout.lines() {
+        cc_report::JsonValue::parse(line)
+            .unwrap_or_else(|e| panic!("unparseable stdout line ({e}): {line}"));
+    }
+
+    // With --out, the footer must not leak onto stdout either, and every
+    // artifact file written must itself parse.
+    let out_dir = dir.join("artifacts");
+    let with_out = streams_of(
+        repro()
+            .args(sweep)
+            .args(["--out", out_dir.to_str().unwrap()])
+            .output()
+            .unwrap(),
+    );
+    assert!(!with_out.stdout.contains("cache:"), "{}", with_out.stdout);
+    assert!(with_out.stderr.contains("cache: total:"));
+    for entry in std::fs::read_dir(&out_dir).unwrap() {
+        let path = entry.unwrap().path();
+        let text = std::fs::read_to_string(&path).unwrap();
+        cc_report::JsonValue::parse(&text)
+            .unwrap_or_else(|e| panic!("unparseable artifact {} ({e})", path.display()));
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -1,0 +1,263 @@
+//! Artifact rendering shared by the CLI and the server.
+//!
+//! Both front-ends must emit byte-identical artifacts for the same
+//! (experiment × scenario-point) job — the serve-smoke CI job diffs daemon
+//! output against a one-shot `repro --sweep` run file-for-file — so the
+//! rendering lives here, once. The JSON form is built as a [`JsonValue`]
+//! first ([`artifact_json`]) so the server can embed the same value inside
+//! its response envelope: `JsonValue::render` is deterministic and
+//! round-trip stable, which is what makes the client's re-rendered files
+//! match the CLI's bytes exactly.
+
+use cc_core::experiments::Entry;
+use cc_report::{
+    Comparison, Experiment, ExperimentOutput, JsonValue, RunContext, ScenarioMatrix, ScenarioPoint,
+};
+
+/// Output format for artifacts and comparison reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Format {
+    /// ASCII tables and charts (default).
+    Text,
+    /// Markdown sections.
+    Markdown,
+    /// CSV with `#` comment headers.
+    Csv,
+    /// One JSON document per artifact.
+    Json,
+}
+
+impl Format {
+    /// File extension for `--out` artifact files.
+    #[must_use]
+    pub fn extension(self) -> &'static str {
+        match self {
+            Self::Text => "txt",
+            Self::Markdown => "md",
+            Self::Csv => "csv",
+            Self::Json => "json",
+        }
+    }
+}
+
+/// The JSON artifact for one (experiment × scenario-point) job, as a value:
+/// experiment identity and tags, the sweep-point metadata when sweeping,
+/// the full scenario, and the experiment output.
+#[must_use]
+pub fn artifact_json(
+    entry: &Entry,
+    experiment: &dyn Experiment,
+    output: &ExperimentOutput,
+    ctx: &RunContext,
+    point: Option<&ScenarioPoint>,
+) -> JsonValue {
+    let mut fields = vec![
+        ("key", JsonValue::from(entry.key)),
+        ("title", JsonValue::from(experiment.id().to_string())),
+        ("description", JsonValue::from(experiment.description())),
+        (
+            "tags",
+            JsonValue::array(entry.tags.iter().map(|t| JsonValue::from(t.name()))),
+        ),
+    ];
+    if let Some(point) = point {
+        fields.push(("point", point.to_json()));
+    }
+    fields.push(("scenario", ctx.scenario().to_json()));
+    fields.push(("output", output.to_json()));
+    JsonValue::object(fields)
+}
+
+/// Renders one (experiment × scenario-point) artifact from an
+/// already-computed output. Kept separate from the model run so the cache
+/// can render a shared [`ExperimentOutput`] once per point, with each
+/// point's own scenario/point metadata.
+#[must_use]
+pub fn render_artifact(
+    entry: &Entry,
+    experiment: &dyn Experiment,
+    output: &ExperimentOutput,
+    ctx: &RunContext,
+    point: Option<&ScenarioPoint>,
+    format: Format,
+) -> String {
+    match format {
+        Format::Text => format!(
+            "==============================================================\n\
+             {} — {}\n\
+             ==============================================================\n\
+             {}",
+            experiment.id(),
+            experiment.description(),
+            output.render()
+        ),
+        Format::Markdown => format!(
+            "## {} — {}\n\n{}",
+            experiment.id(),
+            experiment.description(),
+            output.render_markdown()
+        ),
+        Format::Csv => format!(
+            "# {} — {}\n{}",
+            experiment.id(),
+            experiment.description(),
+            output.render_csv()
+        ),
+        Format::Json => artifact_json(entry, experiment, output, ctx, point).render(),
+    }
+}
+
+/// The cross-scenario comparison report, as a JSON value: the sweep specs,
+/// point count, and every comparison.
+#[must_use]
+pub fn comparison_json(comparisons: &[Comparison], matrix: &ScenarioMatrix) -> JsonValue {
+    JsonValue::object([
+        (
+            "sweep",
+            JsonValue::array(matrix.specs().iter().map(|spec| {
+                JsonValue::object([
+                    ("path", JsonValue::from(spec.path.as_str())),
+                    (
+                        "values",
+                        JsonValue::array(spec.values.iter().map(|v| JsonValue::from(v.as_str()))),
+                    ),
+                ])
+            })),
+        ),
+        ("points", JsonValue::Integer(matrix.len() as u64)),
+        (
+            "comparisons",
+            JsonValue::array(comparisons.iter().map(Comparison::to_json)),
+        ),
+    ])
+}
+
+/// Renders the cross-scenario comparison report in the selected format.
+#[must_use]
+pub fn render_comparisons(
+    comparisons: &[Comparison],
+    matrix: &ScenarioMatrix,
+    format: Format,
+) -> String {
+    match format {
+        Format::Json => comparison_json(comparisons, matrix).render(),
+        Format::Markdown => {
+            let mut out = String::from("# Cross-scenario comparison\n");
+            for c in comparisons {
+                out.push_str(&format!(
+                    "\n## {} — {} ({})\n\n{}",
+                    c.experiment,
+                    c.metric,
+                    c.unit,
+                    c.to_table().to_markdown()
+                ));
+                if let Some(s) = c.summary() {
+                    out.push_str(&format!(
+                        "\nspread: min {:.4}, max {:.4}, mean {:.4}{}\n",
+                        s.min,
+                        s.max,
+                        s.mean,
+                        s.spread_ratio()
+                            .map_or(String::new(), |r| format!(", {r:.2}x min..max")),
+                    ));
+                }
+                for crossing in c.crossings() {
+                    out.push_str(&format!("\ncrossing: {}\n", crossing.line));
+                }
+            }
+            out
+        }
+        Format::Csv => {
+            let mut out = String::new();
+            for c in comparisons {
+                out.push_str(&format!(
+                    "# comparison: {} — {} ({})\n{}",
+                    c.experiment,
+                    c.metric,
+                    c.unit,
+                    c.to_table().to_csv()
+                ));
+                for crossing in c.crossings() {
+                    out.push_str(&format!("# crossing: {}\n", crossing.line));
+                }
+            }
+            out
+        }
+        Format::Text => {
+            let mut out = format!(
+                "==============================================================\n\
+                 Cross-scenario comparison — {} sweep point(s)\n\
+                 ==============================================================\n",
+                matrix.len()
+            );
+            for c in comparisons {
+                out.push_str(&format!(
+                    "\n{} — {} ({})\n{}",
+                    c.experiment,
+                    c.metric,
+                    c.unit,
+                    c.to_table().render()
+                ));
+                if let Some(s) = c.summary() {
+                    out.push_str(&format!(
+                        "spread: min {:.4}, max {:.4}, mean {:.4}{}\n",
+                        s.min,
+                        s.max,
+                        s.mean,
+                        s.spread_ratio()
+                            .map_or(String::new(), |r| format!(" ({r:.2}x min..max)")),
+                    ));
+                }
+                for crossing in c.crossings() {
+                    out.push_str(&format!("crossing: {}\n", crossing.line));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Replaces filename-hostile characters in a sweep-point label.
+#[must_use]
+pub fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// The artifact filename for one job: `fig10@label.json` when sweeping,
+/// `fig10.json` otherwise.
+#[must_use]
+pub fn artifact_file_name(key: &str, point: Option<&ScenarioPoint>, format: Format) -> String {
+    match point {
+        Some(point) => format!("{key}@{}.{}", sanitize(&point.label), format.extension()),
+        None => format!("{key}.{}", format.extension()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_names_follow_the_cli_convention() {
+        assert_eq!(
+            artifact_file_name("fig10", None, Format::Json),
+            "fig10.json"
+        );
+        assert_eq!(artifact_file_name("fig10", None, Format::Csv), "fig10.csv");
+    }
+
+    #[test]
+    fn sanitize_keeps_filename_safe_characters() {
+        assert_eq!(sanitize("grid.intensity=50"), "grid.intensity-50");
+        assert_eq!(sanitize("a b/c"), "a-b-c");
+    }
+}

@@ -1,0 +1,544 @@
+//! The streaming (scenario-point × experiment) grid runner.
+//!
+//! The grid is first compressed into [`WorkGroup`]s — one per distinct
+//! `(experiment, dependency fingerprint)` — then scheduled on up to
+//! `jobs` worker threads pulling off a shared atomic cursor. Each group
+//! runs its models at most once (and, through the engine's shared cache,
+//! possibly zero times); every member point's artifact is rendered from
+//! the shared output with that point's own metadata and streamed to the
+//! caller's sink in grid order via a small reorder buffer.
+//!
+//! The renderer runs *on the worker threads* (rendering large tables is
+//! real work worth parallelizing); the sink runs under the sequencer lock,
+//! strictly in job order — exactly the contract the historical CLI had, so
+//! its stdout stays byte-identical.
+
+use crate::artifact::Format;
+use crate::cache::Outcome;
+use crate::{Engine, EngineError};
+use cc_core::experiments::Entry;
+use cc_report::{
+    dedup_groups, Comparison, Experiment, ExperimentOutput, RunContext, Scalar, Scenario,
+    ScenarioMatrix, ScenarioPoint,
+};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Knobs for one grid run.
+#[derive(Clone, Copy, Debug)]
+pub struct GridConfig {
+    /// Worker threads (clamped to the number of work groups).
+    pub jobs: usize,
+    /// Run every (experiment × point) job even when the experiment's
+    /// declared scenario dependencies say the output is identical across
+    /// points. Also bypasses the engine's resident cache — `--no-cache`
+    /// promises a model run per grid cell.
+    pub no_cache: bool,
+    /// Output format handed to the renderer.
+    pub format: Format,
+}
+
+/// One unit of scheduled work: an experiment plus every grid point sharing
+/// one dependency fingerprint. The first point is the representative whose
+/// context actually runs the models; the remaining points reuse the output
+/// (their declared-dependency fields are identical, so so is the output).
+pub struct WorkGroup {
+    /// Index into the selected-entries slice.
+    pub entry_idx: usize,
+    /// Grid points sharing the representative's fingerprint.
+    pub point_idxs: Vec<usize>,
+}
+
+/// Groups the (experiment × point) grid by dependency fingerprint. With
+/// `no_cache` every job is its own group, restoring one model run per grid
+/// cell.
+#[must_use]
+pub fn build_groups(
+    entries: &[&'static Entry],
+    points: &[ScenarioPoint],
+    no_cache: bool,
+) -> Vec<WorkGroup> {
+    let scenarios: Vec<&Scenario> = points.iter().map(|p| &p.scenario).collect();
+    let mut groups = Vec::new();
+    for (entry_idx, entry) in entries.iter().enumerate() {
+        if no_cache {
+            groups.extend((0..points.len()).map(|point_idx| WorkGroup {
+                entry_idx,
+                point_idxs: vec![point_idx],
+            }));
+        } else {
+            groups.extend(
+                dedup_groups(&scenarios, entry.deps())
+                    .into_iter()
+                    .map(|point_idxs| WorkGroup {
+                        entry_idx,
+                        point_idxs,
+                    }),
+            );
+        }
+    }
+    groups
+}
+
+/// Everything a renderer needs for one (experiment × point) artifact.
+pub struct GridJob<'a> {
+    /// The experiment's registry entry.
+    pub entry: &'static Entry,
+    /// Index of `entry` in the selected slice.
+    pub entry_idx: usize,
+    /// Index of `point` in the grid.
+    pub point_idx: usize,
+    /// The sweep point this artifact belongs to.
+    pub point: &'a ScenarioPoint,
+    /// The point's run context (scenario included).
+    pub context: &'a RunContext,
+    /// The built experiment (identity/description only — already run).
+    pub experiment: &'a dyn Experiment,
+    /// The computed (possibly cache-shared) output.
+    pub output: &'a ExperimentOutput,
+    /// Whether the grid has more than one point (artifacts carry point
+    /// metadata only when sweeping).
+    pub sweeping: bool,
+    /// Output format from the [`GridConfig`].
+    pub format: Format,
+}
+
+/// What one grid run produced, beyond the streamed artifacts.
+pub struct GridResult {
+    /// Per-job scalar lists, indexed `entry_idx * npoints + point_idx`; the
+    /// first scalar is the experiment's summary.
+    pub scalars: Vec<Vec<Scalar>>,
+    /// Per-entry model-run *plan* counts (one per work group — the cache
+    /// footer's "N runs"). Deliberately independent of cache outcomes so a
+    /// warm and a cold cache print identical footers.
+    pub run_counts: Vec<usize>,
+    /// Cache lookups this grid answered from resident artifacts.
+    pub hits: u64,
+    /// Cache lookups this grid computed fresh.
+    pub misses: u64,
+    /// Cache lookups this grid deduplicated against another in-flight
+    /// computation.
+    pub inflight_dedups: u64,
+}
+
+/// Reorder buffer between out-of-order job completion and in-order output:
+/// workers hand in `(job index, lines)`, the sequencer forwards every line
+/// whose predecessors have all arrived, buffering only the gap.
+struct Sequencer {
+    next: usize,
+    pending: BTreeMap<usize, Vec<String>>,
+}
+
+impl Sequencer {
+    fn new() -> Self {
+        Self {
+            next: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    fn complete(&mut self, index: usize, lines: Vec<String>, sink: &(dyn Fn(String) + Sync)) {
+        self.pending.insert(index, lines);
+        while let Some(lines) = self.pending.remove(&self.next) {
+            for line in lines {
+                sink(line);
+            }
+            self.next += 1;
+        }
+    }
+}
+
+impl Engine {
+    /// Runs the (experiment × point) grid on up to `config.jobs` worker
+    /// threads, one model run per [`WorkGroup`] at most — repeats are
+    /// answered from the engine's resident cache (unless `no_cache`), and
+    /// concurrent grids racing on a fingerprint compute it exactly once.
+    ///
+    /// `render` turns each job into output lines *on the worker thread*;
+    /// `sink` receives those lines strictly in grid order
+    /// (`entry_idx * npoints + point_idx`).
+    pub fn run_grid<R, S>(
+        &self,
+        entries: &[&'static Entry],
+        points: &[ScenarioPoint],
+        contexts: &[RunContext],
+        config: &GridConfig,
+        render: R,
+        sink: S,
+    ) -> GridResult
+    where
+        R: Fn(&GridJob<'_>) -> Vec<String> + Sync,
+        S: Fn(String) + Sync,
+    {
+        let npoints = points.len();
+        let total = entries.len() * npoints;
+        let sweeping = npoints > 1;
+        let groups = build_groups(entries, points, config.no_cache);
+        let mut run_counts = vec![0usize; entries.len()];
+        for group in &groups {
+            run_counts[group.entry_idx] += 1;
+        }
+        let scalars: Vec<Mutex<Vec<Scalar>>> = (0..total).map(|_| Mutex::new(Vec::new())).collect();
+        let sequencer = Mutex::new(Sequencer::new());
+        let next_group = AtomicUsize::new(0);
+        let (hits, misses, dedups) = (AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0));
+
+        // Shared by the sequential path and every worker: obtain one group's
+        // output (cache or fresh run), then render every member point's
+        // artifact (each with its own point/scenario metadata) and queue its
+        // lines for in-order delivery.
+        let process = |group: &WorkGroup| {
+            let entry = entries[group.entry_idx];
+            let experiment = entry.build();
+            let representative = &contexts[group.point_idxs[0]];
+            let output: Arc<ExperimentOutput> = if config.no_cache {
+                Arc::new(experiment.run(representative))
+            } else {
+                let fingerprint = entry.fingerprint(representative.scenario());
+                let (output, outcome) = self
+                    .cache()
+                    .get_or_compute((entry.key, fingerprint), || experiment.run(representative));
+                match outcome {
+                    Outcome::Hit => hits.fetch_add(1, Ordering::Relaxed),
+                    Outcome::Miss => misses.fetch_add(1, Ordering::Relaxed),
+                    Outcome::InflightDedup => dedups.fetch_add(1, Ordering::Relaxed),
+                };
+                output
+            };
+            let scalar = output.scalars.clone();
+            for &point_idx in &group.point_idxs {
+                let job_index = group.entry_idx * npoints + point_idx;
+                let job = GridJob {
+                    entry,
+                    entry_idx: group.entry_idx,
+                    point_idx,
+                    point: &points[point_idx],
+                    context: &contexts[point_idx],
+                    experiment: experiment.as_ref(),
+                    output: &output,
+                    sweeping,
+                    format: config.format,
+                };
+                let lines = render(&job);
+                *scalars[job_index].lock().expect("no panics under lock") = scalar.clone();
+                sequencer
+                    .lock()
+                    .expect("no panics under lock")
+                    .complete(job_index, lines, &sink);
+            }
+        };
+
+        let workers = config.jobs.min(groups.len().max(1));
+        if workers <= 1 {
+            for group in &groups {
+                process(group);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let group_index = next_group.fetch_add(1, Ordering::Relaxed);
+                        let Some(group) = groups.get(group_index) else {
+                            break;
+                        };
+                        process(group);
+                    });
+                }
+            });
+        }
+
+        GridResult {
+            scalars: scalars
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("no panics under lock"))
+                .collect(),
+            run_counts,
+            hits: hits.into_inner(),
+            misses: misses.into_inner(),
+            inflight_dedups: dedups.into_inner(),
+        }
+    }
+}
+
+/// `1 run`, `7 reuses`: exact counts with naive pluralization.
+#[must_use]
+pub fn count(n: usize, noun: &str) -> String {
+    if n == 1 {
+        format!("{n} {noun}")
+    } else {
+        format!("{n} {noun}s")
+    }
+}
+
+/// The dependency plan for the selected experiments over the grid points:
+/// declared dependency paths plus how many model runs (and cache reuses)
+/// the grid needs — without running anything. One string per output line,
+/// byte-identical to the historical `repro --explain` stdout.
+#[must_use]
+pub fn explain_lines(
+    entries: &[&'static Entry],
+    points: &[ScenarioPoint],
+    no_cache: bool,
+) -> Vec<String> {
+    let npoints = points.len();
+    let scenarios: Vec<&Scenario> = points.iter().map(|p| &p.scenario).collect();
+    let mut lines = vec![format!(
+        "dependency plan — {} x {} = {}",
+        count(entries.len(), "experiment"),
+        count(npoints, "point"),
+        count(entries.len() * npoints, "job"),
+    )];
+    let mut total_runs = 0usize;
+    for entry in entries {
+        let runs = if no_cache {
+            npoints
+        } else {
+            dedup_groups(&scenarios, entry.deps()).len()
+        };
+        total_runs += runs;
+        let deps = if entry.is_scenario_independent() {
+            "(scenario-independent)".to_string()
+        } else {
+            format!(
+                "deps: {}",
+                entry
+                    .deps()
+                    .iter()
+                    .map(|d| d.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        lines.push(format!(
+            "  {:13} {:>9}, {:>9}   {}",
+            entry.key,
+            count(runs, "run"),
+            count(npoints - runs, "reuse"),
+            deps
+        ));
+    }
+    lines.push(format!(
+        "total: {}, {}",
+        count(total_runs, "run"),
+        count(entries.len() * npoints - total_runs, "reuse"),
+    ));
+    lines
+}
+
+/// The cache footer for a sweep: per-experiment and total run/reuse counts,
+/// byte-identical to the historical CLI footer.
+#[must_use]
+pub fn footer_lines(
+    entries: &[&'static Entry],
+    npoints: usize,
+    run_counts: &[usize],
+) -> Vec<String> {
+    let mut footer: Vec<String> = entries
+        .iter()
+        .zip(run_counts)
+        .map(|(entry, &runs)| {
+            format!(
+                "cache: {}: {}, {}",
+                entry.key,
+                count(runs, "run"),
+                count(npoints - runs, "reuse")
+            )
+        })
+        .collect();
+    let total_runs: usize = run_counts.iter().sum();
+    footer.push(format!(
+        "cache: total: {}, {}",
+        count(total_runs, "run"),
+        count(entries.len() * npoints - total_runs, "reuse")
+    ));
+    footer
+}
+
+/// Builds the comparisons for each experiment from the scalar grid: the
+/// experiment's summary scalar diffed across every sweep point, plus one
+/// comparison per *additional* scalar carrying a decision threshold (a
+/// secondary crossover metric, e.g. ext-facility's cumulative break-even
+/// riding alongside its annual one). With a single numeric sweep dimension
+/// each comparison also carries the axis (and the scalar's threshold, when
+/// declared), enabling crossover analysis.
+///
+/// A missing scalar is a hard error: every experiment in the registry
+/// declares a summary scalar, so a gap would silently hollow out the
+/// comparison's spread statistics.
+pub fn build_comparisons(
+    entries: &[&'static Entry],
+    points: &[ScenarioPoint],
+    scalars: &[Vec<Scalar>],
+    matrix: &ScenarioMatrix,
+) -> Result<Vec<Comparison>, EngineError> {
+    let npoints = points.len();
+    // The crossover x-axis: the swept path, when exactly one dimension is
+    // swept and every value on it is numeric.
+    let axis: Option<&str> = match matrix.specs() {
+        [spec] if spec.values.iter().all(|v| v.parse::<f64>().is_ok()) => Some(spec.path.as_str()),
+        _ => None,
+    };
+    let mut comparisons = Vec::new();
+    for (entry_idx, entry) in entries.iter().enumerate() {
+        let per_point = &scalars[entry_idx * npoints..(entry_idx + 1) * npoints];
+        let reference = per_point
+            .iter()
+            .find(|s| !s.is_empty())
+            .ok_or(EngineError::MissingSummaryScalar { key: entry.key })?;
+        let metrics = reference
+            .iter()
+            .enumerate()
+            .filter(|(i, scalar)| *i == 0 || scalar.threshold.is_some())
+            .map(|(_, scalar)| scalar);
+        for metric in metrics {
+            let mut comparison = Comparison::new(entry.key, &metric.name, &metric.unit);
+            if let Some(axis) = axis {
+                comparison = comparison.with_axis(axis);
+            }
+            if let Some(threshold) = &metric.threshold {
+                comparison = comparison.with_threshold(threshold.clone());
+            }
+            for (point, point_scalars) in points.iter().zip(per_point) {
+                let scalar = point_scalars
+                    .iter()
+                    .find(|s| s.name == metric.name)
+                    .ok_or_else(|| EngineError::MissingScalarAtPoint {
+                        key: entry.key,
+                        metric: metric.name.clone(),
+                        point: point.display_label().to_string(),
+                    })?;
+                let x = axis.and_then(|_| {
+                    point
+                        .assignments
+                        .first()
+                        .and_then(|(_, v)| v.parse::<f64>().ok())
+                });
+                match x {
+                    Some(x) => comparison.push_at(point.display_label(), x, Some(scalar.value)),
+                    None => comparison.push(point.display_label(), Some(scalar.value)),
+                };
+            }
+            comparisons.push(comparison);
+        }
+    }
+    Ok(comparisons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_core::experiments;
+    use cc_report::ScenarioMatrix;
+
+    fn grid(
+        keys: &[&str],
+        sweeps: &[&str],
+    ) -> (
+        Vec<&'static Entry>,
+        ScenarioMatrix,
+        Vec<ScenarioPoint>,
+        Vec<RunContext>,
+    ) {
+        let entries: Vec<&'static Entry> = keys
+            .iter()
+            .map(|k| experiments::find_entry(k).expect("known key"))
+            .collect();
+        let sweeps = sweeps
+            .iter()
+            .map(|s| cc_report::SweepSpec::parse(s).expect("valid sweep"))
+            .collect();
+        let matrix =
+            ScenarioMatrix::new(cc_report::Scenario::paper_defaults(), sweeps).expect("matrix");
+        let points: Vec<ScenarioPoint> = matrix.points().collect();
+        let contexts: Vec<RunContext> = points
+            .iter()
+            .map(|p| RunContext::try_new(p.scenario.clone()).expect("valid scenario"))
+            .collect();
+        (entries, matrix, points, contexts)
+    }
+
+    #[test]
+    fn repeated_grid_is_served_from_cache() {
+        let engine = Engine::new();
+        let (entries, _matrix, points, contexts) =
+            grid(&["fig10"], &["grid.intensity=100,300,500"]);
+        let config = GridConfig {
+            jobs: 1,
+            no_cache: false,
+            format: Format::Json,
+        };
+        let render = |job: &GridJob<'_>| vec![format!("{}#{}", job.entry.key, job.point_idx)];
+        let sink = |_line: String| {};
+        let first = engine.run_grid(&entries, &points, &contexts, &config, render, sink);
+        assert_eq!(first.misses, 3);
+        assert_eq!(first.hits, 0);
+        assert_eq!(first.run_counts, vec![3]);
+        let second = engine.run_grid(&entries, &points, &contexts, &config, render, |_l| {});
+        assert_eq!(second.hits, 3, "second identical grid is all cache hits");
+        assert_eq!(second.misses, 0);
+        // The footer's plan counts are cache-independent by design.
+        assert_eq!(second.run_counts, vec![3]);
+        assert_eq!(first.scalars, second.scalars);
+    }
+
+    #[test]
+    fn no_cache_bypasses_the_resident_cache() {
+        let engine = Engine::new();
+        let (entries, _matrix, points, contexts) = grid(&["fig05"], &["grid.intensity=100,300"]);
+        let config = GridConfig {
+            jobs: 2,
+            no_cache: true,
+            format: Format::Text,
+        };
+        let result = engine.run_grid(
+            &entries,
+            &points,
+            &contexts,
+            &config,
+            |_j| Vec::new(),
+            |_l| {},
+        );
+        // fig05 is scenario-independent: dedup would run it once, no-cache
+        // runs it per point, and neither touches the resident cache.
+        assert_eq!(result.run_counts, vec![2]);
+        assert_eq!(result.hits + result.misses + result.inflight_dedups, 0);
+        assert_eq!(engine.stats().entries, 0);
+    }
+
+    #[test]
+    fn sink_receives_lines_in_grid_order_under_parallelism() {
+        let engine = Engine::new();
+        let (entries, _matrix, points, contexts) =
+            grid(&["fig05", "fig10"], &["grid.intensity=100,200,300,400"]);
+        let config = GridConfig {
+            jobs: 4,
+            no_cache: false,
+            format: Format::Text,
+        };
+        let order = Mutex::new(Vec::new());
+        engine.run_grid(
+            &entries,
+            &points,
+            &contexts,
+            &config,
+            |job| vec![format!("{}:{}", job.entry_idx, job.point_idx)],
+            |line| order.lock().unwrap().push(line),
+        );
+        let order = order.into_inner().unwrap();
+        let expected: Vec<String> = (0..2)
+            .flat_map(|e| (0..4).map(move |p| format!("{e}:{p}")))
+            .collect();
+        assert_eq!(order, expected, "reorder buffer preserves grid order");
+    }
+
+    #[test]
+    fn comparisons_carry_axis_and_error_on_missing_scalars() {
+        let (entries, matrix, points, _contexts) = grid(&["fig10"], &["grid.intensity=100,300"]);
+        // Hollow scalar grid: every point empty → summary-scalar error.
+        let empty: Vec<Vec<Scalar>> = vec![Vec::new(); 2];
+        let err = build_comparisons(&entries, &points, &empty, &matrix).unwrap_err();
+        assert_eq!(err, EngineError::MissingSummaryScalar { key: "fig10" });
+        assert!(err.to_string().contains("produced no summary scalar"));
+    }
+}

@@ -1,0 +1,183 @@
+//! # cc-engine
+//!
+//! The resident experiment-execution engine behind both the one-shot
+//! `repro` CLI and the long-running `repro serve` daemon.
+//!
+//! [`Engine`] owns the shared state a sweep service needs:
+//!
+//! * a **sharded, content-addressed fingerprint→artifact cache**
+//!   ([`cache::ShardedCache`]) keyed on `(experiment key,
+//!   dependency_fingerprint)` — repeated and overlapping requests are
+//!   answered from resident [`ExperimentOutput`]s, and concurrent requests
+//!   racing on the same fingerprint compute it exactly once;
+//! * the streaming **(scenario-point × experiment) grid runner**
+//!   ([`Engine::run_grid`]): workers pull fingerprint-deduplicated work
+//!   groups off a shared queue, artifacts stream out the moment they
+//!   complete, and a reorder buffer keeps the output in grid order;
+//! * monotonic counters surfaced as an [`EngineStats`] snapshot.
+//!
+//! The surrounding modules carry everything else the two front-ends share:
+//! [`artifact`] renders per-point artifacts and cross-scenario comparison
+//! reports byte-identically to the historical CLI, [`protocol`] defines the
+//! newline-delimited-JSON request/response vocabulary, and [`server`] is
+//! the `std::net::TcpListener` daemon loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod cache;
+pub mod grid;
+pub mod protocol;
+pub mod server;
+
+pub use artifact::Format;
+pub use cache::{Outcome, ShardedCache};
+pub use grid::{GridConfig, GridJob, GridResult};
+pub use server::Server;
+
+use cc_report::{ExperimentOutput, JsonValue, Scalar};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default total cache capacity (entries across all shards). Each entry is
+/// one `ExperimentOutput` — tables and series for one experiment at one
+/// fingerprint — so even a few thousand stay cheap; the bound exists so a
+/// long-lived daemon sweeping many axes cannot grow without limit.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// The resident execution engine: the sharded artifact cache plus
+/// engine-level counters. One `Engine` is shared (via `Arc`) by every
+/// connection of a `repro serve` daemon; the CLI builds a throwaway one per
+/// invocation.
+pub struct Engine {
+    cache: ShardedCache,
+    requests: AtomicU64,
+}
+
+impl Engine {
+    /// An engine with the [`DEFAULT_CACHE_CAPACITY`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// An engine whose cache holds at most `capacity` artifacts.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            cache: ShardedCache::new(capacity),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared fingerprint→artifact cache.
+    #[must_use]
+    pub fn cache(&self) -> &ShardedCache {
+        &self.cache
+    }
+
+    /// Counts one served request (a CLI invocation or one protocol `run`).
+    pub fn count_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot of the engine's counters.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        let (hits, misses, inflight_dedups, evictions) = self.cache.counters();
+        EngineStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            hits,
+            misses,
+            inflight_dedups,
+            evictions,
+            entries: self.cache.entries(),
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Snapshot of the engine's monotonic counters, exposed to the `stats`
+/// protocol request and the bench harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests served (CLI invocations or protocol `run` requests).
+    pub requests: u64,
+    /// Cache lookups answered from a resident artifact.
+    pub hits: u64,
+    /// Cache lookups that computed (and inserted) a fresh artifact.
+    pub misses: u64,
+    /// Lookups that waited on another request's in-flight computation
+    /// instead of recomputing.
+    pub inflight_dedups: u64,
+    /// Resident artifacts dropped to keep the cache within capacity.
+    pub evictions: u64,
+    /// Artifacts currently resident.
+    pub entries: u64,
+}
+
+impl EngineStats {
+    /// The snapshot as a JSON object (protocol `stats` response payload).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("requests", JsonValue::Integer(self.requests)),
+            ("hits", JsonValue::Integer(self.hits)),
+            ("misses", JsonValue::Integer(self.misses)),
+            ("inflight_dedups", JsonValue::Integer(self.inflight_dedups)),
+            ("evictions", JsonValue::Integer(self.evictions)),
+            ("entries", JsonValue::Integer(self.entries)),
+        ])
+    }
+}
+
+/// Errors surfaced by engine orchestration (as opposed to request-shape
+/// errors, which live in [`protocol::ProtocolError`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// An experiment produced no summary scalar, so the sweep comparison
+    /// cannot cover it.
+    MissingSummaryScalar {
+        /// The experiment's registry key.
+        key: &'static str,
+    },
+    /// An experiment lacked a named scalar at one sweep point.
+    MissingScalarAtPoint {
+        /// The experiment's registry key.
+        key: &'static str,
+        /// The missing scalar's name.
+        metric: String,
+        /// The sweep point's display label.
+        point: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingSummaryScalar { key } => write!(
+                f,
+                "experiment `{key}` produced no summary scalar; sweep comparisons \
+                 require full scalar coverage"
+            ),
+            Self::MissingScalarAtPoint { key, metric, point } => write!(
+                f,
+                "experiment `{key}` produced no `{metric}` scalar at point `{point}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Re-exported so front-ends can hold grid scalars without importing
+/// `cc_report` themselves.
+pub type ScalarGrid = Vec<Vec<Scalar>>;
+
+/// Convenience alias used across the grid runner and cache.
+pub type Output = ExperimentOutput;

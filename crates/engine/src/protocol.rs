@@ -1,0 +1,449 @@
+//! The newline-delimited-JSON protocol spoken by `repro serve`.
+//!
+//! One request per line, one or more response lines per request, every
+//! line a single JSON document. Three operations:
+//!
+//! ```text
+//! {"op":"run","experiments":["fig10"],"sweep":["grid.intensity=10..800/100"],"jobs":4}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! A `run` request selects experiments by key and/or tag (both optional —
+//! neither selects the full registry, as the CLI does), applies `--set`
+//! style overrides from `"set"`, expands `"sweep"` specs into a scenario
+//! matrix, and streams back one `artifact` line per (experiment × point)
+//! job in grid order, a `comparison` line when sweeping, and a terminal
+//! `done` line carrying the request's cache outcome. Every field override
+//! and sweep path is validated against the canonical `FIELDS` registry
+//! before anything runs; a request that fails validation produces a single
+//! structured `error` line and leaves the daemon (and its cache) untouched.
+//!
+//! Request parsing is deliberately strict about shape — unknown `op`
+//! values, non-string experiment keys, or a non-object `set` are
+//! [`ProtocolError`]s, not silent defaults — so client bugs surface as
+//! structured errors instead of empty responses.
+
+use cc_core::experiments::{self, Entry, Tag};
+use cc_report::{
+    JsonValue, RunContext, Scenario, ScenarioError, ScenarioMatrix, ScenarioPoint, SweepSpec,
+};
+
+/// A structured protocol error: a stable machine-readable category plus a
+/// human-readable message. Rendered as
+/// `{"type":"error","error":CATEGORY,"message":MESSAGE}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// Stable category: `malformed-request`, `unknown-experiment`,
+    /// `unknown-tag`, `unknown-field`, `invalid-value`, `invalid-scenario`
+    /// or `invalid-sweep`.
+    pub category: &'static str,
+    /// What went wrong, for humans.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn new(category: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            category,
+            message: message.into(),
+        }
+    }
+
+    /// The error as a response line (without trailing newline).
+    #[must_use]
+    pub fn to_response(&self) -> String {
+        JsonValue::object([
+            ("type", JsonValue::from("error")),
+            ("error", JsonValue::from(self.category)),
+            ("message", JsonValue::from(self.message.as_str())),
+        ])
+        .render()
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.category, self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Maps a scenario-application failure onto a protocol error category:
+/// the category distinguishes "no such field" from "value didn't parse"
+/// from "value out of physical range" so clients can react precisely.
+fn scenario_error(e: &ScenarioError) -> ProtocolError {
+    let category = match e {
+        ScenarioError::UnknownKey(_) => "unknown-field",
+        ScenarioError::InvalidValue { .. } | ScenarioError::UnknownSource(_) => "invalid-value",
+        ScenarioError::Parse { .. } | ScenarioError::Invalid(_) => "invalid-scenario",
+    };
+    ProtocolError::new(category, e.to_string())
+}
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run experiments over a (possibly one-point) scenario matrix.
+    Run(RunRequest),
+    /// Return the engine's [`crate::EngineStats`] snapshot.
+    Stats,
+    /// Stop the daemon after acknowledging.
+    Shutdown,
+}
+
+/// The payload of a `run` request, mirroring the CLI's selection flags.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunRequest {
+    /// Experiment keys (like repeated `--experiment`).
+    pub keys: Vec<String>,
+    /// Tag names (like repeated `--tag`, AND-ed).
+    pub tags: Vec<String>,
+    /// Scenario overrides (like repeated `--set`), in request order.
+    pub sets: Vec<(String, String)>,
+    /// Sweep specs (like repeated `--sweep`), in request order.
+    pub sweeps: Vec<String>,
+    /// Worker threads for this request's grid (server-clamped).
+    pub jobs: Option<usize>,
+    /// Bypass the resident cache, one model run per grid cell.
+    pub no_cache: bool,
+}
+
+/// A fully validated `run` request, ready for the grid runner.
+pub struct ResolvedRun {
+    /// Selected experiments, in registry order for tag selections and
+    /// request order for explicit keys.
+    pub entries: Vec<&'static Entry>,
+    /// The expanded scenario matrix.
+    pub matrix: ScenarioMatrix,
+    /// The matrix's points, materialized.
+    pub points: Vec<ScenarioPoint>,
+    /// One validated run context per point.
+    pub contexts: Vec<RunContext>,
+}
+
+/// Coerces a JSON scalar into the text form `Scenario::set` parses. JSON
+/// numbers arrive as `f64`/`u64`; scenario fields expect the token the user
+/// would have typed, so integral values render without a fraction.
+fn value_text(value: &JsonValue) -> Result<String, ProtocolError> {
+    match value {
+        JsonValue::String(s) => Ok(s.clone()),
+        JsonValue::Integer(n) => Ok(n.to_string()),
+        JsonValue::Number(n) if n.fract() == 0.0 && n.abs() < 1e15 => Ok(format!("{}", *n as i64)),
+        JsonValue::Number(n) => Ok(format!("{n:?}")),
+        JsonValue::Bool(b) => Ok(b.to_string()),
+        other => Err(ProtocolError::new(
+            "malformed-request",
+            format!("scenario values must be scalars, got {}", kind(other)),
+        )),
+    }
+}
+
+fn kind(value: &JsonValue) -> &'static str {
+    match value {
+        JsonValue::Null => "null",
+        JsonValue::Bool(_) => "a boolean",
+        JsonValue::Integer(_) | JsonValue::Number(_) => "a number",
+        JsonValue::String(_) => "a string",
+        JsonValue::Array(_) => "an array",
+        JsonValue::Object(_) => "an object",
+    }
+}
+
+/// Extracts a `["a","b"]` field as strings; `None` if absent.
+fn string_list(request: &JsonValue, field: &str) -> Result<Vec<String>, ProtocolError> {
+    let Some(value) = request.get(field) else {
+        return Ok(Vec::new());
+    };
+    let items = value.as_array().ok_or_else(|| {
+        ProtocolError::new(
+            "malformed-request",
+            format!("`{field}` must be an array of strings"),
+        )
+    })?;
+    items
+        .iter()
+        .map(|item| {
+            item.as_str().map(str::to_string).ok_or_else(|| {
+                ProtocolError::new(
+                    "malformed-request",
+                    format!("`{field}` must contain only strings"),
+                )
+            })
+        })
+        .collect()
+}
+
+/// Parses one request line into a [`Request`].
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let value = JsonValue::parse(line)
+        .map_err(|e| ProtocolError::new("malformed-request", e.to_string()))?;
+    if value.as_object().is_none() {
+        return Err(ProtocolError::new(
+            "malformed-request",
+            "a request must be a JSON object",
+        ));
+    }
+    let op = value
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ProtocolError::new("malformed-request", "missing string field `op`"))?;
+    match op {
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "run" => {
+            let keys = string_list(&value, "experiments")?;
+            let tags = string_list(&value, "tags")?;
+            let sweeps = string_list(&value, "sweep")?;
+            let sets = match value.get("set") {
+                None => Vec::new(),
+                Some(set) => {
+                    let pairs = set.as_object().ok_or_else(|| {
+                        ProtocolError::new("malformed-request", "`set` must be an object")
+                    })?;
+                    pairs
+                        .iter()
+                        .map(|(key, v)| Ok((key.clone(), value_text(v)?)))
+                        .collect::<Result<Vec<_>, ProtocolError>>()?
+                }
+            };
+            let jobs = match value.get("jobs") {
+                None => None,
+                Some(jobs) => Some(
+                    jobs.as_u64()
+                        .map(|n| n as usize)
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            ProtocolError::new(
+                                "malformed-request",
+                                "`jobs` must be a positive integer",
+                            )
+                        })?,
+                ),
+            };
+            let no_cache = match value.get("no_cache") {
+                None => false,
+                Some(flag) => flag.as_bool().ok_or_else(|| {
+                    ProtocolError::new("malformed-request", "`no_cache` must be a boolean")
+                })?,
+            };
+            Ok(Request::Run(RunRequest {
+                keys,
+                tags,
+                sets,
+                sweeps,
+                jobs,
+                no_cache,
+            }))
+        }
+        other => Err(ProtocolError::new(
+            "malformed-request",
+            format!("unknown op `{other}`"),
+        )),
+    }
+}
+
+impl RunRequest {
+    /// Validates the request against the experiment registry and the
+    /// canonical scenario `FIELDS`, expanding it into entries, a matrix,
+    /// points and run contexts. Nothing runs here — a failing request is
+    /// rejected before it can touch the engine or its cache.
+    pub fn resolve(&self) -> Result<ResolvedRun, ProtocolError> {
+        let tags: Vec<Tag> = self
+            .tags
+            .iter()
+            .map(|name| {
+                Tag::parse(name).ok_or_else(|| {
+                    ProtocolError::new("unknown-tag", format!("unknown tag `{name}`"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        let entries: Vec<&'static Entry> = if self.keys.is_empty() {
+            experiments::with_tags(&tags)
+        } else {
+            self.keys
+                .iter()
+                .map(|key| {
+                    let entry = experiments::find_entry(key).ok_or_else(|| {
+                        ProtocolError::new(
+                            "unknown-experiment",
+                            format!("unknown experiment `{key}`"),
+                        )
+                    })?;
+                    if let Some(&missing) = tags.iter().find(|&&t| !entry.has_tag(t)) {
+                        return Err(ProtocolError::new(
+                            "unknown-experiment",
+                            format!("experiment `{key}` does not carry tag `{missing}`"),
+                        ));
+                    }
+                    Ok(entry)
+                })
+                .collect::<Result<_, _>>()?
+        };
+        if entries.is_empty() {
+            return Err(ProtocolError::new(
+                "unknown-experiment",
+                "no experiments match the given keys/tags",
+            ));
+        }
+
+        let mut scenario = Scenario::paper_defaults();
+        for (key, value) in &self.sets {
+            scenario.set(key, value).map_err(|e| scenario_error(&e))?;
+        }
+        scenario.validate().map_err(|e| scenario_error(&e))?;
+
+        let sweeps: Vec<SweepSpec> = self
+            .sweeps
+            .iter()
+            .map(|spec| {
+                SweepSpec::parse(spec)
+                    .map_err(|e| ProtocolError::new("invalid-sweep", e.to_string()))
+            })
+            .collect::<Result<_, _>>()?;
+        let matrix = ScenarioMatrix::new(scenario, sweeps)
+            .map_err(|e| ProtocolError::new("invalid-sweep", e.to_string()))?;
+        let points: Vec<ScenarioPoint> = matrix.points().collect();
+        let contexts: Vec<RunContext> = points
+            .iter()
+            .map(|p| RunContext::try_new(p.scenario.clone()).map_err(|e| scenario_error(&e)))
+            .collect::<Result<_, _>>()?;
+
+        Ok(ResolvedRun {
+            entries,
+            matrix,
+            points,
+            contexts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_operations() {
+        assert_eq!(parse_request(r#"{"op":"stats"}"#), Ok(Request::Stats));
+        assert_eq!(parse_request(r#"{"op":"shutdown"}"#), Ok(Request::Shutdown));
+        let run = parse_request(
+            r#"{"op":"run","experiments":["fig10"],"tags":["mobile"],
+                "set":{"grid.intensity":50,"device.lifetime":"3"},
+                "sweep":["grid.intensity=100,300"],"jobs":4,"no_cache":true}"#,
+        )
+        .expect("valid run request");
+        let Request::Run(run) = run else {
+            panic!("expected a run request");
+        };
+        assert_eq!(run.keys, ["fig10"]);
+        assert_eq!(run.tags, ["mobile"]);
+        assert_eq!(
+            run.sets,
+            [
+                ("grid.intensity".to_string(), "50".to_string()),
+                ("device.lifetime".to_string(), "3".to_string()),
+            ]
+        );
+        assert_eq!(run.sweeps, ["grid.intensity=100,300"]);
+        assert_eq!(run.jobs, Some(4));
+        assert!(run.no_cache);
+    }
+
+    #[test]
+    fn malformed_lines_are_structured_errors() {
+        for line in [
+            "{oops",
+            "[]",
+            "{}",
+            r#"{"op":"dance"}"#,
+            r#"{"op":"run","jobs":0}"#,
+        ] {
+            let err = parse_request(line).expect_err("must be rejected");
+            assert_eq!(err.category, "malformed-request", "line: {line}");
+        }
+        let rendered = parse_request("{oops").unwrap_err().to_response();
+        let parsed = JsonValue::parse(&rendered).expect("error responses are valid JSON");
+        assert_eq!(
+            parsed.get("type").and_then(JsonValue::as_str),
+            Some("error")
+        );
+    }
+
+    fn rejection(request: &RunRequest) -> ProtocolError {
+        request.resolve().err().expect("request must be rejected")
+    }
+
+    #[test]
+    fn resolve_validates_against_the_registries() {
+        let unknown = RunRequest {
+            keys: vec!["fig99".into()],
+            ..RunRequest::default()
+        };
+        assert_eq!(rejection(&unknown).category, "unknown-experiment");
+
+        let bad_tag = RunRequest {
+            tags: vec!["quantum".into()],
+            ..RunRequest::default()
+        };
+        assert_eq!(rejection(&bad_tag).category, "unknown-tag");
+
+        let bad_field = RunRequest {
+            keys: vec!["fig10".into()],
+            sets: vec![("grid.wattage".into(), "5".into())],
+            ..RunRequest::default()
+        };
+        assert_eq!(rejection(&bad_field).category, "unknown-field");
+
+        let bad_value = RunRequest {
+            keys: vec!["fig10".into()],
+            sets: vec![("grid.intensity".into(), "emerald".into())],
+            ..RunRequest::default()
+        };
+        assert_eq!(rejection(&bad_value).category, "invalid-value");
+
+        let bad_range = RunRequest {
+            keys: vec!["fig10".into()],
+            sets: vec![("grid.intensity".into(), "-5".into())],
+            ..RunRequest::default()
+        };
+        let err = rejection(&bad_range);
+        assert!(
+            err.category == "invalid-scenario" || err.category == "invalid-value",
+            "out-of-range value maps to a validation category, got {}",
+            err.category
+        );
+
+        let bad_sweep = RunRequest {
+            keys: vec!["fig10".into()],
+            sweeps: vec!["grid.intensity=10..".into()],
+            ..RunRequest::default()
+        };
+        assert_eq!(rejection(&bad_sweep).category, "invalid-sweep");
+    }
+
+    #[test]
+    fn resolve_expands_a_valid_sweep() {
+        let request = RunRequest {
+            keys: vec!["fig10".into()],
+            sweeps: vec!["grid.intensity=100,300,500".into()],
+            ..RunRequest::default()
+        };
+        let resolved = request.resolve().expect("valid request");
+        assert_eq!(resolved.entries.len(), 1);
+        assert_eq!(resolved.points.len(), 3);
+        assert_eq!(resolved.contexts.len(), 3);
+        assert!(resolved.matrix.is_sweep());
+    }
+
+    #[test]
+    fn json_scalars_coerce_to_cli_value_tokens() {
+        assert_eq!(value_text(&JsonValue::from("coal")).unwrap(), "coal");
+        assert_eq!(value_text(&JsonValue::Integer(60000)).unwrap(), "60000");
+        assert_eq!(value_text(&JsonValue::Number(3.0)).unwrap(), "3");
+        assert_eq!(value_text(&JsonValue::Number(0.35)).unwrap(), "0.35");
+        assert_eq!(value_text(&JsonValue::Bool(true)).unwrap(), "true");
+        assert!(value_text(&JsonValue::Array(Vec::new())).is_err());
+    }
+}

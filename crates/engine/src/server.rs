@@ -1,0 +1,415 @@
+//! The `repro serve` daemon: a `std::net::TcpListener` loop speaking the
+//! newline-delimited-JSON [`crate::protocol`].
+//!
+//! One thread per connection; every connection shares one [`Engine`], so
+//! artifacts computed for one client are cache hits for every other, and
+//! two clients racing on the same fingerprint compute it exactly once
+//! (the cache's inflight dedup). A request that fails validation produces
+//! one structured `error` line and leaves the connection open — client
+//! bugs must not kill the daemon or poison the cache.
+//!
+//! Shutdown is cooperative: a `shutdown` request is acknowledged with
+//! `{"type":"bye"}`, the accept loop's stop flag is raised, and a loopback
+//! self-connect unblocks `accept` so the listener thread can observe the
+//! flag and drain.
+
+use crate::artifact::{artifact_file_name, artifact_json, comparison_json, Format};
+use crate::grid::{build_comparisons, GridConfig, GridJob};
+use crate::protocol::{parse_request, ProtocolError, Request, RunRequest};
+use crate::Engine;
+use cc_report::JsonValue;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The resident sweep service: a bound listener plus the shared engine.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    max_jobs: usize,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Serialized, flushed-per-line writer half of one connection. Write
+/// failures latch: once the client is gone, the rest of the response
+/// stream is dropped silently (the computation still completes and warms
+/// the shared cache).
+struct LineWriter {
+    writer: Mutex<(BufWriter<TcpStream>, bool)>,
+}
+
+impl LineWriter {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            writer: Mutex::new((BufWriter::new(stream), false)),
+        }
+    }
+
+    fn send(&self, line: &str) {
+        let mut guard = self.writer.lock().expect("no panics under lock");
+        let (writer, failed) = &mut *guard;
+        if *failed {
+            return;
+        }
+        if writeln!(writer, "{line}").is_err() || writer.flush().is_err() {
+            *failed = true;
+        }
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`, or port `0` to let the OS
+    /// pick) and wires the shared engine behind it. `max_jobs` caps the
+    /// per-request `jobs` field so one client cannot oversubscribe the
+    /// host.
+    pub fn bind(addr: &str, engine: Arc<Engine>, max_jobs: usize) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            engine,
+            max_jobs: max_jobs.max(1),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address — callers binding port `0` read the real port
+    /// here.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves connections until a client sends `{"op":"shutdown"}`. Blocks
+    /// the calling thread; every accepted connection gets its own handler
+    /// thread, all joined before this returns.
+    pub fn run(self) -> std::io::Result<()> {
+        let addr = self.local_addr()?;
+        std::thread::scope(|scope| {
+            for stream in self.listener.incoming() {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let engine = Arc::clone(&self.engine);
+                let shutdown = Arc::clone(&self.shutdown);
+                let max_jobs = self.max_jobs;
+                scope.spawn(move || handle_connection(&engine, stream, max_jobs, &shutdown, addr));
+            }
+        });
+        Ok(())
+    }
+}
+
+/// Reads requests off one connection line by line until EOF or shutdown.
+///
+/// The socket reads on a short timeout so an idle connection notices the
+/// daemon-wide shutdown flag and drains: `Server::run` joins every handler
+/// thread, and a client that holds its connection open across a shutdown
+/// must not pin the daemon alive. Partial lines survive a timeout tick —
+/// `read_line` appends to the same buffer on the next attempt.
+fn handle_connection(
+    engine: &Engine,
+    stream: TcpStream,
+    max_jobs: usize,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) {
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    // Responses flush line by line; without TCP_NODELAY, Nagle holds every
+    // line after the first until the client ACKs, adding ~40 ms per line.
+    let _ = stream.set_nodelay(true);
+    let _ = reader.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+    let writer = LineWriter::new(stream);
+    let mut reader = BufReader::new(reader);
+    let mut buffer = String::new();
+    loop {
+        match reader.read_line(&mut buffer) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        let line = std::mem::take(&mut buffer);
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Err(error) => writer.send(&error.to_response()),
+            Ok(Request::Stats) => {
+                let response = JsonValue::object([
+                    ("type", JsonValue::from("stats")),
+                    ("stats", engine.stats().to_json()),
+                ]);
+                writer.send(&response.render());
+            }
+            Ok(Request::Shutdown) => {
+                writer.send(&JsonValue::object([("type", JsonValue::from("bye"))]).render());
+                shutdown.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so it can observe the flag.
+                let _ = TcpStream::connect(addr);
+                return;
+            }
+            Ok(Request::Run(request)) => handle_run(engine, &writer, &request, max_jobs),
+        }
+    }
+}
+
+/// Validates and executes one `run` request, streaming artifact lines in
+/// grid order, then the comparison (when sweeping) and the terminal `done`
+/// line.
+fn handle_run(engine: &Engine, writer: &LineWriter, request: &RunRequest, max_jobs: usize) {
+    let resolved = match request.resolve() {
+        Ok(resolved) => resolved,
+        Err(error) => {
+            writer.send(&error.to_response());
+            return;
+        }
+    };
+    engine.count_request();
+    let config = GridConfig {
+        jobs: request.jobs.unwrap_or(1).min(max_jobs),
+        no_cache: request.no_cache,
+        format: Format::Json,
+    };
+    let render = |job: &GridJob<'_>| {
+        let artifact = artifact_json(
+            job.entry,
+            job.experiment,
+            job.output,
+            job.context,
+            job.sweeping.then_some(job.point),
+        );
+        let envelope = JsonValue::object([
+            ("type", JsonValue::from("artifact")),
+            ("key", JsonValue::from(job.entry.key)),
+            (
+                "name",
+                JsonValue::from(artifact_file_name(
+                    job.entry.key,
+                    job.sweeping.then_some(job.point),
+                    Format::Json,
+                )),
+            ),
+            ("artifact", artifact),
+        ]);
+        vec![envelope.render()]
+    };
+    let result = engine.run_grid(
+        &resolved.entries,
+        &resolved.points,
+        &resolved.contexts,
+        &config,
+        render,
+        |line| writer.send(&line),
+    );
+    if resolved.matrix.is_sweep() {
+        match build_comparisons(
+            &resolved.entries,
+            &resolved.points,
+            &result.scalars,
+            &resolved.matrix,
+        ) {
+            Ok(comparisons) => {
+                let envelope = JsonValue::object([
+                    ("type", JsonValue::from("comparison")),
+                    (
+                        "name",
+                        JsonValue::from(format!("comparison.{}", Format::Json.extension())),
+                    ),
+                    (
+                        "comparison",
+                        comparison_json(&comparisons, &resolved.matrix),
+                    ),
+                ]);
+                writer.send(&envelope.render());
+            }
+            Err(error) => {
+                writer.send(
+                    &ProtocolError {
+                        category: "invalid-scenario",
+                        message: error.to_string(),
+                    }
+                    .to_response(),
+                );
+                return;
+            }
+        }
+    }
+    let done = JsonValue::object([
+        ("type", JsonValue::from("done")),
+        (
+            "experiments",
+            JsonValue::Integer(resolved.entries.len() as u64),
+        ),
+        ("points", JsonValue::Integer(resolved.points.len() as u64)),
+        (
+            "runs",
+            JsonValue::Integer(result.run_counts.iter().sum::<usize>() as u64),
+        ),
+        (
+            "cache",
+            JsonValue::object([
+                ("hits", JsonValue::Integer(result.hits)),
+                ("misses", JsonValue::Integer(result.misses)),
+                (
+                    "inflight_dedups",
+                    JsonValue::Integer(result.inflight_dedups),
+                ),
+            ]),
+        ),
+    ]);
+    writer.send(&done.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn connect(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        (reader, stream)
+    }
+
+    fn request(
+        reader: &mut BufReader<TcpStream>,
+        stream: &mut TcpStream,
+        line: &str,
+    ) -> Vec<JsonValue> {
+        writeln!(stream, "{line}").expect("send request");
+        let mut responses = Vec::new();
+        loop {
+            let mut response = String::new();
+            reader.read_line(&mut response).expect("read response");
+            let value = JsonValue::parse(response.trim_end()).expect("responses are valid JSON");
+            let kind = value
+                .get("type")
+                .and_then(JsonValue::as_str)
+                .expect("responses carry a type")
+                .to_string();
+            responses.push(value);
+            if matches!(kind.as_str(), "done" | "error" | "stats" | "bye") {
+                return responses;
+            }
+        }
+    }
+
+    #[test]
+    fn serves_runs_stats_and_errors_on_one_connection() {
+        let engine = Arc::new(Engine::new());
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), 4).expect("bind");
+        let addr = server.local_addr().expect("local addr");
+        let daemon = std::thread::spawn(move || server.run());
+        let (mut reader, mut stream) = connect(addr);
+
+        // Protocol errors are structured responses, not dropped connections.
+        let bad = request(&mut reader, &mut stream, "{not json");
+        assert_eq!(
+            bad[0].get("error").and_then(JsonValue::as_str),
+            Some("malformed-request")
+        );
+        let bad = request(
+            &mut reader,
+            &mut stream,
+            r#"{"op":"run","experiments":["fig99"]}"#,
+        );
+        assert_eq!(
+            bad[0].get("error").and_then(JsonValue::as_str),
+            Some("unknown-experiment")
+        );
+        assert_eq!(engine.stats().misses, 0, "rejected requests never compute");
+
+        // A sweep run streams artifacts, a comparison, then done.
+        let run =
+            r#"{"op":"run","experiments":["fig05"],"sweep":["grid.intensity=100,300"],"jobs":2}"#;
+        let responses = request(&mut reader, &mut stream, run);
+        let kinds: Vec<&str> = responses
+            .iter()
+            .filter_map(|r| r.get("type").and_then(JsonValue::as_str))
+            .collect();
+        assert_eq!(kinds, ["artifact", "artifact", "comparison", "done"]);
+        assert_eq!(
+            responses[0].get("name").and_then(JsonValue::as_str),
+            Some("fig05@grid.intensity-100.json")
+        );
+        let done = responses.last().expect("done line");
+        // fig05 is scenario-independent: two points, one model run.
+        assert_eq!(done.get("runs").and_then(JsonValue::as_u64), Some(1));
+
+        // The identical request is answered from the shared cache.
+        let responses = request(&mut reader, &mut stream, run);
+        let done = responses.last().expect("done line");
+        let cache = done.get("cache").expect("cache summary");
+        assert_eq!(cache.get("misses").and_then(JsonValue::as_u64), Some(0));
+        assert_eq!(cache.get("hits").and_then(JsonValue::as_u64), Some(1));
+
+        // Stats reflects both served runs.
+        let stats = request(&mut reader, &mut stream, r#"{"op":"stats"}"#);
+        let stats = stats[0].get("stats").expect("stats payload");
+        assert_eq!(stats.get("requests").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(stats.get("entries").and_then(JsonValue::as_u64), Some(1));
+
+        // Cooperative shutdown: bye, then the daemon thread drains.
+        let bye = request(&mut reader, &mut stream, r#"{"op":"shutdown"}"#);
+        assert_eq!(bye[0].get("type").and_then(JsonValue::as_str), Some("bye"));
+        daemon
+            .join()
+            .expect("daemon thread joins")
+            .expect("daemon exits cleanly");
+    }
+
+    #[test]
+    fn concurrent_identical_sweeps_compute_each_fingerprint_once() {
+        let engine = Arc::new(Engine::new());
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), 4).expect("bind");
+        let addr = server.local_addr().expect("local addr");
+        let daemon = std::thread::spawn(move || server.run());
+
+        let run =
+            r#"{"op":"run","experiments":["fig10"],"sweep":["grid.intensity=100,300"],"jobs":2}"#;
+        let clients: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let (mut reader, mut stream) = connect(addr);
+                    let responses = request(&mut reader, &mut stream, run);
+                    let done = responses.last().expect("done line").clone();
+                    let cache = done.get("cache").expect("cache summary");
+                    (
+                        cache.get("hits").and_then(JsonValue::as_u64).unwrap(),
+                        cache.get("misses").and_then(JsonValue::as_u64).unwrap(),
+                        cache
+                            .get("inflight_dedups")
+                            .and_then(JsonValue::as_u64)
+                            .unwrap(),
+                    )
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+        // Two clients × two points raced on two fingerprints: exactly two
+        // model runs total, however the hits/dedups split fell.
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 2, "each fingerprint computed exactly once");
+        assert_eq!(stats.hits + stats.inflight_dedups, 2);
+        let total: u64 = outcomes.iter().map(|(h, m, d)| h + m + d).sum();
+        assert_eq!(total, 4, "every lookup accounted for");
+
+        let (mut reader, mut stream) = connect(addr);
+        request(&mut reader, &mut stream, r#"{"op":"shutdown"}"#);
+        daemon.join().expect("join").expect("clean exit");
+    }
+}

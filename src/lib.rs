@@ -17,6 +17,8 @@
 //! * [`dcsim`] — warehouse-scale data-center simulator
 //! * [`report`] — tables, series, scenarios and the experiment abstraction
 //! * [`core`] — the opex/capex footprint API and all paper experiments
+//! * [`engine`] — the resident execution engine: sharded artifact cache,
+//!   grid runner and the `repro serve` protocol/daemon
 //!
 //! ## Quickstart
 //!
@@ -33,6 +35,7 @@ pub use cc_analysis as analysis;
 pub use cc_core as core;
 pub use cc_data as data;
 pub use cc_dcsim as dcsim;
+pub use cc_engine as engine;
 pub use cc_fab as fab;
 pub use cc_ghg as ghg;
 pub use cc_lca as lca;
