@@ -41,15 +41,18 @@
 
 use cc_core::experiments::{self, Entry, Tag};
 use cc_engine::artifact::{artifact_file_name, render_artifact, render_comparisons};
-use cc_engine::grid::{build_comparisons, explain_lines, footer_lines};
-use cc_engine::{Engine, Format, GridConfig, GridJob, Server};
+use cc_engine::grid::{build_comparisons, disk_footer_lines, explain_lines, footer_lines};
+use cc_engine::{DiskCache, Engine, Format, GridConfig, GridJob, Server};
 use cc_report::{JsonValue, RunContext, Scenario, ScenarioMatrix, ScenarioPoint, SweepSpec};
 use std::io::{BufRead, Write as _};
 use std::sync::Arc;
 
 fn print_usage() {
     eprintln!("usage: repro [options] [<experiment-key>...]");
-    eprintln!("       repro serve --addr <host:port> [--jobs <n>] [--cache-capacity <n>]");
+    eprintln!(
+        "       repro serve --addr <host:port> [--jobs <n>] [--cache-capacity <n>] \
+         [--cache-dir <dir>]"
+    );
     eprintln!("       repro client --addr <host:port> [selection options] [--out <dir>]");
     eprintln!("       repro client --addr <host:port> --stats | --shutdown");
     eprintln!();
@@ -74,6 +77,10 @@ fn print_usage() {
     eprintln!("  --no-cache           run every (experiment x point) job even when the");
     eprintln!("                       experiment's declared scenario dependencies say");
     eprintln!("                       the output is identical across points");
+    eprintln!("  --cache-dir <dir>    persist computed artifacts under <dir>, keyed on");
+    eprintln!("                       (code fingerprint x dependency fingerprint); a");
+    eprintln!("                       later run recomputes only the work groups whose");
+    eprintln!("                       declared scenario fields changed");
     eprintln!("  --explain            print each experiment's scenario dependencies and");
     eprintln!("                       the sweep's run/reuse plan, without running");
     eprintln!();
@@ -116,6 +123,7 @@ struct Options {
     sweeps: Vec<SweepSpec>,
     format: Format,
     out_dir: Option<std::path::PathBuf>,
+    cache_dir: Option<std::path::PathBuf>,
     jobs: usize,
     keys: Vec<String>,
 }
@@ -136,6 +144,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
     let mut sweeps = Vec::new();
     let mut format = Format::Text;
     let mut out_dir = None;
+    let mut cache_dir = None;
     let mut jobs = 1usize;
     let mut keys = Vec::new();
 
@@ -175,6 +184,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
             "--csv" => format = Format::Csv,
             "--json" => format = Format::Json,
             "--out" => out_dir = Some(std::path::PathBuf::from(value_of("--out", &mut args))),
+            "--cache-dir" => {
+                cache_dir = Some(std::path::PathBuf::from(value_of("--cache-dir", &mut args)));
+            }
             "--jobs" => {
                 let n = value_of("--jobs", &mut args);
                 jobs = n.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
@@ -217,9 +229,17 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
         sweeps,
         format,
         out_dir,
+        cache_dir,
         jobs,
         keys,
     }
+}
+
+/// Opens the persistent cache at `dir`, exiting with a diagnostic when the
+/// directory cannot be created.
+fn open_disk_cache(dir: &std::path::Path) -> DiskCache {
+    DiskCache::open(dir)
+        .unwrap_or_else(|e| fail(&format!("cannot open cache dir `{}`: {e}", dir.display())))
 }
 
 fn select(options: &Options) -> Vec<&'static Entry> {
@@ -253,6 +273,7 @@ fn serve_main(args: &[String]) {
     let mut addr: Option<String> = None;
     let mut jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut capacity = cc_engine::DEFAULT_CACHE_CAPACITY;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = Some(value_of("--addr", &mut args)),
@@ -270,11 +291,20 @@ fn serve_main(args: &[String]) {
                     ))
                 });
             }
+            "--cache-dir" => {
+                cache_dir = Some(std::path::PathBuf::from(value_of("--cache-dir", &mut args)));
+            }
             flag => fail(&format!("unknown serve option `{flag}`")),
         }
     }
     let addr = addr.unwrap_or_else(|| fail("serve requires --addr <host:port>"));
-    let engine = Arc::new(Engine::with_capacity(capacity));
+    let mut engine = Engine::with_capacity(capacity);
+    if let Some(dir) = &cache_dir {
+        // The daemon and the one-shot CLI share the same on-disk format, so
+        // artifacts computed by either warm the other.
+        engine = engine.with_disk(open_disk_cache(dir));
+    }
+    let engine = Arc::new(engine);
     let server = Server::bind(&addr, engine, jobs)
         .unwrap_or_else(|e| fail(&format!("cannot bind `{addr}`: {e}")));
     let local = server
@@ -478,7 +508,9 @@ fn main() {
     let points: Vec<ScenarioPoint> = matrix.points().collect();
     let contexts: Vec<RunContext> = points
         .iter()
-        .map(|p| RunContext::try_new(p.scenario.clone()).unwrap_or_else(|e| fail(&e.to_string())))
+        .map(|p| {
+            RunContext::try_from_overlay(p.overlay.clone()).unwrap_or_else(|e| fail(&e.to_string()))
+        })
         .collect();
 
     if options.explain {
@@ -493,10 +525,14 @@ fn main() {
             .unwrap_or_else(|e| fail(&format!("cannot create `{}`: {e}", dir.display())));
     }
 
-    // A throwaway engine: the CLI is one request against a cold cache. The
-    // run/reuse accounting comes from the dependency plan (group counts),
-    // so the footer is identical to what a resident engine would print.
-    let engine = Engine::new();
+    // A throwaway engine: the CLI is one request against a cold in-memory
+    // cache (possibly warmed lazily from `--cache-dir`). The run/reuse
+    // accounting comes from the dependency plan (group counts), so the
+    // footer is identical to what a resident engine would print.
+    let mut engine = Engine::new();
+    if let Some(dir) = &options.cache_dir {
+        engine = engine.with_disk(open_disk_cache(dir));
+    }
     engine.count_request();
     let config = GridConfig {
         jobs: options.jobs,
@@ -557,7 +593,18 @@ fn main() {
         // whether or not artifacts went to `--out`.
         if !options.no_cache {
             let to_stderr = options.format == Format::Json;
-            for line in footer_lines(&selected, points.len(), &result.run_counts) {
+            let mut footer = footer_lines(&selected, points.len(), &result.run_counts);
+            // With a persistent cache, also report what this process really
+            // recomputed versus what the warm cache dir answered — the
+            // incremental-evaluation footprint across restarts.
+            if options.cache_dir.is_some() {
+                footer.extend(disk_footer_lines(
+                    &selected,
+                    &result.disk_runs,
+                    &result.disk_hits,
+                ));
+            }
+            for line in footer {
                 if to_stderr {
                     eprintln!("{line}");
                 } else {

@@ -565,6 +565,160 @@ fn growth_sweep_runs_scenario_independent_experiments_once() {
 }
 
 #[test]
+fn warm_cache_dir_rerun_recomputes_nothing_and_matches_no_cache() {
+    // The persistent-cache acceptance criterion: a second identical run
+    // against a warm `--cache-dir` performs zero experiment recomputes
+    // (verified via the disk footer) and writes artifacts byte-identical
+    // to a `--no-cache` run of the same sweep.
+    let dir = std::env::temp_dir().join(format!("cc-repro-disk-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cache_dir = dir.join("cache");
+    let sweep = |out_dir: &std::path::Path, extra: &[&str]| {
+        let mut args = vec![
+            "--sweep",
+            "fleet.growth=1.0,1.5",
+            "--set",
+            "mc.samples=500",
+            "--jobs",
+            "4",
+            "--json",
+            "--out",
+            out_dir.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        streams_of(repro().args(&args).output().unwrap())
+    };
+
+    // Cold: every dedup group is computed fresh and stored. 23 entries are
+    // independent of fleet.growth (1 group each) and 3 depend on it
+    // (2 groups each over the two points): 23 + 6 = 29 recomputes.
+    let cold_dir = dir.join("cold");
+    let cache = ["--cache-dir", cache_dir.to_str().unwrap()];
+    let cold = sweep(&cold_dir, &cache);
+    assert!(
+        cold.stderr
+            .contains("disk: fig05: 1 recompute, 0 disk hits"),
+        "{}",
+        cold.stderr
+    );
+    assert!(cold
+        .stderr
+        .contains("disk: ext-facility: 2 recomputes, 0 disk hits"));
+    assert!(cold
+        .stderr
+        .contains("disk: total: 29 recomputes, 0 disk hits"));
+    assert!(
+        !cold.stdout.contains("disk:"),
+        "the disk footer must stay off JSON-mode stdout"
+    );
+
+    // Warm: a fresh process finds every group on disk — zero recomputes.
+    let warm_dir = dir.join("warm");
+    let warm = sweep(&warm_dir, &cache);
+    assert!(
+        warm.stderr
+            .contains("disk: fig05: 0 recomputes, 1 disk hit"),
+        "{}",
+        warm.stderr
+    );
+    assert!(warm
+        .stderr
+        .contains("disk: ext-facility: 0 recomputes, 2 disk hits"));
+    assert!(warm
+        .stderr
+        .contains("disk: total: 0 recomputes, 29 disk hits"));
+
+    // Without --cache-dir there is no disk footer (in-memory footer stays).
+    let plain_dir = dir.join("plain");
+    let plain = sweep(&plain_dir, &[]);
+    assert!(plain.stderr.contains("cache: total:"));
+    assert!(!plain.stderr.contains("disk:"), "{}", plain.stderr);
+
+    // Replayed artifacts must be byte-identical to an uncached run.
+    let uncached_dir = dir.join("uncached");
+    sweep(&uncached_dir, &["--no-cache"]);
+    let mut names: Vec<String> = std::fs::read_dir(&uncached_dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert_eq!(names.len(), 53, "26 experiments x 2 points + comparison");
+    for name in &names {
+        assert_eq!(
+            std::fs::read(warm_dir.join(name)).unwrap(),
+            std::fs::read(uncached_dir.join(name)).unwrap(),
+            "disk-cache replay must be invisible in {name}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_processes_share_one_cache_dir_safely() {
+    // Two processes racing on one `--cache-dir` must both succeed and both
+    // produce artifacts byte-identical to a `--no-cache` run: atomic
+    // temp-file + rename publication means a reader never observes a
+    // partial entry, whichever process wins each write.
+    let dir = std::env::temp_dir().join(format!("cc-repro-race-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cache_dir = dir.join("cache");
+    std::fs::create_dir_all(&cache_dir).unwrap();
+    let out_a = dir.join("a");
+    let out_b = dir.join("b");
+    let uncached_dir = dir.join("uncached");
+    let spawn = |out_dir: &std::path::Path, extra: &[&str]| {
+        let mut args = vec![
+            "--sweep",
+            "grid.intensity=50,380,700",
+            "--set",
+            "mc.samples=500",
+            "--jobs",
+            "2",
+            "--json",
+            "--out",
+            out_dir.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        repro()
+            .args(&args)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .unwrap()
+    };
+    let cache = ["--cache-dir", cache_dir.to_str().unwrap()];
+    let mut first = spawn(&out_a, &cache);
+    let mut second = spawn(&out_b, &cache);
+    assert!(first.wait().unwrap().success());
+    assert!(second.wait().unwrap().success());
+    assert!(spawn(&uncached_dir, &["--no-cache"])
+        .wait()
+        .unwrap()
+        .success());
+
+    let mut names: Vec<String> = std::fs::read_dir(&uncached_dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert_eq!(names.len(), 79, "26 experiments x 3 points + comparison");
+    for name in &names {
+        let reference = std::fs::read(uncached_dir.join(name)).unwrap();
+        assert_eq!(
+            std::fs::read(out_a.join(name)).unwrap(),
+            reference,
+            "process A diverged in {name}"
+        );
+        assert_eq!(
+            std::fs::read(out_b.join(name)).unwrap(),
+            reference,
+            "process B diverged in {name}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn json_sweep_to_stdout_keeps_the_footer_on_stderr() {
     // When stdout is a pure-JSON stream the footer must not corrupt it.
     let out = repro()

@@ -16,8 +16,14 @@ impl Daemon {
     /// Starts `repro serve` on an OS-assigned port and reads the bound
     /// address off its `listening on <addr>` stdout line.
     fn start() -> Self {
+        Self::start_with(&[])
+    }
+
+    /// Like [`Daemon::start`], with extra `serve` options appended.
+    fn start_with(extra: &[&str]) -> Self {
         let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
             .args(["serve", "--addr", "127.0.0.1:0", "--jobs", "4"])
+            .args(extra)
             .stdout(Stdio::piped())
             .stderr(Stdio::piped())
             .spawn()
@@ -324,6 +330,58 @@ fn daemon_survives_an_abruptly_dropped_connection() {
         Some("done")
     );
     daemon.shutdown();
+}
+
+#[test]
+fn daemon_and_one_shot_cli_share_the_disk_cache_format() {
+    // An artifact computed inside the daemon must be replayable by the
+    // one-shot CLI from the same `--cache-dir` (and vice versa): both sides
+    // speak one on-disk entry format, keyed the same way.
+    let dir = std::env::temp_dir().join(format!("cc-serve-disk-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cache_dir = dir.join("cache");
+    std::fs::create_dir_all(&cache_dir).unwrap();
+
+    // The daemon computes fig05 once and persists it.
+    let daemon = Daemon::start_with(&["--cache-dir", cache_dir.to_str().unwrap()]);
+    let (mut reader, mut stream) = daemon.connect();
+    let responses = Daemon::request(
+        &mut reader,
+        &mut stream,
+        r#"{"op":"run","experiments":["fig05"]}"#,
+    );
+    assert_eq!(
+        responses
+            .last()
+            .and_then(|r| r.get("type"))
+            .and_then(JsonValue::as_str),
+        Some("done")
+    );
+    daemon.shutdown();
+
+    // A fresh one-shot sweep replays the daemon-written entry: fig05 is
+    // scenario-independent, so its dependency fingerprint matches across
+    // the daemon's paper-defaults run and every point of this sweep — the
+    // disk footer must report a hit, not a recompute.
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--sweep",
+            "fleet.growth=1.0,1.5",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+            "--json",
+            "fig05",
+        ])
+        .output()
+        .expect("run one-shot repro");
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("disk: fig05: 0 recomputes, 1 disk hit"),
+        "one-shot must replay the daemon's entry: {stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -68,7 +68,7 @@ pub use table2::Table2EnergySources;
 pub use table3::Table3Grids;
 pub use table4::Table4MacPro;
 
-use cc_report::{Experiment, Scenario, ScenarioPath};
+use cc_report::{Experiment, ScenarioPath};
 
 /// Topic tags for registry filtering (`repro --tag mobile`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -166,13 +166,13 @@ impl Entry {
         self.deps.is_empty()
     }
 
-    /// Fingerprint of `scenario` restricted to this experiment's declared
-    /// dependency fields: two scenarios with equal fingerprints produce
-    /// identical output from this experiment
+    /// Fingerprint of a scenario (or copy-on-write overlay) restricted to
+    /// this experiment's declared dependency fields: two sources with equal
+    /// fingerprints produce identical output from this experiment
     /// ([`cc_report::dependency_fingerprint`]).
     #[must_use]
-    pub fn fingerprint(&self, scenario: &Scenario) -> u64 {
-        cc_report::dependency_fingerprint(scenario, self.deps)
+    pub fn fingerprint<S: cc_report::FieldSource>(&self, source: &S) -> u64 {
+        cc_report::dependency_fingerprint(source, self.deps)
     }
     /// Instantiates the experiment.
     #[must_use]
@@ -354,7 +354,7 @@ pub fn find(key: &str) -> Option<Box<dyn Experiment>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cc_report::RunContext;
+    use cc_report::{RunContext, Scenario};
 
     #[test]
     fn registry_is_complete() {

@@ -3,7 +3,7 @@
 use crate::fleet::FleetMix;
 use crate::server::ServerConfig;
 use cc_ghg::{CorporateInventory, PpaPortfolio};
-use cc_units::{CarbonMass, Energy, TimeSpan};
+use cc_units::{CarbonMass, Energy, Power, TimeSpan};
 
 /// One SKU's share of a simulated facility year.
 #[derive(Debug, Clone, PartialEq)]
@@ -133,10 +133,34 @@ impl Facility {
         let mut out = Vec::with_capacity(years);
         let mut servers = self.initial_servers as f64;
         let mut prev_servers = 0.0f64;
+        // Everything that does not vary across simulated years is computed
+        // once up front; per-SKU invariants in particular mean the year loop
+        // allocates only the `per_sku` Vec each `FacilityYear` owns instead
+        // of re-provisioning (and re-cloning every `SkuCapability`) per
+        // year. The per-slice arithmetic below multiplies in the same order
+        // as `FleetSlice::annual_energy`, so the breakdown stays
+        // bit-identical to the provisioned path.
+        let year_span = TimeSpan::from_years(1.0);
+        let average_power = self.mix.average_power();
+        let embodied_per_server = self.mix.embodied_per_server();
+        let construction = self.construction / self.construction_amortization_years;
+        let sku_table: Vec<(&str, f64, Power, CarbonMass)> = self
+            .mix
+            .slices()
+            .iter()
+            .map(|(cap, weight)| {
+                (
+                    cap.sku.name.as_str(),
+                    *weight,
+                    cap.sku.average_power(),
+                    cap.sku.embodied(),
+                )
+            })
+            .collect();
         for i in 0..years {
             let year = self.start_year + i as u16;
-            let it_power = self.mix.average_power() * servers;
-            let energy = it_power * TimeSpan::from_years(1.0) * self.pue;
+            let it_power = average_power * servers;
+            let energy = it_power * year_span * self.pue;
 
             let mut portfolio = PpaPortfolio::new(self.grid);
             let coverage = self.coverage(i);
@@ -145,18 +169,15 @@ impl Facility {
             let market = portfolio.market_carbon(energy);
 
             let new_servers = (servers - prev_servers).max(0.0);
-            let embodied = self.mix.embodied_per_server() * new_servers;
-            let construction = self.construction / self.construction_amortization_years;
+            let embodied = embodied_per_server * new_servers;
             // Composition breakdown: each slice's energy via the shared
             // heterogeneity slice math; market carbon apportioned by energy
             // share (PPAs cover the fleet, not individual SKUs).
-            let per_sku = self
-                .mix
-                .provision(servers)
-                .into_iter()
-                .zip(self.mix.slices())
-                .map(|(slice, (_, weight))| {
-                    let sku_energy = slice.annual_energy(self.pue);
+            let per_sku = sku_table
+                .iter()
+                .map(|&(sku, weight, power, sku_embodied)| {
+                    let slice_servers = servers * weight;
+                    let sku_energy = power * slice_servers * year_span * self.pue;
                     // A zero-server facility year has zero total energy;
                     // its slices carry zero carbon, not 0/0 = NaN.
                     let share = if energy.is_zero() {
@@ -165,11 +186,11 @@ impl Facility {
                         sku_energy / energy
                     };
                     SkuYear {
-                        sku: slice.capability.sku.name.clone(),
-                        servers: slice.servers,
+                        sku: sku.to_string(),
+                        servers: slice_servers,
                         energy: sku_energy,
                         market_carbon: market * share,
-                        embodied_carbon: slice.capability.sku.embodied() * (new_servers * weight),
+                        embodied_carbon: sku_embodied * (new_servers * weight),
                     }
                 })
                 .collect();

@@ -18,8 +18,8 @@ use crate::cache::Outcome;
 use crate::{Engine, EngineError};
 use cc_core::experiments::Entry;
 use cc_report::{
-    dedup_groups, Comparison, Experiment, ExperimentOutput, RunContext, Scalar, Scenario,
-    ScenarioMatrix, ScenarioPoint,
+    dedup_groups, Comparison, Experiment, ExperimentOutput, RunContext, Scalar, ScenarioMatrix,
+    ScenarioOverlay, ScenarioPoint,
 };
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -59,7 +59,7 @@ pub fn build_groups(
     points: &[ScenarioPoint],
     no_cache: bool,
 ) -> Vec<WorkGroup> {
-    let scenarios: Vec<&Scenario> = points.iter().map(|p| &p.scenario).collect();
+    let overlays: Vec<&ScenarioOverlay> = points.iter().map(|p| &p.overlay).collect();
     let mut groups = Vec::new();
     for (entry_idx, entry) in entries.iter().enumerate() {
         if no_cache {
@@ -69,7 +69,7 @@ pub fn build_groups(
             }));
         } else {
             groups.extend(
-                dedup_groups(&scenarios, entry.deps())
+                dedup_groups(&overlays, entry.deps())
                     .into_iter()
                     .map(|point_idxs| WorkGroup {
                         entry_idx,
@@ -113,6 +113,13 @@ pub struct GridResult {
     /// footer's "N runs"). Deliberately independent of cache outcomes so a
     /// warm and a cold cache print identical footers.
     pub run_counts: Vec<usize>,
+    /// Per-entry groups whose artifact this process computed fresh (an
+    /// in-memory miss the disk cache could not answer). The disk footer's
+    /// "N recomputes".
+    pub disk_runs: Vec<usize>,
+    /// Per-entry groups answered by the persistent on-disk cache. Always
+    /// zero when the engine has no disk cache attached.
+    pub disk_hits: Vec<usize>,
     /// Cache lookups this grid answered from resident artifacts.
     pub hits: u64,
     /// Cache lookups this grid computed fresh.
@@ -183,6 +190,8 @@ impl Engine {
         let sequencer = Mutex::new(Sequencer::new());
         let next_group = AtomicUsize::new(0);
         let (hits, misses, dedups) = (AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0));
+        let disk_runs: Vec<AtomicUsize> = (0..entries.len()).map(|_| AtomicUsize::new(0)).collect();
+        let disk_hits: Vec<AtomicUsize> = (0..entries.len()).map(|_| AtomicUsize::new(0)).collect();
 
         // Shared by the sequential path and every worker: obtain one group's
         // output (cache or fresh run), then render every member point's
@@ -195,10 +204,24 @@ impl Engine {
             let output: Arc<ExperimentOutput> = if config.no_cache {
                 Arc::new(experiment.run(representative))
             } else {
-                let fingerprint = entry.fingerprint(representative.scenario());
-                let (output, outcome) = self
-                    .cache()
-                    .get_or_compute((entry.key, fingerprint), || experiment.run(representative));
+                let fingerprint = entry.fingerprint(&points[group.point_idxs[0]].overlay);
+                let (output, outcome) =
+                    self.cache().get_or_compute((entry.key, fingerprint), || {
+                        // In-memory miss: consult the persistent cache before
+                        // running models, and write back anything computed.
+                        if let Some(disk) = self.disk() {
+                            if let Some(stored) = disk.load(entry.key, fingerprint) {
+                                disk_hits[group.entry_idx].fetch_add(1, Ordering::Relaxed);
+                                return stored;
+                            }
+                        }
+                        let fresh = experiment.run(representative);
+                        if let Some(disk) = self.disk() {
+                            disk.store(entry.key, fingerprint, &fresh);
+                        }
+                        disk_runs[group.entry_idx].fetch_add(1, Ordering::Relaxed);
+                        fresh
+                    });
                 match outcome {
                     Outcome::Hit => hits.fetch_add(1, Ordering::Relaxed),
                     Outcome::Miss => misses.fetch_add(1, Ordering::Relaxed),
@@ -206,7 +229,6 @@ impl Engine {
                 };
                 output
             };
-            let scalar = output.scalars.clone();
             for &point_idx in &group.point_idxs {
                 let job_index = group.entry_idx * npoints + point_idx;
                 let job = GridJob {
@@ -221,7 +243,7 @@ impl Engine {
                     format: config.format,
                 };
                 let lines = render(&job);
-                *scalars[job_index].lock().expect("no panics under lock") = scalar.clone();
+                *scalars[job_index].lock().expect("no panics under lock") = output.scalars.clone();
                 sequencer
                     .lock()
                     .expect("no panics under lock")
@@ -254,6 +276,8 @@ impl Engine {
                 .map(|slot| slot.into_inner().expect("no panics under lock"))
                 .collect(),
             run_counts,
+            disk_runs: disk_runs.into_iter().map(AtomicUsize::into_inner).collect(),
+            disk_hits: disk_hits.into_iter().map(AtomicUsize::into_inner).collect(),
             hits: hits.into_inner(),
             misses: misses.into_inner(),
             inflight_dedups: dedups.into_inner(),
@@ -282,7 +306,7 @@ pub fn explain_lines(
     no_cache: bool,
 ) -> Vec<String> {
     let npoints = points.len();
-    let scenarios: Vec<&Scenario> = points.iter().map(|p| &p.scenario).collect();
+    let overlays: Vec<&ScenarioOverlay> = points.iter().map(|p| &p.overlay).collect();
     let mut lines = vec![format!(
         "dependency plan — {} x {} = {}",
         count(entries.len(), "experiment"),
@@ -294,7 +318,7 @@ pub fn explain_lines(
         let runs = if no_cache {
             npoints
         } else {
-            dedup_groups(&scenarios, entry.deps()).len()
+            dedup_groups(&overlays, entry.deps()).len()
         };
         total_runs += runs;
         let deps = if entry.is_scenario_independent() {
@@ -351,6 +375,36 @@ pub fn footer_lines(
         "cache: total: {}, {}",
         count(total_runs, "run"),
         count(entries.len() * npoints - total_runs, "reuse")
+    ));
+    footer
+}
+
+/// The persistent-cache footer: how many work groups each experiment had to
+/// recompute this process versus how many were answered straight from the
+/// on-disk cache. Printed only when a `--cache-dir` is active, after the
+/// in-memory cache footer.
+#[must_use]
+pub fn disk_footer_lines(
+    entries: &[&'static Entry],
+    disk_runs: &[usize],
+    disk_hits: &[usize],
+) -> Vec<String> {
+    let mut footer: Vec<String> = entries
+        .iter()
+        .enumerate()
+        .map(|(entry_idx, entry)| {
+            format!(
+                "disk: {}: {}, {}",
+                entry.key,
+                count(disk_runs[entry_idx], "recompute"),
+                count(disk_hits[entry_idx], "disk hit")
+            )
+        })
+        .collect();
+    footer.push(format!(
+        "disk: total: {}, {}",
+        count(disk_runs.iter().sum(), "recompute"),
+        count(disk_hits.iter().sum(), "disk hit")
     ));
     footer
 }
@@ -453,7 +507,7 @@ mod tests {
         let points: Vec<ScenarioPoint> = matrix.points().collect();
         let contexts: Vec<RunContext> = points
             .iter()
-            .map(|p| RunContext::try_new(p.scenario.clone()).expect("valid scenario"))
+            .map(|p| RunContext::try_from_overlay(p.overlay.clone()).expect("valid scenario"))
             .collect();
         (entries, matrix, points, contexts)
     }

@@ -28,12 +28,14 @@
 pub mod artifact;
 pub mod cache;
 pub mod grid;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 
 pub use artifact::Format;
 pub use cache::{Outcome, ShardedCache};
 pub use grid::{GridConfig, GridJob, GridResult};
+pub use persist::DiskCache;
 pub use server::Server;
 
 use cc_report::{ExperimentOutput, JsonValue, Scalar};
@@ -51,6 +53,7 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 /// invocation.
 pub struct Engine {
     cache: ShardedCache,
+    disk: Option<DiskCache>,
     requests: AtomicU64,
 }
 
@@ -66,8 +69,24 @@ impl Engine {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             cache: ShardedCache::new(capacity),
+            disk: None,
             requests: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a persistent on-disk artifact cache. The grid runner reads
+    /// through it on in-memory misses and writes freshly computed artifacts
+    /// back, so fingerprints survive process restarts.
+    #[must_use]
+    pub fn with_disk(mut self, disk: DiskCache) -> Self {
+        self.disk = Some(disk);
+        self
+    }
+
+    /// The attached persistent cache, when one was configured.
+    #[must_use]
+    pub fn disk(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
     }
 
     /// The shared fingerprint→artifact cache.

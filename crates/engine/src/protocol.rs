@@ -308,7 +308,9 @@ impl RunRequest {
         let points: Vec<ScenarioPoint> = matrix.points().collect();
         let contexts: Vec<RunContext> = points
             .iter()
-            .map(|p| RunContext::try_new(p.scenario.clone()).map_err(|e| scenario_error(&e)))
+            .map(|p| {
+                RunContext::try_from_overlay(p.overlay.clone()).map_err(|e| scenario_error(&e))
+            })
             .collect::<Result<_, _>>()?;
 
         Ok(ResolvedRun {

@@ -142,11 +142,16 @@ fn handle_connection(
             }
             Err(_) => break,
         }
-        let line = std::mem::take(&mut buffer);
-        if line.trim().is_empty() {
+        // Parse in place and clear — the buffer's allocation is reused for
+        // every request line on this connection instead of being handed off
+        // (and reallocated) per line.
+        if buffer.trim().is_empty() {
+            buffer.clear();
             continue;
         }
-        match parse_request(&line) {
+        let request = parse_request(&buffer);
+        buffer.clear();
+        match request {
             Err(error) => writer.send(&error.to_response()),
             Ok(Request::Stats) => {
                 let response = JsonValue::object([

@@ -341,6 +341,66 @@ impl ExperimentOutput {
         ])
     }
 
+    /// Reconstructs an output from [`Self::to_json`]'s object shape — the
+    /// exact inverse: `from_json(&out.to_json()) == Some(out)` for every
+    /// finite output. Any structural mismatch (missing key, wrong type)
+    /// yields `None`; the persistent cache treats that as a corrupt entry,
+    /// i.e. a miss.
+    #[must_use]
+    pub fn from_json(value: &JsonValue) -> Option<Self> {
+        fn strings(value: &JsonValue) -> Option<Vec<String>> {
+            value
+                .as_array()?
+                .iter()
+                .map(|v| v.as_str().map(str::to_string))
+                .collect()
+        }
+        let mut output = Self::new();
+        for table in value.get("tables")?.as_array()? {
+            let mut t = Table::new(strings(table.get("header")?)?);
+            for row in table.get("rows")?.as_array()? {
+                t.row(strings(row)?);
+            }
+            let title = table.get("title")?.as_str()?.to_string();
+            output.tables.push((title, t));
+        }
+        for series in value.get("series")?.as_array()? {
+            let mut s = Series::new(
+                series.get("name")?.as_str()?,
+                series.get("x_label")?.as_str()?,
+                series.get("y_label")?.as_str()?,
+            );
+            for point in series.get("points")?.as_array()? {
+                let x = point.get("x")?.as_f64()?;
+                let y = point.get("y")?.as_f64()?;
+                match point.get("label")? {
+                    JsonValue::Null => s.push(x, y),
+                    label => s.push_labeled(x, label.as_str()?, y),
+                };
+            }
+            output.series.push(s);
+        }
+        for scalar in value.get("scalars")?.as_array()? {
+            let threshold = match scalar.get("threshold")? {
+                JsonValue::Null => None,
+                threshold => Some(ScalarThreshold {
+                    value: threshold.get("value")?.as_f64()?,
+                    label: threshold.get("label")?.as_str()?.to_string(),
+                }),
+            };
+            output.scalars.push(Scalar {
+                name: scalar.get("name")?.as_str()?.to_string(),
+                unit: scalar.get("unit")?.as_str()?.to_string(),
+                value: scalar.get("value")?.as_f64()?,
+                threshold,
+            });
+        }
+        for note in value.get("notes")?.as_array()? {
+            output.notes.push(note.as_str()?.to_string());
+        }
+        Some(output)
+    }
+
     /// Renders the output as a compact JSON string.
     #[must_use]
     pub fn render_json(&self) -> String {
@@ -502,6 +562,39 @@ mod tests {
         assert!(out
             .render_json()
             .contains(r#""threshold":{"value":365.0,"label":"one-year amortization"}"#));
+    }
+
+    #[test]
+    fn from_json_inverts_to_json_exactly() {
+        let mut out = ExperimentOutput::new();
+        let mut t = Table::new(["device", "kg CO2e"]);
+        t.row(["cpu", "18.2"]).row(["dsp", "3.4"]);
+        let mut s = Series::new("trend", "year", "kg");
+        s.push(2020.0, 5.5).push_labeled(2021.0, "cpu", 6.25);
+        out.table("Embodied", t)
+            .series(s)
+            .scalar("breakeven-days", "days", 350.0)
+            .scalar_with_threshold("ratio", "x", 1.28, 1.0, "parity")
+            .note("paper: 2.7x; measured: 2.70x");
+        let round_tripped = ExperimentOutput::from_json(&out.to_json()).unwrap();
+        assert_eq!(round_tripped, out);
+        // And the re-rendered JSON is byte-identical (floats via `{:?}`).
+        assert_eq!(round_tripped.render_json(), out.render_json());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_shapes() {
+        use crate::json::JsonValue;
+        for bad in [
+            "null",
+            "{}",
+            r#"{"tables":[],"series":[],"scalars":[],"notes":null}"#,
+            r#"{"tables":[{"title":"T"}],"series":[],"scalars":[],"notes":[]}"#,
+            r#"{"tables":[],"series":[],"scalars":[{"name":"s","unit":"u","value":"oops","threshold":null}],"notes":[]}"#,
+        ] {
+            let value = JsonValue::parse(bad).unwrap();
+            assert!(ExperimentOutput::from_json(&value).is_none(), "`{bad}`");
+        }
     }
 
     #[test]

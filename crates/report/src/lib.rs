@@ -29,10 +29,14 @@ pub use experiment::{
     Experiment, ExperimentId, ExperimentOutput, Scalar, ScalarThreshold, KNOWN_EXTENSIONS,
 };
 pub use json::{JsonParseError, JsonValue};
-pub use scenario::deps::{dedup_groups, dependency_fingerprint, ReadTracker, ScenarioPath};
+pub use scenario::deps::{
+    dedup_groups, dependency_fingerprint, FieldSource, ReadTracker, ScenarioPath,
+};
 pub use scenario::sweep::{
     Comparison, ComparisonRow, Crossing, ScenarioMatrix, ScenarioPoint, SweepError, SweepSpec,
 };
-pub use scenario::{FleetParams, RunContext, Scenario, ScenarioBuilder, ScenarioError};
+pub use scenario::{
+    FleetParams, RunContext, Scenario, ScenarioBuilder, ScenarioError, ScenarioOverlay,
+};
 pub use series::{Series, SeriesPoint};
 pub use table::Table;

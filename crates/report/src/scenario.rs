@@ -22,7 +22,7 @@ use crate::json::JsonValue;
 use cc_data::energy_sources::EnergySource;
 use cc_units::{CarbonIntensity, TimeSpan};
 use deps::ReadTracker;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Carbon intensity assumed for renewable power purchases when blending
 /// `grid.renewable_fraction` into the effective operational intensity
@@ -274,85 +274,21 @@ impl Scenario {
     /// [`ScenarioError::UnknownKey`] for an unrecognized path and
     /// [`ScenarioError::InvalidValue`] when `value` does not parse.
     pub fn set(&mut self, key: &str, value: &str) -> Result<(), ScenarioError> {
-        fn f64_of(key: &str, value: &str) -> Result<f64, ScenarioError> {
-            value
-                .trim()
-                .parse()
-                .map_err(|_| ScenarioError::InvalidValue {
-                    key: key.to_string(),
-                    value: value.to_string(),
-                })
+        if key == "name" {
+            self.name = unquote(value);
+            return Ok(());
         }
-        fn u64_of(key: &str, value: &str) -> Result<u64, ScenarioError> {
-            value
-                .trim()
-                .parse()
-                .map_err(|_| ScenarioError::InvalidValue {
-                    key: key.to_string(),
-                    value: value.to_string(),
-                })
+        // Dispatch on the section prefix so each arm borrows only its own
+        // section — the same per-section setters back [`ScenarioOverlay::set`],
+        // which clones just the touched section into its delta.
+        match key.split_once('.').map(|(section, _)| section) {
+            Some("grid") => set_grid_field(&mut self.grid, key, value),
+            Some("device") => set_device_field(&mut self.device, key, value),
+            Some("fab") => set_fab_field(&mut self.fab, key, value),
+            Some("fleet") => set_fleet_field(&mut self.fleet, key, value),
+            Some("mc") => set_mc_field(&mut self.mc, key, value),
+            _ => Err(ScenarioError::UnknownKey(key.to_string())),
         }
-        match key {
-            "name" => self.name = unquote(value),
-            "grid.intensity" | "grid.intensity_g_per_kwh" => {
-                self.grid.intensity_g_per_kwh = f64_of(key, value)?;
-            }
-            "grid.source" => {
-                let v = unquote(value);
-                self.grid.source = if v.is_empty() { None } else { Some(v) };
-                // Resolving here (not in the CLI) means library users setting
-                // `grid.source = "wind"` get the Table II intensity too. A
-                // later `set("grid.intensity", …)` still wins: overrides
-                // apply strictly in call order.
-                self.resolve_energy_source()?;
-            }
-            "grid.renewable_fraction" => self.grid.renewable_fraction = f64_of(key, value)?,
-            "device.lifetime" | "device.lifetime_years" => {
-                self.device.lifetime_years = f64_of(key, value)?;
-            }
-            "device.soc_budget_share" => self.device.soc_budget_share = f64_of(key, value)?,
-            "fab.node" | "fab.node_nm" => self.fab.node_nm = f64_of(key, value)?,
-            "fab.yield_factor" => self.fab.yield_factor = f64_of(key, value)?,
-            "fab.renewable_share" => self.fab.renewable_share = f64_of(key, value)?,
-            "fleet.scale" => self.fleet.scale = f64_of(key, value)?,
-            "fleet.sku" => self.fleet.sku = unquote(value),
-            "fleet.mix" => self.fleet.mix = parse_mix(key, value)?,
-            _ if key.starts_with("fleet.mix[") && key.ends_with(']') => {
-                let sku = key["fleet.mix[".len()..key.len() - 1].trim();
-                if sku.is_empty() {
-                    return Err(ScenarioError::UnknownKey(key.to_string()));
-                }
-                self.fleet.set_mix_weight(sku, f64_of(key, value)?)?;
-            }
-            "fleet.initial_servers" => self.fleet.initial_servers = u64_of(key, value)?,
-            "fleet.growth" => self.fleet.growth = f64_of(key, value)?,
-            "fleet.pue" => self.fleet.pue = f64_of(key, value)?,
-            "fleet.renewable_ramp" | "fleet.ramp" => {
-                self.fleet.renewable_ramp = parse_ramp(key, value)?;
-            }
-            "fleet.construction_kt" | "fleet.construction" => {
-                self.fleet.construction_kt = f64_of(key, value)?;
-            }
-            "fleet.horizon_years" | "fleet.horizon" => {
-                self.fleet.horizon_years = u32::try_from(u64_of(key, value)?).map_err(|_| {
-                    ScenarioError::InvalidValue {
-                        key: key.to_string(),
-                        value: value.to_string(),
-                    }
-                })?;
-            }
-            "mc.seed" => self.mc.seed = u64_of(key, value)?,
-            "mc.samples" => {
-                self.mc.samples = u32::try_from(u64_of(key, value)?).map_err(|_| {
-                    ScenarioError::InvalidValue {
-                        key: key.to_string(),
-                        value: value.to_string(),
-                    }
-                })?;
-            }
-            _ => return Err(ScenarioError::UnknownKey(key.to_string())),
-        }
-        Ok(())
     }
 
     /// Parses a scenario from the TOML subset written by [`Self::to_toml`]:
@@ -596,13 +532,7 @@ impl Scenario {
     /// [`ScenarioError::UnknownSource`] when the name matches no Table II
     /// row.
     pub fn resolve_energy_source(&mut self) -> Result<(), ScenarioError> {
-        let Some(source) = &self.grid.source else {
-            return Ok(());
-        };
-        let matched = lookup_energy_source(source)
-            .ok_or_else(|| ScenarioError::UnknownSource(source.clone()))?;
-        self.grid.intensity_g_per_kwh = matched.carbon_intensity().as_g_per_kwh();
-        Ok(())
+        resolve_energy_source_in(&mut self.grid)
     }
 
     /// Checks every parameter is physically sensible.
@@ -613,119 +543,127 @@ impl Scenario {
     /// [`ScenarioError::UnknownSource`] for a `grid.source` label naming no
     /// Table II energy source.
     pub fn validate(&self) -> Result<(), ScenarioError> {
-        if let Some(source) = &self.grid.source {
-            if lookup_energy_source(source).is_none() {
-                return Err(ScenarioError::UnknownSource(source.clone()));
-            }
-        }
-        self.validate_fleet_composition()?;
-        let checks: [(&str, bool); 15] = [
-            (
-                "grid.intensity must be finite and positive",
-                self.grid.intensity_g_per_kwh.is_finite() && self.grid.intensity_g_per_kwh > 0.0,
-            ),
-            (
-                "grid.renewable_fraction must lie in [0, 1]",
-                (0.0..=1.0).contains(&self.grid.renewable_fraction),
-            ),
-            (
-                "device.lifetime_years must be finite and positive",
-                self.device.lifetime_years.is_finite() && self.device.lifetime_years > 0.0,
-            ),
-            (
-                "device.soc_budget_share must lie in (0, 1]",
-                self.device.soc_budget_share > 0.0 && self.device.soc_budget_share <= 1.0,
-            ),
-            ("fab.node_nm must be positive", self.fab.node_nm > 0.0),
-            (
-                "fab.yield_factor must be finite and positive",
-                self.fab.yield_factor.is_finite() && self.fab.yield_factor > 0.0,
-            ),
-            (
-                "fab.renewable_share must lie in [0, 1]",
-                (0.0..=1.0).contains(&self.fab.renewable_share),
-            ),
-            (
-                "fleet.scale must be finite and positive",
-                self.fleet.scale.is_finite() && self.fleet.scale > 0.0,
-            ),
-            (
-                "fleet.initial_servers must be at least 1",
-                self.fleet.initial_servers >= 1,
-            ),
-            (
-                "fleet.growth must be finite and positive",
-                self.fleet.growth.is_finite() && self.fleet.growth > 0.0,
-            ),
-            (
-                "fleet.pue must be finite and at least 1.0",
-                self.fleet.pue.is_finite() && self.fleet.pue >= 1.0,
-            ),
-            (
-                "fleet.renewable_ramp must be non-empty with every value in [0, 1]",
-                !self.fleet.renewable_ramp.is_empty()
-                    && self
-                        .fleet
-                        .renewable_ramp
-                        .iter()
-                        .all(|v| (0.0..=1.0).contains(v)),
-            ),
-            (
-                "fleet.construction_kt must be finite and non-negative",
-                self.fleet.construction_kt.is_finite() && self.fleet.construction_kt >= 0.0,
-            ),
-            (
-                "fleet.horizon_years must lie in 1..=200",
-                (1..=200).contains(&self.fleet.horizon_years),
-            ),
-            ("mc.samples must be at least 1", self.mc.samples >= 1),
-        ];
-        for (message, ok) in checks {
-            if !ok {
-                return Err(ScenarioError::Invalid(message.to_string()));
-            }
-        }
-        Ok(())
+        validate_parts(&self.grid, &self.device, &self.fab, &self.fleet, &self.mc)
     }
+}
 
-    /// Checks `fleet.sku` and `fleet.mix` describe a deployable fleet:
-    /// known SKU names only, no duplicates, finite non-negative weights
-    /// summing to 1 within [`MIX_WEIGHT_TOLERANCE`].
-    fn validate_fleet_composition(&self) -> Result<(), ScenarioError> {
-        let known = |name: &str| KNOWN_SKUS.contains(&name);
-        let unknown = |field: &str, name: &str| {
-            ScenarioError::Invalid(format!(
-                "{field} names unknown server SKU `{name}` (known: {})",
-                KNOWN_SKUS.join(", ")
-            ))
-        };
-        if !known(&self.fleet.sku) {
-            return Err(unknown("fleet.sku", &self.fleet.sku));
+/// [`Scenario::validate`] over bare sections, so copy-on-write overlays
+/// validate their resolved views without materializing a scenario.
+fn validate_parts(
+    grid: &GridParams,
+    device: &DeviceParams,
+    fab: &FabParams,
+    fleet: &FleetParams,
+    mc: &McParams,
+) -> Result<(), ScenarioError> {
+    if let Some(source) = &grid.source {
+        if lookup_energy_source(source).is_none() {
+            return Err(ScenarioError::UnknownSource(source.clone()));
         }
-        let mut sum = 0.0;
-        for (i, (name, weight)) in self.fleet.mix.iter().enumerate() {
-            if !known(name) {
-                return Err(unknown("fleet.mix", name));
-            }
-            if self.fleet.mix[..i].iter().any(|(prior, _)| prior == name) {
-                return Err(ScenarioError::Invalid(format!(
-                    "fleet.mix lists SKU `{name}` more than once"
-                )));
-            }
-            if !weight.is_finite() || *weight < 0.0 {
-                return Err(ScenarioError::Invalid(format!(
-                    "fleet.mix weight for `{name}` must be finite and non-negative, got {weight}"
-                )));
-            }
-            sum += weight;
+    }
+    validate_fleet_composition(fleet)?;
+    let checks: [(&str, bool); 15] = [
+        (
+            "grid.intensity must be finite and positive",
+            grid.intensity_g_per_kwh.is_finite() && grid.intensity_g_per_kwh > 0.0,
+        ),
+        (
+            "grid.renewable_fraction must lie in [0, 1]",
+            (0.0..=1.0).contains(&grid.renewable_fraction),
+        ),
+        (
+            "device.lifetime_years must be finite and positive",
+            device.lifetime_years.is_finite() && device.lifetime_years > 0.0,
+        ),
+        (
+            "device.soc_budget_share must lie in (0, 1]",
+            device.soc_budget_share > 0.0 && device.soc_budget_share <= 1.0,
+        ),
+        ("fab.node_nm must be positive", fab.node_nm > 0.0),
+        (
+            "fab.yield_factor must be finite and positive",
+            fab.yield_factor.is_finite() && fab.yield_factor > 0.0,
+        ),
+        (
+            "fab.renewable_share must lie in [0, 1]",
+            (0.0..=1.0).contains(&fab.renewable_share),
+        ),
+        (
+            "fleet.scale must be finite and positive",
+            fleet.scale.is_finite() && fleet.scale > 0.0,
+        ),
+        (
+            "fleet.initial_servers must be at least 1",
+            fleet.initial_servers >= 1,
+        ),
+        (
+            "fleet.growth must be finite and positive",
+            fleet.growth.is_finite() && fleet.growth > 0.0,
+        ),
+        (
+            "fleet.pue must be finite and at least 1.0",
+            fleet.pue.is_finite() && fleet.pue >= 1.0,
+        ),
+        (
+            "fleet.renewable_ramp must be non-empty with every value in [0, 1]",
+            !fleet.renewable_ramp.is_empty()
+                && fleet.renewable_ramp.iter().all(|v| (0.0..=1.0).contains(v)),
+        ),
+        (
+            "fleet.construction_kt must be finite and non-negative",
+            fleet.construction_kt.is_finite() && fleet.construction_kt >= 0.0,
+        ),
+        (
+            "fleet.horizon_years must lie in 1..=200",
+            (1..=200).contains(&fleet.horizon_years),
+        ),
+        ("mc.samples must be at least 1", mc.samples >= 1),
+    ];
+    for (message, ok) in checks {
+        if !ok {
+            return Err(ScenarioError::Invalid(message.to_string()));
         }
-        if !self.fleet.mix.is_empty() && (sum - 1.0).abs() > MIX_WEIGHT_TOLERANCE {
+    }
+    Ok(())
+}
+
+/// Checks `fleet.sku` and `fleet.mix` describe a deployable fleet:
+/// known SKU names only, no duplicates, finite non-negative weights
+/// summing to 1 within [`MIX_WEIGHT_TOLERANCE`].
+fn validate_fleet_composition(fleet: &FleetParams) -> Result<(), ScenarioError> {
+    let known = |name: &str| KNOWN_SKUS.contains(&name);
+    let unknown = |field: &str, name: &str| {
+        ScenarioError::Invalid(format!(
+            "{field} names unknown server SKU `{name}` (known: {})",
+            KNOWN_SKUS.join(", ")
+        ))
+    };
+    if !known(&fleet.sku) {
+        return Err(unknown("fleet.sku", &fleet.sku));
+    }
+    let mut sum = 0.0;
+    for (i, (name, weight)) in fleet.mix.iter().enumerate() {
+        if !known(name) {
+            return Err(unknown("fleet.mix", name));
+        }
+        if fleet.mix[..i].iter().any(|(prior, _)| prior == name) {
             return Err(ScenarioError::Invalid(format!(
-                "fleet.mix weights must sum to 1, got {sum}"
+                "fleet.mix lists SKU `{name}` more than once"
             )));
         }
-        Ok(())
+        if !weight.is_finite() || *weight < 0.0 {
+            return Err(ScenarioError::Invalid(format!(
+                "fleet.mix weight for `{name}` must be finite and non-negative, got {weight}"
+            )));
+        }
+        sum += weight;
     }
+    if !fleet.mix.is_empty() && (sum - 1.0).abs() > MIX_WEIGHT_TOLERANCE {
+        return Err(ScenarioError::Invalid(format!(
+            "fleet.mix weights must sum to 1, got {sum}"
+        )));
+    }
+    Ok(())
 }
 
 /// Fluent construction of a [`Scenario`], starting from the paper defaults.
@@ -942,6 +880,139 @@ impl core::fmt::Display for ScenarioError {
 
 impl std::error::Error for ScenarioError {}
 
+/// Parses `value` as an `f64`, naming `key` on failure.
+fn f64_of(key: &str, value: &str) -> Result<f64, ScenarioError> {
+    value
+        .trim()
+        .parse()
+        .map_err(|_| ScenarioError::InvalidValue {
+            key: key.to_string(),
+            value: value.to_string(),
+        })
+}
+
+/// Parses `value` as a `u64`, naming `key` on failure.
+fn u64_of(key: &str, value: &str) -> Result<u64, ScenarioError> {
+    value
+        .trim()
+        .parse()
+        .map_err(|_| ScenarioError::InvalidValue {
+            key: key.to_string(),
+            value: value.to_string(),
+        })
+}
+
+/// [`Scenario::resolve_energy_source`] over a bare grid section, so
+/// copy-on-write overlays resolve a `grid.source` assignment without a full
+/// scenario in hand.
+fn resolve_energy_source_in(grid: &mut GridParams) -> Result<(), ScenarioError> {
+    let Some(source) = &grid.source else {
+        return Ok(());
+    };
+    let matched =
+        lookup_energy_source(source).ok_or_else(|| ScenarioError::UnknownSource(source.clone()))?;
+    grid.intensity_g_per_kwh = matched.carbon_intensity().as_g_per_kwh();
+    Ok(())
+}
+
+/// The `grid.*` arm of [`Scenario::set`], over the bare section.
+fn set_grid_field(grid: &mut GridParams, key: &str, value: &str) -> Result<(), ScenarioError> {
+    match key {
+        "grid.intensity" | "grid.intensity_g_per_kwh" => {
+            grid.intensity_g_per_kwh = f64_of(key, value)?;
+        }
+        "grid.source" => {
+            let v = unquote(value);
+            grid.source = if v.is_empty() { None } else { Some(v) };
+            // Resolving here (not in the CLI) means library users setting
+            // `grid.source = "wind"` get the Table II intensity too. A
+            // later `set("grid.intensity", …)` still wins: overrides
+            // apply strictly in call order.
+            resolve_energy_source_in(grid)?;
+        }
+        "grid.renewable_fraction" => grid.renewable_fraction = f64_of(key, value)?,
+        _ => return Err(ScenarioError::UnknownKey(key.to_string())),
+    }
+    Ok(())
+}
+
+/// The `device.*` arm of [`Scenario::set`], over the bare section.
+fn set_device_field(
+    device: &mut DeviceParams,
+    key: &str,
+    value: &str,
+) -> Result<(), ScenarioError> {
+    match key {
+        "device.lifetime" | "device.lifetime_years" => {
+            device.lifetime_years = f64_of(key, value)?;
+        }
+        "device.soc_budget_share" => device.soc_budget_share = f64_of(key, value)?,
+        _ => return Err(ScenarioError::UnknownKey(key.to_string())),
+    }
+    Ok(())
+}
+
+/// The `fab.*` arm of [`Scenario::set`], over the bare section.
+fn set_fab_field(fab: &mut FabParams, key: &str, value: &str) -> Result<(), ScenarioError> {
+    match key {
+        "fab.node" | "fab.node_nm" => fab.node_nm = f64_of(key, value)?,
+        "fab.yield_factor" => fab.yield_factor = f64_of(key, value)?,
+        "fab.renewable_share" => fab.renewable_share = f64_of(key, value)?,
+        _ => return Err(ScenarioError::UnknownKey(key.to_string())),
+    }
+    Ok(())
+}
+
+/// The `fleet.*` arm of [`Scenario::set`], over the bare section.
+fn set_fleet_field(fleet: &mut FleetParams, key: &str, value: &str) -> Result<(), ScenarioError> {
+    match key {
+        "fleet.scale" => fleet.scale = f64_of(key, value)?,
+        "fleet.sku" => fleet.sku = unquote(value),
+        "fleet.mix" => fleet.mix = parse_mix(key, value)?,
+        _ if key.starts_with("fleet.mix[") && key.ends_with(']') => {
+            let sku = key["fleet.mix[".len()..key.len() - 1].trim();
+            if sku.is_empty() {
+                return Err(ScenarioError::UnknownKey(key.to_string()));
+            }
+            fleet.set_mix_weight(sku, f64_of(key, value)?)?;
+        }
+        "fleet.initial_servers" => fleet.initial_servers = u64_of(key, value)?,
+        "fleet.growth" => fleet.growth = f64_of(key, value)?,
+        "fleet.pue" => fleet.pue = f64_of(key, value)?,
+        "fleet.renewable_ramp" | "fleet.ramp" => {
+            fleet.renewable_ramp = parse_ramp(key, value)?;
+        }
+        "fleet.construction_kt" | "fleet.construction" => {
+            fleet.construction_kt = f64_of(key, value)?;
+        }
+        "fleet.horizon_years" | "fleet.horizon" => {
+            fleet.horizon_years =
+                u32::try_from(u64_of(key, value)?).map_err(|_| ScenarioError::InvalidValue {
+                    key: key.to_string(),
+                    value: value.to_string(),
+                })?;
+        }
+        _ => return Err(ScenarioError::UnknownKey(key.to_string())),
+    }
+    Ok(())
+}
+
+/// The `mc.*` arm of [`Scenario::set`], over the bare section.
+fn set_mc_field(mc: &mut McParams, key: &str, value: &str) -> Result<(), ScenarioError> {
+    match key {
+        "mc.seed" => mc.seed = u64_of(key, value)?,
+        "mc.samples" => {
+            mc.samples =
+                u32::try_from(u64_of(key, value)?).map_err(|_| ScenarioError::InvalidValue {
+                    key: key.to_string(),
+                    value: value.to_string(),
+                })?;
+        }
+        _ => return Err(ScenarioError::UnknownKey(key.to_string())),
+    }
+    Ok(())
+}
+
 /// Parses a renewable-ramp value: comma-separated coverage fractions,
 /// optionally TOML-quoted (`"0.05,0.1,1.0"`). Range checking happens in
 /// [`Scenario::validate`]; this only requires every element to be a number.
@@ -1083,6 +1154,209 @@ fn strip_comment(line: &str) -> &str {
     line
 }
 
+/// A copy-on-write view over a shared base [`Scenario`]: untouched sections
+/// resolve to the base's, a touched section is cloned once into the
+/// overlay's delta and edited there. Sweep expansion builds one overlay per
+/// point, so a 10k-point matrix allocates 10k small deltas (typically one
+/// section each) instead of 10k full scenario clones.
+///
+/// Resolution order is always **delta → base**, per section: a section is
+/// either wholly owned by the delta (because some field in it was set) or
+/// wholly the base's — there is no field-level merging, which keeps reads
+/// branch-cheap and the semantics identical to "clone the scenario, then
+/// `set`".
+#[derive(Debug, Clone)]
+pub struct ScenarioOverlay {
+    base: Arc<Scenario>,
+    name: Option<String>,
+    grid: Option<GridParams>,
+    device: Option<DeviceParams>,
+    fab: Option<FabParams>,
+    fleet: Option<FleetParams>,
+    mc: Option<McParams>,
+}
+
+impl PartialEq for ScenarioOverlay {
+    /// Overlays compare by *resolved* values, not delta shape: a pristine
+    /// overlay equals one whose delta restates the base verbatim.
+    fn eq(&self, other: &Self) -> bool {
+        self.name() == other.name()
+            && self.grid() == other.grid()
+            && self.device() == other.device()
+            && self.fab() == other.fab()
+            && self.fleet() == other.fleet()
+            && self.mc() == other.mc()
+    }
+}
+
+impl ScenarioOverlay {
+    /// A pristine overlay: every read resolves to `base`.
+    #[must_use]
+    pub fn new(base: Arc<Scenario>) -> Self {
+        Self {
+            base,
+            name: None,
+            grid: None,
+            device: None,
+            fab: None,
+            fleet: None,
+            mc: None,
+        }
+    }
+
+    /// The shared base scenario the overlay resolves against.
+    #[must_use]
+    pub fn base(&self) -> &Arc<Scenario> {
+        &self.base
+    }
+
+    /// Whether the overlay carries no delta at all, so every read — and a
+    /// [`Self::materialize`] — is exactly the base.
+    #[must_use]
+    pub fn is_pristine(&self) -> bool {
+        self.name.is_none()
+            && self.grid.is_none()
+            && self.device.is_none()
+            && self.fab.is_none()
+            && self.fleet.is_none()
+            && self.mc.is_none()
+    }
+
+    /// The resolved scenario name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        self.name.as_deref().unwrap_or(&self.base.name)
+    }
+
+    /// The resolved operational-energy parameters.
+    #[must_use]
+    pub fn grid(&self) -> &GridParams {
+        self.grid.as_ref().unwrap_or(&self.base.grid)
+    }
+
+    /// The resolved device parameters.
+    #[must_use]
+    pub fn device(&self) -> &DeviceParams {
+        self.device.as_ref().unwrap_or(&self.base.device)
+    }
+
+    /// The resolved fab parameters.
+    #[must_use]
+    pub fn fab(&self) -> &FabParams {
+        self.fab.as_ref().unwrap_or(&self.base.fab)
+    }
+
+    /// The resolved fleet parameters.
+    #[must_use]
+    pub fn fleet(&self) -> &FleetParams {
+        self.fleet.as_ref().unwrap_or(&self.base.fleet)
+    }
+
+    /// The resolved Monte-Carlo parameters.
+    #[must_use]
+    pub fn mc(&self) -> &McParams {
+        self.mc.as_ref().unwrap_or(&self.base.mc)
+    }
+
+    /// Renames the point (labeling only — the name is never fingerprinted).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = Some(name.into());
+    }
+
+    /// Sets one field by its dotted path — the overlay analogue of
+    /// [`Scenario::set`] — cloning only the touched section into the delta.
+    ///
+    /// # Errors
+    ///
+    /// The same [`Scenario::set`] errors: [`ScenarioError::UnknownKey`] for
+    /// an unrecognized path, [`ScenarioError::InvalidValue`] when `value`
+    /// does not parse.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), ScenarioError> {
+        if key == "name" {
+            self.name = Some(unquote(value));
+            return Ok(());
+        }
+        let base = &self.base;
+        match key.split_once('.').map(|(section, _)| section) {
+            Some("grid") => set_grid_field(
+                self.grid.get_or_insert_with(|| base.grid.clone()),
+                key,
+                value,
+            ),
+            Some("device") => set_device_field(
+                self.device.get_or_insert_with(|| base.device.clone()),
+                key,
+                value,
+            ),
+            Some("fab") => {
+                set_fab_field(self.fab.get_or_insert_with(|| base.fab.clone()), key, value)
+            }
+            Some("fleet") => set_fleet_field(
+                self.fleet.get_or_insert_with(|| base.fleet.clone()),
+                key,
+                value,
+            ),
+            Some("mc") => set_mc_field(self.mc.get_or_insert_with(|| base.mc.clone()), key, value),
+            _ => Err(ScenarioError::UnknownKey(key.to_string())),
+        }
+    }
+
+    /// Clones the resolved view out into an owned [`Scenario`].
+    #[must_use]
+    pub fn materialize(&self) -> Scenario {
+        Scenario {
+            name: self.name.clone().unwrap_or_else(|| self.base.name.clone()),
+            grid: self.grid.clone().unwrap_or_else(|| self.base.grid.clone()),
+            device: self
+                .device
+                .clone()
+                .unwrap_or_else(|| self.base.device.clone()),
+            fab: self.fab.clone().unwrap_or_else(|| self.base.fab.clone()),
+            fleet: self
+                .fleet
+                .clone()
+                .unwrap_or_else(|| self.base.fleet.clone()),
+            mc: self.mc.clone().unwrap_or_else(|| self.base.mc.clone()),
+        }
+    }
+
+    /// [`Scenario::validate`] over the resolved sections.
+    ///
+    /// # Errors
+    ///
+    /// The same [`Scenario::validate`] errors for unphysical parameters.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        validate_parts(
+            self.grid(),
+            self.device(),
+            self.fab(),
+            self.fleet(),
+            self.mc(),
+        )
+    }
+}
+
+impl deps::FieldSource for ScenarioOverlay {
+    fn name(&self) -> &str {
+        ScenarioOverlay::name(self)
+    }
+    fn grid(&self) -> &GridParams {
+        ScenarioOverlay::grid(self)
+    }
+    fn device(&self) -> &DeviceParams {
+        ScenarioOverlay::device(self)
+    }
+    fn fab(&self) -> &FabParams {
+        ScenarioOverlay::fab(self)
+    }
+    fn fleet(&self) -> &FleetParams {
+        ScenarioOverlay::fleet(self)
+    }
+    fn mc(&self) -> &McParams {
+        ScenarioOverlay::mc(self)
+    }
+}
+
 /// The context every experiment runs in: one scenario plus typed accessors
 /// for the quantities the models consume.
 ///
@@ -1093,10 +1367,25 @@ fn strip_comment(line: &str) -> &str {
 /// ([`Self::scenario`], [`Self::is_paper`]) counts as reading *every*
 /// semantic field — an experiment wanting a small dependency set must stay
 /// on the typed accessors.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RunContext {
-    scenario: Scenario,
+    overlay: ScenarioOverlay,
+    /// Lazily materialized owned scenario backing the `&Scenario` return of
+    /// [`Self::scenario`]. Typed accessors never pay for it; a context whose
+    /// overlay is pristine never pays for it either (raw access borrows the
+    /// shared base directly).
+    materialized: OnceLock<Scenario>,
     tracker: Option<Arc<ReadTracker>>,
+}
+
+impl Clone for RunContext {
+    fn clone(&self) -> Self {
+        Self {
+            overlay: self.overlay.clone(),
+            materialized: OnceLock::new(),
+            tracker: self.tracker.clone(),
+        }
+    }
 }
 
 impl Default for RunContext {
@@ -1106,10 +1395,10 @@ impl Default for RunContext {
 }
 
 impl PartialEq for RunContext {
-    /// Contexts compare by scenario; whether reads are being tracked is an
-    /// observation concern, not an identity one.
+    /// Contexts compare by (resolved) scenario; whether reads are being
+    /// tracked is an observation concern, not an identity one.
     fn eq(&self, other: &Self) -> bool {
-        self.scenario == other.scenario
+        self.overlay == other.overlay
     }
 }
 
@@ -1150,7 +1439,24 @@ impl RunContext {
     pub fn try_new(scenario: Scenario) -> Result<Self, ScenarioError> {
         scenario.validate()?;
         Ok(Self {
-            scenario,
+            overlay: ScenarioOverlay::new(Arc::new(scenario)),
+            materialized: OnceLock::new(),
+            tracker: None,
+        })
+    }
+
+    /// A context running a copy-on-write sweep point directly — no owned
+    /// scenario clone is made. This is how the sweep grid turns a
+    /// [`sweep::ScenarioPoint`] into a runnable context.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Scenario::validate`] error for unphysical parameters.
+    pub fn try_from_overlay(overlay: ScenarioOverlay) -> Result<Self, ScenarioError> {
+        overlay.validate()?;
+        Ok(Self {
+            overlay,
+            materialized: OnceLock::new(),
             tracker: None,
         })
     }
@@ -1179,11 +1485,16 @@ impl RunContext {
 
     /// The underlying scenario. Counts as reading every semantic field when
     /// tracking: raw access gives no visibility into which fields the caller
-    /// consumed.
+    /// consumed. For a sweep-point context this materializes (once, lazily)
+    /// an owned scenario from the overlay; typed accessors never do.
     #[must_use]
     pub fn scenario(&self) -> &Scenario {
         self.record_all();
-        &self.scenario
+        if self.overlay.is_pristine() {
+            self.overlay.base().as_ref()
+        } else {
+            self.materialized.get_or_init(|| self.overlay.materialize())
+        }
     }
 
     /// Whether this context runs the unmodified paper scenario (used to
@@ -1194,7 +1505,13 @@ impl RunContext {
     #[must_use]
     pub fn is_paper(&self) -> bool {
         self.record_all();
-        self.scenario == Scenario::paper_defaults()
+        let paper = Scenario::paper_defaults();
+        self.overlay.name() == paper.name
+            && *self.overlay.grid() == paper.grid
+            && *self.overlay.device() == paper.device
+            && *self.overlay.fab() == paper.fab
+            && *self.overlay.fleet() == paper.fleet
+            && *self.overlay.mc() == paper.mc
     }
 
     /// Whether the operational-grid parameters (intensity and renewable
@@ -1205,8 +1522,9 @@ impl RunContext {
         self.record("grid.intensity");
         self.record("grid.renewable_fraction");
         let paper = Scenario::paper_defaults();
-        self.scenario.grid.intensity_g_per_kwh == paper.grid.intensity_g_per_kwh
-            && self.scenario.grid.renewable_fraction == paper.grid.renewable_fraction
+        let grid = self.overlay.grid();
+        grid.intensity_g_per_kwh == paper.grid.intensity_g_per_kwh
+            && grid.renewable_fraction == paper.grid.renewable_fraction
     }
 
     /// Whether the fleet/facility parameters match the paper's Prineville
@@ -1214,7 +1532,7 @@ impl RunContext {
     #[must_use]
     pub fn fleet_is_paper(&self) -> bool {
         self.record_fleet();
-        self.scenario.fleet == Scenario::paper_defaults().fleet
+        *self.overlay.fleet() == Scenario::paper_defaults().fleet
     }
 
     /// Whether the *raw* grid intensity matches the paper default. Reads
@@ -1223,7 +1541,7 @@ impl RunContext {
     #[must_use]
     pub fn grid_intensity_is_paper(&self) -> bool {
         self.record("grid.intensity");
-        self.scenario.grid.intensity_g_per_kwh
+        self.overlay.grid().intensity_g_per_kwh
             == Scenario::paper_defaults().grid.intensity_g_per_kwh
     }
 
@@ -1239,7 +1557,7 @@ impl RunContext {
     #[must_use]
     pub fn grid_intensity(&self) -> CarbonIntensity {
         self.record("grid.intensity");
-        CarbonIntensity::from_g_per_kwh(self.scenario.grid.intensity_g_per_kwh)
+        CarbonIntensity::from_g_per_kwh(self.overlay.grid().intensity_g_per_kwh)
     }
 
     /// The operational intensity after blending the renewable fraction at
@@ -1249,7 +1567,7 @@ impl RunContext {
         self.record("grid.renewable_fraction");
         self.grid_intensity().blend(
             CarbonIntensity::from_g_per_kwh(RENEWABLE_PPA_G_PER_KWH),
-            1.0 - self.scenario.grid.renewable_fraction,
+            1.0 - self.overlay.grid().renewable_fraction,
         )
     }
 
@@ -1257,42 +1575,42 @@ impl RunContext {
     #[must_use]
     pub fn device_lifetime(&self) -> TimeSpan {
         self.record("device.lifetime");
-        TimeSpan::from_years(self.scenario.device.lifetime_years)
+        TimeSpan::from_years(self.overlay.device().lifetime_years)
     }
 
     /// The SoC share of device production carbon.
     #[must_use]
     pub fn soc_budget_share(&self) -> f64 {
         self.record("device.soc_budget_share");
-        self.scenario.device.soc_budget_share
+        self.overlay.device().soc_budget_share
     }
 
     /// The featured fab node in nanometres.
     #[must_use]
     pub fn fab_node_nm(&self) -> f64 {
         self.record("fab.node_nm");
-        self.scenario.fab.node_nm
+        self.overlay.fab().node_nm
     }
 
     /// The defect-density multiplier.
     #[must_use]
     pub fn fab_yield_factor(&self) -> f64 {
         self.record("fab.yield_factor");
-        self.scenario.fab.yield_factor
+        self.overlay.fab().yield_factor
     }
 
     /// The renewable share of fab electricity.
     #[must_use]
     pub fn fab_renewable_share(&self) -> f64 {
         self.record("fab.renewable_share");
-        self.scenario.fab.renewable_share
+        self.overlay.fab().renewable_share
     }
 
     /// The fleet demand multiplier.
     #[must_use]
     pub fn fleet_scale(&self) -> f64 {
         self.record("fleet.scale");
-        self.scenario.fleet.scale
+        self.overlay.fleet().scale
     }
 
     /// The full fleet/facility parameter block. Returning the whole struct
@@ -1300,28 +1618,28 @@ impl RunContext {
     #[must_use]
     pub fn fleet(&self) -> &FleetParams {
         self.record_fleet();
-        &self.scenario.fleet
+        self.overlay.fleet()
     }
 
     /// The facility planning horizon in whole years.
     #[must_use]
     pub fn fleet_horizon_years(&self) -> usize {
         self.record("fleet.horizon_years");
-        self.scenario.fleet.horizon_years as usize
+        self.overlay.fleet().horizon_years as usize
     }
 
     /// The Monte-Carlo base seed.
     #[must_use]
     pub fn mc_seed(&self) -> u64 {
         self.record("mc.seed");
-        self.scenario.mc.seed
+        self.overlay.mc().seed
     }
 
     /// The Monte-Carlo trial count.
     #[must_use]
     pub fn mc_samples(&self) -> u32 {
         self.record("mc.samples");
-        self.scenario.mc.samples
+        self.overlay.mc().samples
     }
 }
 

@@ -25,7 +25,8 @@
 //! counts as reading *every* field, so experiments that want a small
 //! dependency set must go through the typed accessors.
 
-use super::Scenario;
+use super::{DeviceParams, FabParams, FleetParams, GridParams, McParams, Scenario};
+use core::fmt::{self, Write as _};
 use std::collections::BTreeSet;
 use std::sync::Mutex;
 
@@ -270,6 +271,108 @@ pub fn expand(deps: &[ScenarioPath]) -> Vec<&'static str> {
         .collect()
 }
 
+/// Read access to the scenario sections, without requiring an owned
+/// [`Scenario`]. Implemented by `Scenario` itself and by
+/// [`ScenarioOverlay`](crate::ScenarioOverlay), whose sections resolve
+/// delta-first against a shared base. Fingerprinting and dedup are generic
+/// over this trait, so the sweep machinery can hash copy-on-write points
+/// without materializing full scenarios.
+pub trait FieldSource {
+    /// The scenario name (labeling only — never fingerprinted).
+    fn name(&self) -> &str;
+    /// Operational-energy parameters.
+    fn grid(&self) -> &GridParams;
+    /// Device parameters.
+    fn device(&self) -> &DeviceParams;
+    /// Fab parameters.
+    fn fab(&self) -> &FabParams;
+    /// Fleet parameters.
+    fn fleet(&self) -> &FleetParams;
+    /// Monte-Carlo parameters.
+    fn mc(&self) -> &McParams;
+}
+
+impl FieldSource for Scenario {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn grid(&self) -> &GridParams {
+        &self.grid
+    }
+    fn device(&self) -> &DeviceParams {
+        &self.device
+    }
+    fn fab(&self) -> &FabParams {
+        &self.fab
+    }
+    fn fleet(&self) -> &FleetParams {
+        &self.fleet
+    }
+    fn mc(&self) -> &McParams {
+        &self.mc
+    }
+}
+
+/// Writes the canonical string form of the field at `path` into `out` —
+/// the exact text [`Scenario::field_value`] returns, but streamed, so
+/// fingerprinting allocates no intermediate `String` per field. Returns
+/// `None` when `path` names no canonical field.
+fn write_field_value<S: FieldSource>(
+    source: &S,
+    path: &str,
+    out: &mut impl fmt::Write,
+) -> Option<()> {
+    let result = match path {
+        "name" => out.write_str(source.name()),
+        "grid.intensity" => write!(out, "{:?}", source.grid().intensity_g_per_kwh),
+        "grid.source" => out.write_str(source.grid().source.as_deref().unwrap_or_default()),
+        "grid.renewable_fraction" => write!(out, "{:?}", source.grid().renewable_fraction),
+        "device.lifetime" => write!(out, "{:?}", source.device().lifetime_years),
+        "device.soc_budget_share" => write!(out, "{:?}", source.device().soc_budget_share),
+        "fab.node_nm" => write!(out, "{:?}", source.fab().node_nm),
+        "fab.yield_factor" => write!(out, "{:?}", source.fab().yield_factor),
+        "fab.renewable_share" => write!(out, "{:?}", source.fab().renewable_share),
+        "fleet.scale" => write!(out, "{:?}", source.fleet().scale),
+        "fleet.sku" => out.write_str(&source.fleet().sku),
+        "fleet.mix" => write_mix(&source.fleet().mix, out),
+        "fleet.initial_servers" => write!(out, "{}", source.fleet().initial_servers),
+        "fleet.growth" => write!(out, "{:?}", source.fleet().growth),
+        "fleet.pue" => write!(out, "{:?}", source.fleet().pue),
+        "fleet.renewable_ramp" => write_ramp(&source.fleet().renewable_ramp, out),
+        "fleet.construction_kt" => write!(out, "{:?}", source.fleet().construction_kt),
+        "fleet.horizon_years" => write!(out, "{}", source.fleet().horizon_years),
+        "mc.seed" => write!(out, "{}", source.mc().seed),
+        "mc.samples" => write!(out, "{}", source.mc().samples),
+        _ => return None,
+    };
+    result.expect("field-value sinks are infallible");
+    Some(())
+}
+
+/// Streams the canonical `sku:weight,…` mix text (same bytes as
+/// `format_mix`).
+fn write_mix(mix: &[(String, f64)], out: &mut impl fmt::Write) -> fmt::Result {
+    for (i, (name, w)) in mix.iter().enumerate() {
+        if i > 0 {
+            out.write_char(',')?;
+        }
+        write!(out, "{name}:{w:?}")?;
+    }
+    Ok(())
+}
+
+/// Streams the canonical comma-joined ramp text (same bytes as
+/// `format_ramp`).
+fn write_ramp(ramp: &[f64], out: &mut impl fmt::Write) -> fmt::Result {
+    for (i, v) in ramp.iter().enumerate() {
+        if i > 0 {
+            out.write_char(',')?;
+        }
+        write!(out, "{v:?}")?;
+    }
+    Ok(())
+}
+
 impl Scenario {
     /// The canonical string form of the field at `path` (canonical paths
     /// only — aliases are accepted by [`Scenario::set`], not here). This is
@@ -277,74 +380,89 @@ impl Scenario {
     /// reference documents as the paper default.
     #[must_use]
     pub fn field_value(&self, path: &str) -> Option<String> {
-        Some(match path {
-            "name" => self.name.clone(),
-            "grid.intensity" => format!("{:?}", self.grid.intensity_g_per_kwh),
-            "grid.source" => self.grid.source.clone().unwrap_or_default(),
-            "grid.renewable_fraction" => format!("{:?}", self.grid.renewable_fraction),
-            "device.lifetime" => format!("{:?}", self.device.lifetime_years),
-            "device.soc_budget_share" => format!("{:?}", self.device.soc_budget_share),
-            "fab.node_nm" => format!("{:?}", self.fab.node_nm),
-            "fab.yield_factor" => format!("{:?}", self.fab.yield_factor),
-            "fab.renewable_share" => format!("{:?}", self.fab.renewable_share),
-            "fleet.scale" => format!("{:?}", self.fleet.scale),
-            "fleet.sku" => self.fleet.sku.clone(),
-            "fleet.mix" => super::format_mix(&self.fleet.mix),
-            "fleet.initial_servers" => self.fleet.initial_servers.to_string(),
-            "fleet.growth" => format!("{:?}", self.fleet.growth),
-            "fleet.pue" => format!("{:?}", self.fleet.pue),
-            "fleet.renewable_ramp" => self
-                .fleet
-                .renewable_ramp
-                .iter()
-                .map(|v| format!("{v:?}"))
-                .collect::<Vec<_>>()
-                .join(","),
-            "fleet.construction_kt" => format!("{:?}", self.fleet.construction_kt),
-            "fleet.horizon_years" => self.fleet.horizon_years.to_string(),
-            "mc.seed" => self.mc.seed.to_string(),
-            "mc.samples" => self.mc.samples.to_string(),
-            _ => return None,
-        })
+        let mut out = String::new();
+        write_field_value(self, path, &mut out)?;
+        Some(out)
     }
 }
 
-/// FNV-1a step over one byte string plus a separator.
-fn fnv(mut hash: u64, bytes: &[u8]) -> u64 {
-    for &b in bytes.iter().chain(&[0u8]) {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0100_0000_01b3);
+/// FNV-1a accumulator behind `fmt::Write`: fingerprinting streams field
+/// values straight out of the formatter into the hash, with an explicit
+/// [`Self::separator`] between byte strings so the stream hashes
+/// byte-identically to the historical buffered form (every string was
+/// followed by one `0x00` terminator).
+struct FnvWriter {
+    hash: u64,
+}
+
+impl FnvWriter {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0100_0000_01b3;
+
+    fn new() -> Self {
+        Self {
+            hash: Self::OFFSET_BASIS,
+        }
     }
-    hash
+
+    fn step(&mut self, byte: u8) {
+        self.hash ^= u64::from(byte);
+        self.hash = self.hash.wrapping_mul(Self::PRIME);
+    }
+
+    /// The `0x00` terminator hashed after every byte string, keeping
+    /// `("ab", "c")` distinct from `("a", "bc")`.
+    fn separator(&mut self) {
+        self.step(0);
+    }
+}
+
+impl fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for &b in s.as_bytes() {
+            self.step(b);
+        }
+        Ok(())
+    }
+}
+
+/// Hashes the pre-expanded canonical `fields` of `source`.
+fn fingerprint_fields<S: FieldSource>(source: &S, fields: &[&'static str]) -> u64 {
+    let mut writer = FnvWriter::new();
+    for field in fields {
+        writer
+            .write_str(field)
+            .expect("the FNV writer is infallible");
+        writer.separator();
+        write_field_value(source, field, &mut writer).expect("expand yields canonical fields");
+        writer.separator();
+    }
+    writer.hash
 }
 
 /// Hashes only the scenario fields covered by `deps` (canonical path and
 /// value text, FNV-1a). Two scenarios that agree on every declared field
 /// fingerprint identically — the property the sweep cache keys on. Empty
 /// `deps` hash identically for *every* scenario: a scenario-independent
-/// experiment runs once per sweep.
+/// experiment runs once per sweep. Generic over [`FieldSource`], so both
+/// owned scenarios and copy-on-write overlays fingerprint without cloning.
 #[must_use]
-pub fn dependency_fingerprint(scenario: &Scenario, deps: &[ScenarioPath]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for field in expand(deps) {
-        hash = fnv(hash, field.as_bytes());
-        let value = scenario
-            .field_value(field)
-            .expect("expand yields canonical fields");
-        hash = fnv(hash, value.as_bytes());
-    }
-    hash
+pub fn dependency_fingerprint<S: FieldSource>(source: &S, deps: &[ScenarioPath]) -> u64 {
+    fingerprint_fields(source, &expand(deps))
 }
 
 /// Groups scenario indices by [`dependency_fingerprint`], preserving
 /// first-occurrence order: each inner vec's first element is the
 /// representative (the point that actually runs), the rest are cache reuses.
+/// The dependency expansion is hoisted out of the per-scenario loop, so a
+/// full-suite sweep pays for it once per experiment, not once per point.
 #[must_use]
-pub fn dedup_groups(scenarios: &[&Scenario], deps: &[ScenarioPath]) -> Vec<Vec<usize>> {
+pub fn dedup_groups<S: FieldSource>(sources: &[&S], deps: &[ScenarioPath]) -> Vec<Vec<usize>> {
+    let fields = expand(deps);
     let mut order: Vec<u64> = Vec::new();
     let mut groups: Vec<Vec<usize>> = Vec::new();
-    for (index, scenario) in scenarios.iter().enumerate() {
-        let fp = dependency_fingerprint(scenario, deps);
+    for (index, source) in sources.iter().enumerate() {
+        let fp = fingerprint_fields(*source, &fields);
         match order.iter().position(|&seen| seen == fp) {
             Some(at) => groups[at].push(index),
             None => {

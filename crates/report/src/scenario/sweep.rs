@@ -9,12 +9,13 @@
 //! [`ScenarioPoint`]s, and diffs one summary scalar across the points into a
 //! [`Comparison`] artifact (table + JSON).
 
-use super::{Scenario, ScenarioError};
+use super::{Scenario, ScenarioError, ScenarioOverlay};
 use crate::experiment::ScalarThreshold;
 use crate::json::JsonValue;
 use crate::table::Table;
 use cc_analysis::{crossover, stats};
 use cc_data::energy_sources::EnergySource;
+use std::sync::Arc;
 
 /// One swept dimension: a dotted scenario path plus the values it takes.
 ///
@@ -183,8 +184,10 @@ fn format_value(v: f64) -> String {
     }
 }
 
-/// One point of an expanded matrix: the concrete scenario plus the
-/// assignments that produced it.
+/// One point of an expanded matrix: a copy-on-write overlay over the shared
+/// base scenario plus the assignments that produced it. The overlay carries
+/// only the swept sections as a delta, so expanding a 10k-point matrix
+/// allocates 10k small deltas, not 10k full scenario clones.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioPoint {
     /// Position in matrix expansion order (first spec slowest).
@@ -194,8 +197,9 @@ pub struct ScenarioPoint {
     pub label: String,
     /// The `(path, value)` assignments applied on top of the base scenario.
     pub assignments: Vec<(String, String)>,
-    /// The fully-applied scenario (name suffixed with the label).
-    pub scenario: Scenario,
+    /// The applied scenario as a delta over the shared base (name suffixed
+    /// with the label).
+    pub overlay: ScenarioOverlay,
 }
 
 impl ScenarioPoint {
@@ -204,7 +208,7 @@ impl ScenarioPoint {
     #[must_use]
     pub fn display_label(&self) -> &str {
         if self.label.is_empty() {
-            &self.scenario.name
+            self.overlay.name()
         } else {
             &self.label
         }
@@ -234,7 +238,7 @@ impl ScenarioPoint {
 /// product.
 #[derive(Debug, Clone)]
 pub struct ScenarioMatrix {
-    base: Scenario,
+    base: Arc<Scenario>,
     specs: Vec<SweepSpec>,
 }
 
@@ -254,6 +258,7 @@ impl ScenarioMatrix {
     /// later one would silently win at every point), or when the grid
     /// exceeds [`Self::MAX_POINTS`].
     pub fn new(base: Scenario, specs: Vec<SweepSpec>) -> Result<Self, SweepError> {
+        let base = Arc::new(base);
         let mut points = 1usize;
         for (i, spec) in specs.iter().enumerate() {
             if spec.values.is_empty() {
@@ -272,7 +277,9 @@ impl ScenarioMatrix {
                     max: Self::MAX_POINTS,
                 })?;
             for value in &spec.values {
-                let mut probe = base.clone();
+                // Probing through an overlay clones only the touched
+                // section, not the whole base scenario.
+                let mut probe = ScenarioOverlay::new(Arc::clone(&base));
                 probe.set(&spec.path, value).map_err(SweepError::Scenario)?;
                 probe.validate().map_err(SweepError::Scenario)?;
             }
@@ -283,7 +290,7 @@ impl ScenarioMatrix {
     /// The base scenario every point starts from.
     #[must_use]
     pub fn base(&self) -> &Scenario {
-        &self.base
+        self.base.as_ref()
     }
 
     /// The sweep specs, in nesting order (first varies slowest).
@@ -327,37 +334,34 @@ impl ScenarioMatrix {
     #[must_use]
     pub fn point(&self, index: usize) -> ScenarioPoint {
         assert!(index < self.len(), "point {index} out of range");
-        let mut remainder = index;
-        let mut digits = vec![0usize; self.specs.len()];
-        for (digit, spec) in digits.iter_mut().zip(&self.specs).rev() {
-            *digit = remainder % spec.values.len();
-            remainder /= spec.values.len();
-        }
-        let assignments: Vec<(String, String)> = self
-            .specs
-            .iter()
-            .zip(&digits)
-            .map(|(spec, &d)| (spec.path.clone(), spec.values[d].clone()))
-            .collect();
-        let mut scenario = self.base.clone();
-        for (path, value) in &assignments {
-            scenario
-                .set(path, value)
+        let mut overlay = ScenarioOverlay::new(Arc::clone(&self.base));
+        let mut assignments = Vec::with_capacity(self.specs.len());
+        let mut label = String::new();
+        // Row-major decode without a digits buffer: the first spec has the
+        // largest stride (varies slowest), the last a stride of 1.
+        let mut stride = self.len();
+        for spec in &self.specs {
+            stride /= spec.values.len();
+            let value = &spec.values[(index / stride) % spec.values.len()];
+            overlay
+                .set(&spec.path, value)
                 .expect("matrix assignments were validated at construction");
+            if !label.is_empty() {
+                label.push(',');
+            }
+            label.push_str(&spec.path);
+            label.push('=');
+            label.push_str(value);
+            assignments.push((spec.path.clone(), value.clone()));
         }
-        let label = assignments
-            .iter()
-            .map(|(k, v)| format!("{k}={v}"))
-            .collect::<Vec<_>>()
-            .join(",");
         if !label.is_empty() {
-            scenario.name = format!("{}[{label}]", self.base.name);
+            overlay.set_name(format!("{}[{label}]", self.base.name));
         }
         ScenarioPoint {
             index,
             label,
             assignments,
-            scenario,
+            overlay,
         }
     }
 }
@@ -778,16 +782,25 @@ mod tests {
                 "grid.intensity=200,device.lifetime=5",
             ]
         );
-        assert_eq!(points[4].scenario.grid.intensity_g_per_kwh, 200.0);
-        assert_eq!(points[4].scenario.device.lifetime_years, 4.0);
+        assert_eq!(points[4].overlay.grid().intensity_g_per_kwh, 200.0);
+        assert_eq!(points[4].overlay.device().lifetime_years, 4.0);
         assert_eq!(
-            points[4].scenario.name,
+            points[4].overlay.name(),
             "paper[grid.intensity=200,device.lifetime=4]"
         );
         assert_eq!(points[4].index, 4);
         for p in &points {
-            p.scenario.validate().unwrap();
+            p.overlay.validate().unwrap();
+            // The delta carries only the touched sections; the rest resolve
+            // to the shared base.
+            assert_eq!(p.overlay.fleet(), &matrix.base().fleet);
         }
+        // Materializing reproduces exactly what clone-then-set used to build.
+        let mut by_hand = matrix.base().clone();
+        by_hand.set("grid.intensity", "200").unwrap();
+        by_hand.set("device.lifetime", "4").unwrap();
+        by_hand.name = "paper[grid.intensity=200,device.lifetime=4]".to_string();
+        assert_eq!(points[4].overlay.materialize(), by_hand);
     }
 
     #[test]
@@ -798,7 +811,8 @@ mod tests {
         let p = matrix.point(0);
         assert!(p.label.is_empty());
         assert_eq!(p.display_label(), "paper");
-        assert_eq!(p.scenario, Scenario::paper_defaults());
+        assert!(p.overlay.is_pristine());
+        assert_eq!(p.overlay.materialize(), Scenario::paper_defaults());
         assert!(p.to_json().render().contains(r#""label":"paper""#));
     }
 
@@ -855,8 +869,8 @@ mod tests {
         let specs = vec![SweepSpec::parse("grid.source=wind,coal").unwrap()];
         let matrix = ScenarioMatrix::new(Scenario::paper_defaults(), specs).unwrap();
         let points: Vec<ScenarioPoint> = matrix.points().collect();
-        assert_eq!(points[0].scenario.grid.intensity_g_per_kwh, 11.0);
-        assert_eq!(points[1].scenario.grid.intensity_g_per_kwh, 820.0);
+        assert_eq!(points[0].overlay.grid().intensity_g_per_kwh, 11.0);
+        assert_eq!(points[1].overlay.grid().intensity_g_per_kwh, 820.0);
     }
 
     #[test]
