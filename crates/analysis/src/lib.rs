@@ -4,8 +4,12 @@
 //! domain models and the sweep engine share, with no domain knowledge of
 //! its own:
 //!
-//! * [`stats`] — summary statistics (n/mean/stddev/min/max, spread ratio)
-//!   behind every sweep comparison's digest;
+//! * [`stats`] — summary statistics behind every sweep comparison's digest:
+//!   buffered (n/mean/stddev/min/max, spread ratio) and streaming (Welford
+//!   mean/variance, P² quantiles) for Monte-Carlo scale;
+//! * [`dist`] — parsed `triangular`/`uniform`/`normal` distribution specs
+//!   (`fab.node_nm ~ triangular(5,7,10)`) with single-draw inverse-CDF
+//!   sampling;
 //! * [`crossover`] — piecewise-linear break-even search, the engine behind
 //!   "crosses 2017 at fleet.growth ≈ 1.47" lines;
 //! * [`pareto`] — Pareto-frontier extraction for the Fig 8 efficiency
@@ -20,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod crossover;
+pub mod dist;
 pub mod pareto;
 pub mod projections;
 pub mod rng;

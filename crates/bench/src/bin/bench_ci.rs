@@ -28,9 +28,10 @@
 use cc_bench::harness::Report;
 use cc_bench::Bencher;
 use cc_core::experiments;
-use cc_engine::{Engine, Server};
+use cc_engine::{Engine, McConfig, Server};
 use cc_report::{
-    dedup_groups, JsonValue, RunContext, Scenario, ScenarioMatrix, ScenarioOverlay, SweepSpec,
+    dedup_groups, DistBinding, JsonValue, MonteCarloMatrix, RunContext, Scenario, ScenarioMatrix,
+    ScenarioOverlay, SweepSpec,
 };
 use std::hint::black_box;
 use std::io::{BufRead, BufReader, Write};
@@ -112,6 +113,32 @@ fn main() {
         for entry in experiments::entries() {
             black_box(dedup_groups(&overlays, entry.deps()));
         }
+    });
+
+    // Monte-Carlo hot path: 1k sampled points through the draw → overlay →
+    // fingerprint → cache → streaming-statistics pipeline. The sampled
+    // field is outside ext-facility's dependencies, so the model runs once
+    // and the bench isolates the per-sample machinery (model-run cost is
+    // already tracked by facility/paper-run).
+    let mc_engine = Engine::new();
+    let mc_entries = vec![experiments::find_entry("ext-facility").expect("registry")];
+    let mc_matrix = MonteCarloMatrix::new(
+        Scenario::paper_defaults(),
+        vec![DistBinding::parse("fab.node_nm ~ triangular(5,7,10)").expect("valid binding")],
+        1000,
+        7,
+    )
+    .expect("valid matrix");
+    let mc_config = McConfig {
+        jobs: 1,
+        no_cache: false,
+    };
+    bench("mc-throughput", &mut || {
+        black_box(
+            mc_engine
+                .run_mc(&mc_entries, &mc_matrix, &mc_config)
+                .expect("mc run"),
+        );
     });
 
     // Serve hot path: a resident daemon on loopback TCP, one persistent

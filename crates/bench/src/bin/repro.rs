@@ -40,10 +40,15 @@
 //! sharded fingerprint→artifact cache.
 
 use cc_core::experiments::{self, Entry, Tag};
-use cc_engine::artifact::{artifact_file_name, render_artifact, render_comparisons};
+use cc_engine::artifact::{
+    artifact_file_name, render_artifact, render_comparisons, render_mc_comparisons,
+};
 use cc_engine::grid::{build_comparisons, disk_footer_lines, explain_lines, footer_lines};
-use cc_engine::{DiskCache, Engine, Format, GridConfig, GridJob, Server};
-use cc_report::{JsonValue, RunContext, Scenario, ScenarioMatrix, ScenarioPoint, SweepSpec};
+use cc_engine::{DiskCache, Engine, Format, GridConfig, GridJob, McConfig, Server};
+use cc_report::{
+    DistBinding, JsonValue, MonteCarloMatrix, RunContext, Scenario, ScenarioMatrix, ScenarioPoint,
+    SweepSpec,
+};
 use std::io::{BufRead, Write as _};
 use std::sync::Arc;
 
@@ -64,11 +69,21 @@ fn print_usage() {
     eprintln!("  --scenario <file>    load scenario parameters from a TOML file");
     eprintln!("  --set <key>=<value>  override one scenario field (repeatable),");
     eprintln!("                       e.g. --set grid.intensity=50 --set device.lifetime=5");
+    eprintln!("                       a `~` binds a distribution instead (Monte-Carlo):");
+    eprintln!("                         --set 'fab.node_nm ~ triangular(5,7,10)'");
+    eprintln!("                         --set 'fleet.growth ~ uniform(1.2,1.4)'");
+    eprintln!("                         --set 'grid.intensity ~ normal(350,40)'");
     eprintln!("  --sweep <key>=<spec> sweep one scenario field over many values");
     eprintln!("                       (repeatable; specs multiply into a matrix):");
     eprintln!("                         range  --sweep grid.intensity=10..800/100");
     eprintln!("                         list   --sweep device.lifetime=2,3,4");
     eprintln!("                         named  --sweep grid.source=@sources");
+    eprintln!("                       (a `~` spec binds a distribution, like --set)");
+    eprintln!("  --samples <n>        draw n Monte-Carlo samples (max 1000000) over the");
+    eprintln!("                       bound distributions and report streaming banded");
+    eprintln!("                       statistics (mean, stddev, p05/p50/p95, 90% CI)");
+    eprintln!("  --seed <n>           RNG seed for --samples (default 0); the same seed");
+    eprintln!("                       is byte-reproducible at any --jobs value");
     eprintln!("  --markdown | --csv | --json   output format (default: text)");
     eprintln!("  --out <dir>          write one artifact file per experiment (and per");
     eprintln!("                       sweep point) into <dir>, streamed as they finish");
@@ -121,6 +136,9 @@ struct Options {
     tags: Vec<Tag>,
     scenario: Scenario,
     sweeps: Vec<SweepSpec>,
+    dists: Vec<DistBinding>,
+    samples: Option<usize>,
+    seed: u64,
     format: Format,
     out_dir: Option<std::path::PathBuf>,
     cache_dir: Option<std::path::PathBuf>,
@@ -142,6 +160,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
     let mut scenario_file: Option<String> = None;
     let mut sets: Vec<(String, String)> = Vec::new();
     let mut sweeps = Vec::new();
+    let mut dists: Vec<DistBinding> = Vec::new();
+    let mut samples: Option<usize> = None;
+    let mut seed: Option<u64> = None;
     let mut format = Format::Text;
     let mut out_dir = None;
     let mut cache_dir = None;
@@ -166,8 +187,19 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
             }
             "--experiment" => keys.push(value_of("--experiment", &mut args)),
             "--scenario" => scenario_file = Some(value_of("--scenario", &mut args)),
+            // A `~` in a --set/--sweep value binds a distribution instead of
+            // a scalar or an enumerated sweep — the Monte-Carlo front door.
+            // Checked before the `=` split: `fab.node_nm ~ triangular(5,7,10)`
+            // has no `=` at all.
             "--set" => {
                 let pair = value_of("--set", &mut args);
+                if pair.contains('~') {
+                    match DistBinding::parse(&pair) {
+                        Ok(binding) => dists.push(binding),
+                        Err(e) => fail(&e.to_string()),
+                    }
+                    continue;
+                }
                 let Some((key, value)) = pair.split_once('=') else {
                     fail(&format!("--set expects key=value, got `{pair}`"));
                 };
@@ -175,10 +207,29 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
             }
             "--sweep" => {
                 let spec = value_of("--sweep", &mut args);
+                if spec.contains('~') {
+                    match DistBinding::parse(&spec) {
+                        Ok(binding) => dists.push(binding),
+                        Err(e) => fail(&e.to_string()),
+                    }
+                    continue;
+                }
                 match SweepSpec::parse(&spec) {
                     Ok(spec) => sweeps.push(spec),
                     Err(e) => fail(&e.to_string()),
                 }
+            }
+            "--samples" => {
+                let n = value_of("--samples", &mut args);
+                samples = Some(n.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                    fail(&format!("--samples expects a positive integer, got `{n}`"))
+                }));
+            }
+            "--seed" => {
+                let n = value_of("--seed", &mut args);
+                seed = Some(n.parse().unwrap_or_else(|_| {
+                    fail(&format!("--seed expects a non-negative integer, got `{n}`"))
+                }));
             }
             "--markdown" => format = Format::Markdown,
             "--csv" => format = Format::Csv,
@@ -220,6 +271,28 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
     }
     scenario.validate().unwrap_or_else(|e| fail(&e.to_string()));
 
+    // Monte-Carlo flags travel together: distributions need a sample
+    // count, a sample count needs distributions, and a sampled axis has no
+    // enumerable grid to sweep or explain.
+    if !dists.is_empty() {
+        if samples.is_none() {
+            fail("distribution bindings (`path ~ dist(...)`) require --samples <n>");
+        }
+        if !sweeps.is_empty() {
+            fail("--sweep value sweeps cannot be combined with distribution sampling");
+        }
+        if explain {
+            fail("--explain does not apply to Monte-Carlo runs");
+        }
+    } else {
+        if samples.is_some() {
+            fail("--samples requires at least one `path ~ dist(...)` binding");
+        }
+        if seed.is_some() {
+            fail("--seed requires --samples");
+        }
+    }
+
     Options {
         list,
         explain,
@@ -227,6 +300,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
         tags,
         scenario,
         sweeps,
+        dists,
+        samples,
+        seed: seed.unwrap_or(0),
         format,
         out_dir,
         cache_dir,
@@ -326,6 +402,9 @@ fn client_main(args: &[String]) {
     let mut tags: Vec<String> = Vec::new();
     let mut sets: Vec<(String, String)> = Vec::new();
     let mut sweeps: Vec<String> = Vec::new();
+    let mut dists: Vec<String> = Vec::new();
+    let mut samples: Option<usize> = None;
+    let mut seed: Option<u64> = None;
     let mut jobs: Option<usize> = None;
     let mut no_cache = false;
     let mut out_dir: Option<std::path::PathBuf> = None;
@@ -336,14 +415,40 @@ fn client_main(args: &[String]) {
             "--addr" => addr = Some(value_of("--addr", &mut args)),
             "--experiment" => keys.push(value_of("--experiment", &mut args)),
             "--tag" => tags.push(value_of("--tag", &mut args)),
+            // As in one-shot mode, a `~` in --set/--sweep binds a
+            // distribution; the text travels to the server verbatim, which
+            // parses it with the same DistBinding grammar.
             "--set" => {
                 let pair = value_of("--set", &mut args);
+                if pair.contains('~') {
+                    dists.push(pair);
+                    continue;
+                }
                 let Some((key, value)) = pair.split_once('=') else {
                     fail(&format!("--set expects key=value, got `{pair}`"));
                 };
                 sets.push((key.trim().to_string(), value.trim().to_string()));
             }
-            "--sweep" => sweeps.push(value_of("--sweep", &mut args)),
+            "--sweep" => {
+                let spec = value_of("--sweep", &mut args);
+                if spec.contains('~') {
+                    dists.push(spec);
+                    continue;
+                }
+                sweeps.push(spec);
+            }
+            "--samples" => {
+                let n = value_of("--samples", &mut args);
+                samples = Some(n.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                    fail(&format!("--samples expects a positive integer, got `{n}`"))
+                }));
+            }
+            "--seed" => {
+                let n = value_of("--seed", &mut args);
+                seed = Some(n.parse().unwrap_or_else(|_| {
+                    fail(&format!("--seed expects a non-negative integer, got `{n}`"))
+                }));
+            }
             "--jobs" => {
                 let n = value_of("--jobs", &mut args);
                 jobs = Some(n.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
@@ -392,6 +497,18 @@ fn client_main(args: &[String]) {
                 "sweep",
                 JsonValue::array(sweeps.iter().map(|s| JsonValue::from(s.as_str()))),
             ));
+        }
+        if !dists.is_empty() {
+            fields.push((
+                "dists",
+                JsonValue::array(dists.iter().map(|d| JsonValue::from(d.as_str()))),
+            ));
+        }
+        if let Some(samples) = samples {
+            fields.push(("samples", JsonValue::Integer(samples as u64)));
+        }
+        if let Some(seed) = seed {
+            fields.push(("seed", JsonValue::Integer(seed)));
         }
         if let Some(jobs) = jobs {
             fields.push(("jobs", JsonValue::Integer(jobs as u64)));
@@ -501,6 +618,65 @@ fn main() {
 
     if selected.is_empty() {
         fail("no experiments match the given keys/tags");
+    }
+
+    // Monte-Carlo: distribution bindings sample the scenario instead of
+    // enumerating it. One streaming run, one banded comparison report.
+    if let Some(samples) = options.samples {
+        let mc = MonteCarloMatrix::new(
+            options.scenario.clone(),
+            options.dists.clone(),
+            samples,
+            options.seed,
+        )
+        .unwrap_or_else(|e| fail(&e.to_string()));
+        if let Some(dir) = &options.out_dir {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| fail(&format!("cannot create `{}`: {e}", dir.display())));
+        }
+        let mut engine = Engine::new();
+        if let Some(dir) = &options.cache_dir {
+            engine = engine.with_disk(open_disk_cache(dir));
+        }
+        engine.count_request();
+        let config = McConfig {
+            jobs: options.jobs,
+            no_cache: options.no_cache,
+        };
+        let result = engine
+            .run_mc(&selected, &mc, &config)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        let report = render_mc_comparisons(&result.comparisons, &mc, options.format);
+        match &options.out_dir {
+            None => emit(&report),
+            Some(dir) => {
+                let path = dir.join(format!("mc-comparison.{}", options.format.extension()));
+                std::fs::write(&path, &report)
+                    .unwrap_or_else(|e| fail(&format!("cannot write `{}`: {e}", path.display())));
+                emit(format_args!("wrote {}", path.display()));
+            }
+        }
+        // Same footer conventions as a sweep: run/reuse counts off stdout
+        // in JSON mode, suppressed entirely with --no-cache.
+        if !options.no_cache {
+            let to_stderr = options.format == Format::Json;
+            let mut footer = footer_lines(&selected, samples, &result.run_counts);
+            if options.cache_dir.is_some() {
+                footer.extend(disk_footer_lines(
+                    &selected,
+                    &result.disk_runs,
+                    &result.disk_hits,
+                ));
+            }
+            for line in footer {
+                if to_stderr {
+                    eprintln!("{line}");
+                } else {
+                    emit(line);
+                }
+            }
+        }
+        return;
     }
 
     let matrix = ScenarioMatrix::new(options.scenario.clone(), options.sweeps.clone())

@@ -71,10 +71,12 @@ pub fn scenario_reference() -> String {
          defaults below. *Experiments affected* lists the experiments whose\n\
          declared scenario-dependency set covers the field — sweeping any\n\
          other axis reuses their output from the dependency cache instead of\n\
-         re-running them.\n\
+         re-running them. Fields marked *yes* in the *Dist?* column also\n\
+         accept a distribution binding (`--set 'path ~ dist(...)'`) for\n\
+         Monte-Carlo sampling — see [Distributions](#distributions).\n\
          \n\
-         | Path | Aliases | Type | Paper default | Validation | Experiments affected |\n\
-         |---|---|---|---|---|---|\n",
+         | Path | Aliases | Type | Dist? | Paper default | Validation | Experiments affected |\n\
+         |---|---|---|---|---|---|---|\n",
     );
     for field in &FIELDS {
         let aliases = if field.aliases.is_empty() {
@@ -88,10 +90,15 @@ pub fn scenario_reference() -> String {
                 .join(", ")
         };
         out.push_str(&format!(
-            "| `{}` | {} | {} | {} | {} | {} |\n",
+            "| `{}` | {} | {} | {} | {} | {} | {} |\n",
             field.path,
             aliases,
             field.ty,
+            if field.distribution_eligible() {
+                "yes"
+            } else {
+                "—"
+            },
             default_of(&defaults, field),
             field.validation,
             affected_by(field),
@@ -154,11 +161,42 @@ pub fn scenario_reference() -> String {
          | `--jobs <n>` | run the grid on `n` worker threads (default 1) |\n\
          | `--no-cache` | disable dependency-based result reuse (one model run per grid cell) |\n\
          | `--explain` | print the dependency/dedup plan without running anything |\n\
+         | `--samples <n>` | Monte-Carlo sample count (requires at least one distribution binding) |\n\
+         | `--seed <s>` | PRNG seed for Monte-Carlo sampling (default 0; same seed → byte-identical output) |\n\
          \n\
          Sweep value grammar: a range `10..800/100` (inclusive start, `/step`\n\
          optional — five evenly spaced points by default), an explicit list\n\
          `2,3,4`, or the named list `@sources` (the Table II energy sources,\n\
          for `grid.source` / `grid.intensity`).\n\
+         \n\
+         ## Distributions\n\
+         \n\
+         A `--set` or `--sweep` value containing `~` is a *distribution\n\
+         binding* instead of a scalar or a sweep: the field is drawn fresh\n\
+         for every Monte-Carlo sample. Bindings require `--samples <n>` and\n\
+         are mutually exclusive with value sweeps; `--seed <s>` picks the\n\
+         deterministic PRNG stream (default 0).\n\
+         \n\
+         ```\n\
+         repro --experiment ext-facility \\\n\
+               --set 'fab.node_nm ~ triangular(5,7,10)' \\\n\
+               --samples 10000 --seed 7\n\
+         ```\n\
+         \n\
+         | Form | Parameters | Notes |\n\
+         |---|---|---|\n\
+         | `uniform(a,b)` | lower, upper bound | requires `a < b` |\n\
+         | `triangular(a,c,b)` | lower, mode, upper | requires `a <= c <= b`, `a < b` |\n\
+         | `normal(mu,sigma)` | mean, std deviation | requires `sigma > 0`; draws outside a field's validation range abort the run |\n\
+         \n\
+         Only `f64`-typed semantic fields accept a binding (*yes* in the\n\
+         *Dist?* column above). Each sampled point flows through the same\n\
+         dependency fingerprinting as a sweep point, so experiments that do\n\
+         not depend on a sampled field still run their model exactly once.\n\
+         Results are folded into streaming digests (mean, stddev, min/max,\n\
+         P² quantile estimates for p05/p50/p95) — memory stays bounded no\n\
+         matter the sample count — and the comparison artifact reports each\n\
+         tracked metric with a 90% confidence band.\n\
          \n\
          ## Sweep caching\n\
          \n\
@@ -217,6 +255,34 @@ mod tests {
         // CLI flags documented.
         for flag in ["--sweep", "--no-cache", "--explain", "--set"] {
             assert!(text.contains(flag), "missing {flag}");
+        }
+    }
+
+    #[test]
+    fn reference_documents_distribution_bindings() {
+        let text = scenario_reference();
+        // Grammar section with all three distribution forms and the flags.
+        assert!(text.contains("## Distributions"));
+        for needle in ["uniform(a,b)", "triangular(a,c,b)", "normal(mu,sigma)"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+        for flag in ["--samples", "--seed"] {
+            assert!(text.contains(flag), "missing {flag}");
+        }
+        // The Dist? column reflects FieldInfo::distribution_eligible.
+        for field in &FIELDS {
+            let marker = if field.distribution_eligible() {
+                "yes"
+            } else {
+                "—"
+            };
+            let row = format!("| `{}` |", field.path);
+            let line = text
+                .lines()
+                .find(|l| l.starts_with(&row))
+                .unwrap_or_else(|| panic!("missing row for {}", field.path));
+            let dist_cell = line.split('|').nth(4).expect("Dist? column").trim();
+            assert_eq!(dist_cell, marker, "wrong Dist? marker for {}", field.path);
         }
     }
 

@@ -872,3 +872,120 @@ fn bad_inputs_exit_nonzero_with_diagnostics() {
     assert_eq!(invalid.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&invalid.stderr).contains("renewable_fraction"));
 }
+
+#[test]
+fn mc_runs_are_byte_identical_per_seed_across_job_counts() {
+    let dir = std::env::temp_dir().join(format!("cc-repro-mc-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let run = |jobs: &str, seed: &str, sub: &str| {
+        let out_dir = dir.join(sub);
+        let streams = streams_of(
+            repro()
+                .args([
+                    "--experiment",
+                    "ext-facility",
+                    "--set",
+                    "fleet.growth ~ uniform(1.2,1.4)",
+                    "--samples",
+                    "400",
+                    "--seed",
+                    seed,
+                    "--jobs",
+                    jobs,
+                    "--json",
+                    "--out",
+                ])
+                .arg(&out_dir)
+                .output()
+                .unwrap(),
+        );
+        assert!(streams.stderr.contains("cache:"), "footer on stderr");
+        std::fs::read(out_dir.join("mc-comparison.json")).unwrap()
+    };
+
+    // Same seed, different worker counts: the reorder buffer feeds the
+    // streaming accumulators in sample order, so the artifact is
+    // byte-identical regardless of scheduling.
+    let sequential = run("1", "7", "jobs1");
+    let parallel = run("4", "7", "jobs4");
+    assert_eq!(sequential, parallel, "same seed must be byte-reproducible");
+
+    // A different seed draws a different sample set — the bytes differ,
+    // but the 90% bands of the same underlying distribution overlap.
+    let reseeded = run("4", "8", "seed8");
+    assert_ne!(sequential, reseeded, "different seeds must differ");
+    let band = |bytes: &[u8]| {
+        let parsed = cc_report::JsonValue::parse(std::str::from_utf8(bytes).unwrap()).unwrap();
+        let comparisons = parsed.get("comparisons").unwrap().as_array().unwrap();
+        comparisons
+            .iter()
+            .map(|c| {
+                let stats = c.get("stats").unwrap();
+                (
+                    stats
+                        .get("p05")
+                        .and_then(cc_report::JsonValue::as_f64)
+                        .unwrap(),
+                    stats
+                        .get("p95")
+                        .and_then(cc_report::JsonValue::as_f64)
+                        .unwrap(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let (a, b) = (band(&sequential), band(&reseeded));
+    assert_eq!(a.len(), b.len());
+    assert!(!a.is_empty());
+    for ((a05, a95), (b05, b95)) in a.iter().zip(&b) {
+        assert!(
+            a05 <= b95 && b05 <= a95,
+            "seed-7 band [{a05}, {a95}] and seed-8 band [{b05}, {b95}] must overlap"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn invalid_mc_flags_exit_nonzero_with_diagnostics() {
+    let orphan_samples = repro()
+        .args(["--samples", "100", "ext-facility"])
+        .output()
+        .unwrap();
+    assert_eq!(orphan_samples.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&orphan_samples.stderr).contains("--samples"));
+
+    let missing_samples = repro()
+        .args(["--set", "fleet.growth ~ uniform(1.2,1.4)", "ext-facility"])
+        .output()
+        .unwrap();
+    assert_eq!(missing_samples.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&missing_samples.stderr).contains("--samples"));
+
+    let mixed = repro()
+        .args([
+            "--set",
+            "fleet.growth ~ uniform(1.2,1.4)",
+            "--sweep",
+            "grid.intensity=50,380",
+            "--samples",
+            "10",
+            "ext-facility",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(mixed.status.code(), Some(2));
+
+    let bad_dist = repro()
+        .args([
+            "--set",
+            "fleet.growth ~ uniform(1.4,1.2)",
+            "--samples",
+            "10",
+            "ext-facility",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(bad_dist.status.code(), Some(2));
+}

@@ -400,3 +400,78 @@ fn serve_requires_an_addr_and_rejects_unknown_flags() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown serve option"));
 }
+
+#[test]
+fn served_mc_comparison_byte_matches_the_one_shot_cli() {
+    let daemon = Daemon::start();
+    let dir = std::env::temp_dir().join(format!("cc-serve-mc-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let served_dir = dir.join("served");
+    let cli_dir = dir.join("cli");
+
+    // Same sampled run through the daemon (via `repro client --out`) and
+    // through the one-shot CLI: the seed pins the sample stream, so the
+    // banded comparison artifact must agree byte for byte.
+    let binding = "fleet.growth ~ uniform(1.2,1.4)";
+    let out = client(
+        &daemon.addr,
+        &[
+            "--experiment",
+            "ext-facility",
+            "--set",
+            binding,
+            "--samples",
+            "300",
+            "--seed",
+            "7",
+            "--jobs",
+            "2",
+            "--out",
+            served_dir.to_str().unwrap(),
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "client failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains(r#""samples":300"#),
+        "the done line confirms the server ran a Monte-Carlo request: {stdout}"
+    );
+
+    let cli = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--experiment",
+            "ext-facility",
+            "--set",
+            binding,
+            "--samples",
+            "300",
+            "--seed",
+            "7",
+            "--jobs",
+            "1",
+            "--json",
+            "--out",
+            cli_dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run one-shot repro");
+    assert!(
+        cli.status.success(),
+        "one-shot failed: {}",
+        String::from_utf8_lossy(&cli.stderr)
+    );
+
+    let served = std::fs::read(served_dir.join("mc-comparison.json")).unwrap();
+    let one_shot = std::fs::read(cli_dir.join("mc-comparison.json")).unwrap();
+    assert_eq!(
+        served, one_shot,
+        "served and one-shot Monte-Carlo artifacts must be byte-identical"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    daemon.shutdown();
+}

@@ -11,7 +11,8 @@
 
 use cc_core::experiments::Entry;
 use cc_report::{
-    Comparison, Experiment, ExperimentOutput, JsonValue, RunContext, ScenarioMatrix, ScenarioPoint,
+    Comparison, Experiment, ExperimentOutput, JsonValue, McComparison, MonteCarloMatrix,
+    RunContext, ScenarioMatrix, ScenarioPoint,
 };
 
 /// Output format for artifacts and comparison reports.
@@ -217,6 +218,96 @@ pub fn render_comparisons(
     }
 }
 
+/// The Monte-Carlo comparison report, as a JSON value: the sampling
+/// parameters (`samples`, `seed`, `dists`) and one banded digest per
+/// (experiment, tracked metric).
+#[must_use]
+pub fn mc_comparison_json(comparisons: &[McComparison], matrix: &MonteCarloMatrix) -> JsonValue {
+    JsonValue::object([
+        ("mc", matrix.to_json()),
+        (
+            "comparisons",
+            JsonValue::array(comparisons.iter().map(McComparison::to_json)),
+        ),
+    ])
+}
+
+/// Renders the Monte-Carlo comparison report in the selected format: the
+/// sampling parameters, then each metric's confidence-banded headline and
+/// digest table.
+#[must_use]
+pub fn render_mc_comparisons(
+    comparisons: &[McComparison],
+    matrix: &MonteCarloMatrix,
+    format: Format,
+) -> String {
+    let sampled = |prefix: &str| {
+        matrix
+            .bindings()
+            .iter()
+            .map(|b| format!("{prefix}sampled: {}\n", b.display()))
+            .collect::<String>()
+    };
+    match format {
+        Format::Json => mc_comparison_json(comparisons, matrix).render(),
+        Format::Markdown => {
+            let mut out = format!(
+                "# Monte-Carlo comparison\n\n- samples: {}\n- seed: {}\n",
+                matrix.len(),
+                matrix.seed()
+            );
+            for binding in matrix.bindings() {
+                out.push_str(&format!("- sampled: `{}`\n", binding.display()));
+            }
+            for c in comparisons {
+                out.push_str(&format!(
+                    "\n## {} — {} ({})\n\n{}\n\n{}",
+                    c.experiment,
+                    c.metric,
+                    c.unit,
+                    c.banded_line(),
+                    c.to_table().to_markdown()
+                ));
+            }
+            out
+        }
+        Format::Csv => {
+            let mut out = format!(
+                "# mc: samples={}, seed={}\n{}",
+                matrix.len(),
+                matrix.seed(),
+                sampled("# ")
+            );
+            for c in comparisons {
+                out.push_str(&format!(
+                    "# comparison: {} — {} ({})\n# {}\n{}",
+                    c.experiment,
+                    c.metric,
+                    c.unit,
+                    c.banded_line(),
+                    c.to_table().to_csv()
+                ));
+            }
+            out
+        }
+        Format::Text => {
+            let mut out = format!(
+                "==============================================================\n\
+                 Monte-Carlo comparison — {} samples, seed {}\n\
+                 ==============================================================\n\
+                 {}",
+                matrix.len(),
+                matrix.seed(),
+                sampled("")
+            );
+            for c in comparisons {
+                out.push_str(&format!("\n{}\n{}", c.banded_line(), c.to_table().render()));
+            }
+            out
+        }
+    }
+}
+
 /// Replaces filename-hostile characters in a sweep-point label.
 #[must_use]
 pub fn sanitize(label: &str) -> String {
@@ -259,5 +350,51 @@ mod tests {
     fn sanitize_keeps_filename_safe_characters() {
         assert_eq!(sanitize("grid.intensity=50"), "grid.intensity-50");
         assert_eq!(sanitize("a b/c"), "a-b-c");
+    }
+
+    #[test]
+    fn mc_report_renders_in_every_format() {
+        let matrix = MonteCarloMatrix::new(
+            cc_report::Scenario::paper_defaults(),
+            vec![cc_report::DistBinding::parse("fab.node_nm ~ triangular(5,7,10)").unwrap()],
+            10_000,
+            7,
+        )
+        .unwrap();
+        let comparisons = vec![McComparison {
+            experiment: "ext-facility".to_string(),
+            metric: "cumulative-breakeven-year".to_string(),
+            unit: "year".to_string(),
+            threshold: None,
+            stats: cc_analysis::stats::BandedSummary {
+                n: 10_000,
+                mean: 2014.6,
+                stddev: 0.49,
+                min: 2013.2,
+                max: 2016.1,
+                p05: 2013.8,
+                p50: 2014.6,
+                p95: 2015.4,
+            },
+        }];
+        let text = render_mc_comparisons(&comparisons, &matrix, Format::Text);
+        assert!(text.contains("Monte-Carlo comparison — 10000 samples, seed 7"));
+        assert!(text.contains("sampled: fab.node_nm ~ triangular(5,7,10)"));
+        assert!(text.contains("90% CI ±0.8 year"));
+        let md = render_mc_comparisons(&comparisons, &matrix, Format::Markdown);
+        assert!(md.contains("# Monte-Carlo comparison"));
+        assert!(md.contains("- seed: 7"));
+        let csv = render_mc_comparisons(&comparisons, &matrix, Format::Csv);
+        assert!(csv.starts_with("# mc: samples=10000, seed=7\n"));
+        let json = render_mc_comparisons(&comparisons, &matrix, Format::Json);
+        let parsed = JsonValue::parse(&json).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("mc")
+                .and_then(|m| m.get("seed"))
+                .and_then(JsonValue::as_u64),
+            Some(7)
+        );
+        assert!(json.contains(r#""p95":2015.4"#));
     }
 }

@@ -16,18 +16,33 @@
 //!   complete, and a reorder buffer keeps the output in grid order;
 //! * monotonic counters surfaced as an [`EngineStats`] snapshot.
 //!
+//! Two execution drivers sit on top of that state:
+//!
+//! * [`Engine::run_grid`] walks an *enumerated* scenario matrix, streaming
+//!   one artifact per (experiment × point) job in grid order;
+//! * [`Engine::run_mc`] pumps a *sampled* [`cc_report::MonteCarloMatrix`]
+//!   through the same fingerprint/cache pipeline, digesting each tracked
+//!   metric into streaming statistics (Welford mean/variance, P² quantile
+//!   markers) so a million-sample uncertainty run holds no per-sample
+//!   state. A reorder buffer feeds the order-sensitive accumulators
+//!   strictly in sample order, making the digests byte-reproducible for a
+//!   given seed across any `--jobs` value and across one-shot versus
+//!   served runs.
+//!
 //! The surrounding modules carry everything else the two front-ends share:
-//! [`artifact`] renders per-point artifacts and cross-scenario comparison
-//! reports byte-identically to the historical CLI, [`protocol`] defines the
-//! newline-delimited-JSON request/response vocabulary, and [`server`] is
-//! the `std::net::TcpListener` daemon loop.
+//! [`artifact`] renders per-point artifacts, cross-scenario comparison
+//! reports and Monte-Carlo digests byte-identically to the historical CLI,
+//! [`protocol`] defines the newline-delimited-JSON request/response
+//! vocabulary (specified normatively in `docs/PROTOCOL.md`), and
+//! [`server`] is the `std::net::TcpListener` daemon loop.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod artifact;
 pub mod cache;
 pub mod grid;
+pub mod mc;
 pub mod persist;
 pub mod protocol;
 pub mod server;
@@ -35,6 +50,7 @@ pub mod server;
 pub use artifact::Format;
 pub use cache::{Outcome, ShardedCache};
 pub use grid::{GridConfig, GridJob, GridResult};
+pub use mc::{McConfig, McError, McResult};
 pub use persist::DiskCache;
 pub use server::Server;
 

@@ -14,10 +14,18 @@
 //! style overrides from `"set"`, expands `"sweep"` specs into a scenario
 //! matrix, and streams back one `artifact` line per (experiment × point)
 //! job in grid order, a `comparison` line when sweeping, and a terminal
-//! `done` line carrying the request's cache outcome. Every field override
-//! and sweep path is validated against the canonical `FIELDS` registry
-//! before anything runs; a request that fails validation produces a single
-//! structured `error` line and leaves the daemon (and its cache) untouched.
+//! `done` line carrying the request's cache outcome. A `run` carrying
+//! `"dists"` bindings (with `"samples"` and optionally `"seed"`) is a
+//! Monte-Carlo sampling run instead: no per-sample artifact lines, one
+//! `comparison` line holding the banded digests, then `done`. Every field
+//! override and sweep path is validated against the canonical `FIELDS`
+//! registry before anything runs; a request that fails validation produces
+//! a single structured `error` line and leaves the daemon (and its cache)
+//! untouched.
+//!
+//! The full wire contract — operations, response kinds, error categories
+//! and the sampling fields — is specified normatively in
+//! `docs/PROTOCOL.md`.
 //!
 //! Request parsing is deliberately strict about shape — unknown `op`
 //! values, non-string experiment keys, or a non-object `set` are
@@ -26,7 +34,8 @@
 
 use cc_core::experiments::{self, Entry, Tag};
 use cc_report::{
-    JsonValue, RunContext, Scenario, ScenarioError, ScenarioMatrix, ScenarioPoint, SweepSpec,
+    DistBinding, JsonValue, MonteCarloMatrix, RunContext, Scenario, ScenarioError, ScenarioMatrix,
+    ScenarioPoint, SweepSpec,
 };
 
 /// A structured protocol error: a stable machine-readable category plus a
@@ -104,6 +113,14 @@ pub struct RunRequest {
     pub sets: Vec<(String, String)>,
     /// Sweep specs (like repeated `--sweep`), in request order.
     pub sweeps: Vec<String>,
+    /// Distribution bindings (`path ~ dist(args)`, like `--set` with a
+    /// `~`), in request order. Non-empty turns the run into a Monte-Carlo
+    /// sampling run.
+    pub dists: Vec<String>,
+    /// Monte-Carlo sample count (like `--samples`; required with `dists`).
+    pub samples: Option<usize>,
+    /// Monte-Carlo RNG seed (like `--seed`; defaults to 0).
+    pub seed: Option<u64>,
     /// Worker threads for this request's grid (server-clamped).
     pub jobs: Option<usize>,
     /// Bypass the resident cache, one model run per grid cell.
@@ -121,6 +138,11 @@ pub struct ResolvedRun {
     pub points: Vec<ScenarioPoint>,
     /// One validated run context per point.
     pub contexts: Vec<RunContext>,
+    /// When set, the request is a Monte-Carlo sampling run: the server
+    /// routes it through [`crate::Engine::run_mc`] instead of the grid
+    /// runner, and `matrix`/`points`/`contexts` hold only the base
+    /// scenario's single point.
+    pub mc: Option<MonteCarloMatrix>,
 }
 
 /// Coerces a JSON scalar into the text form `Scenario::set` parses. JSON
@@ -196,6 +218,28 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             let keys = string_list(&value, "experiments")?;
             let tags = string_list(&value, "tags")?;
             let sweeps = string_list(&value, "sweep")?;
+            let dists = string_list(&value, "dists")?;
+            let samples = match value.get("samples") {
+                None => None,
+                Some(samples) => Some(
+                    samples
+                        .as_u64()
+                        .map(|n| n as usize)
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            ProtocolError::new(
+                                "malformed-request",
+                                "`samples` must be a positive integer",
+                            )
+                        })?,
+                ),
+            };
+            let seed = match value.get("seed") {
+                None => None,
+                Some(seed) => Some(seed.as_u64().ok_or_else(|| {
+                    ProtocolError::new("malformed-request", "`seed` must be a non-negative integer")
+                })?),
+            };
             let sets = match value.get("set") {
                 None => Vec::new(),
                 Some(set) => {
@@ -233,6 +277,9 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
                 tags,
                 sets,
                 sweeps,
+                dists,
+                samples,
+                seed,
                 jobs,
                 no_cache,
             }))
@@ -295,6 +342,40 @@ impl RunRequest {
         }
         scenario.validate().map_err(|e| scenario_error(&e))?;
 
+        // Monte-Carlo sampling and enumerated sweeps are mutually
+        // exclusive: a sampled axis has no fixed point labels for a grid.
+        let mc = if self.dists.is_empty() {
+            if self.samples.is_some() || self.seed.is_some() {
+                return Err(ProtocolError::new(
+                    "invalid-sweep",
+                    "`samples`/`seed` require at least one `dists` binding",
+                ));
+            }
+            None
+        } else {
+            if !self.sweeps.is_empty() {
+                return Err(ProtocolError::new(
+                    "invalid-sweep",
+                    "`dists` cannot be combined with `sweep`",
+                ));
+            }
+            let samples = self.samples.ok_or_else(|| {
+                ProtocolError::new("invalid-sweep", "`dists` requires a `samples` count")
+            })?;
+            let bindings = self
+                .dists
+                .iter()
+                .map(|text| {
+                    DistBinding::parse(text)
+                        .map_err(|e| ProtocolError::new("invalid-sweep", e.to_string()))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Some(
+                MonteCarloMatrix::new(scenario.clone(), bindings, samples, self.seed.unwrap_or(0))
+                    .map_err(|e| ProtocolError::new("invalid-sweep", e.to_string()))?,
+            )
+        };
+
         let sweeps: Vec<SweepSpec> = self
             .sweeps
             .iter()
@@ -318,6 +399,7 @@ impl RunRequest {
             matrix,
             points,
             contexts,
+            mc,
         })
     }
 }
@@ -437,6 +519,80 @@ mod tests {
         assert_eq!(resolved.points.len(), 3);
         assert_eq!(resolved.contexts.len(), 3);
         assert!(resolved.matrix.is_sweep());
+    }
+
+    #[test]
+    fn monte_carlo_requests_parse_and_resolve() {
+        let run = parse_request(
+            r#"{"op":"run","experiments":["ext-facility"],
+                "dists":["fab.node_nm ~ triangular(5,7,10)"],"samples":100,"seed":7}"#,
+        )
+        .expect("valid mc request");
+        let Request::Run(run) = run else {
+            panic!("expected a run request");
+        };
+        assert_eq!(run.dists, ["fab.node_nm ~ triangular(5,7,10)"]);
+        assert_eq!(run.samples, Some(100));
+        assert_eq!(run.seed, Some(7));
+        let resolved = run.resolve().expect("valid mc request resolves");
+        let mc = resolved.mc.expect("mc matrix present");
+        assert_eq!(mc.len(), 100);
+        assert_eq!(mc.seed(), 7);
+        assert_eq!(resolved.points.len(), 1, "base scenario point only");
+
+        // Seed defaults to 0 when absent.
+        let request = RunRequest {
+            keys: vec!["ext-facility".into()],
+            dists: vec!["fab.node_nm ~ triangular(5,7,10)".into()],
+            samples: Some(10),
+            ..RunRequest::default()
+        };
+        let resolved = request.resolve().expect("seedless mc request resolves");
+        assert_eq!(resolved.mc.expect("mc matrix").seed(), 0);
+    }
+
+    #[test]
+    fn monte_carlo_requests_validate_their_shape() {
+        for line in [
+            r#"{"op":"run","samples":0}"#,
+            r#"{"op":"run","samples":"many"}"#,
+            r#"{"op":"run","seed":"lucky"}"#,
+            r#"{"op":"run","dists":"not-a-list"}"#,
+        ] {
+            let err = parse_request(line).expect_err("must be rejected");
+            assert_eq!(err.category, "malformed-request", "line: {line}");
+        }
+        let base = RunRequest {
+            keys: vec!["ext-facility".into()],
+            ..RunRequest::default()
+        };
+        // samples/seed without dists.
+        let orphan = RunRequest {
+            samples: Some(100),
+            ..base.clone()
+        };
+        assert_eq!(rejection(&orphan).category, "invalid-sweep");
+        // dists without samples.
+        let uncounted = RunRequest {
+            dists: vec!["fab.node_nm ~ triangular(5,7,10)".into()],
+            ..base.clone()
+        };
+        assert_eq!(rejection(&uncounted).category, "invalid-sweep");
+        // dists combined with a sweep.
+        let mixed = RunRequest {
+            dists: vec!["fab.node_nm ~ triangular(5,7,10)".into()],
+            samples: Some(10),
+            sweeps: vec!["grid.intensity=100,300".into()],
+            ..base.clone()
+        };
+        assert_eq!(rejection(&mixed).category, "invalid-sweep");
+        // A malformed binding.
+        let garbled = RunRequest {
+            dists: vec!["fab.node_nm ~ parabola(1,2)".into()],
+            samples: Some(10),
+            ..base
+        };
+        assert_eq!(rejection(&garbled).category, "invalid-sweep");
     }
 
     #[test]

@@ -13,8 +13,11 @@
 //! self-connect unblocks `accept` so the listener thread can observe the
 //! flag and drain.
 
-use crate::artifact::{artifact_file_name, artifact_json, comparison_json, Format};
+use crate::artifact::{
+    artifact_file_name, artifact_json, comparison_json, mc_comparison_json, Format,
+};
 use crate::grid::{build_comparisons, GridConfig, GridJob};
+use crate::mc::McConfig;
 use crate::protocol::{parse_request, ProtocolError, Request, RunRequest};
 use crate::Engine;
 use cc_report::JsonValue;
@@ -184,6 +187,63 @@ fn handle_run(engine: &Engine, writer: &LineWriter, request: &RunRequest, max_jo
         }
     };
     engine.count_request();
+    if let Some(mc) = &resolved.mc {
+        // Monte-Carlo: no per-sample artifact lines (a million-sample run
+        // must not stream a million envelopes) — one comparison line with
+        // the banded digests, then done.
+        let config = McConfig {
+            jobs: request.jobs.unwrap_or(1).min(max_jobs),
+            no_cache: request.no_cache,
+        };
+        match engine.run_mc(&resolved.entries, mc, &config) {
+            Ok(result) => {
+                let envelope = JsonValue::object([
+                    ("type", JsonValue::from("comparison")),
+                    (
+                        "name",
+                        JsonValue::from(format!("mc-comparison.{}", Format::Json.extension())),
+                    ),
+                    ("comparison", mc_comparison_json(&result.comparisons, mc)),
+                ]);
+                writer.send(&envelope.render());
+                let done = JsonValue::object([
+                    ("type", JsonValue::from("done")),
+                    (
+                        "experiments",
+                        JsonValue::Integer(resolved.entries.len() as u64),
+                    ),
+                    ("samples", JsonValue::Integer(mc.len() as u64)),
+                    ("seed", JsonValue::Integer(mc.seed())),
+                    (
+                        "runs",
+                        JsonValue::Integer(result.run_counts.iter().sum::<usize>() as u64),
+                    ),
+                    (
+                        "cache",
+                        JsonValue::object([
+                            ("hits", JsonValue::Integer(result.hits)),
+                            ("misses", JsonValue::Integer(result.misses)),
+                            (
+                                "inflight_dedups",
+                                JsonValue::Integer(result.inflight_dedups),
+                            ),
+                        ]),
+                    ),
+                ]);
+                writer.send(&done.render());
+            }
+            Err(error) => {
+                writer.send(
+                    &ProtocolError {
+                        category: "invalid-scenario",
+                        message: error.to_string(),
+                    }
+                    .to_response(),
+                );
+            }
+        }
+        return;
+    }
     let config = GridConfig {
         jobs: request.jobs.unwrap_or(1).min(max_jobs),
         no_cache: request.no_cache,
@@ -374,6 +434,58 @@ mod tests {
             .join()
             .expect("daemon thread joins")
             .expect("daemon exits cleanly");
+    }
+
+    #[test]
+    fn serves_monte_carlo_runs_with_banded_digests() {
+        let engine = Arc::new(Engine::new());
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), 4).expect("bind");
+        let addr = server.local_addr().expect("local addr");
+        let daemon = std::thread::spawn(move || server.run());
+        let (mut reader, mut stream) = connect(addr);
+
+        let run = r#"{"op":"run","experiments":["ext-facility"],
+            "dists":["fleet.growth ~ uniform(1.2,1.4)"],"samples":50,"seed":7,"jobs":2}"#
+            .replace('\n', " ");
+        let responses = request(&mut reader, &mut stream, &run);
+        let kinds: Vec<&str> = responses
+            .iter()
+            .filter_map(|r| r.get("type").and_then(JsonValue::as_str))
+            .collect();
+        // No per-sample artifact lines: one comparison, then done.
+        assert_eq!(kinds, ["comparison", "done"]);
+        let comparison = responses[0].get("comparison").expect("payload");
+        assert_eq!(
+            responses[0].get("name").and_then(JsonValue::as_str),
+            Some("mc-comparison.json")
+        );
+        let digests = comparison
+            .get("comparisons")
+            .and_then(JsonValue::as_array)
+            .expect("digest list");
+        assert!(!digests.is_empty());
+        let n = digests[0]
+            .get("stats")
+            .and_then(|s| s.get("n"))
+            .and_then(JsonValue::as_u64);
+        assert_eq!(n, Some(50));
+        let done = responses.last().expect("done line");
+        assert_eq!(done.get("samples").and_then(JsonValue::as_u64), Some(50));
+        assert_eq!(done.get("seed").and_then(JsonValue::as_u64), Some(7));
+
+        // A sampling error is a structured response, not a dead daemon.
+        let bad = request(
+            &mut reader,
+            &mut stream,
+            r#"{"op":"run","experiments":["ext-facility"],"dists":["fab.node_nm ~ normal(3,40)"],"samples":200}"#,
+        );
+        assert_eq!(
+            bad[0].get("error").and_then(JsonValue::as_str),
+            Some("invalid-scenario")
+        );
+
+        request(&mut reader, &mut stream, r#"{"op":"shutdown"}"#);
+        daemon.join().expect("join").expect("clean exit");
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub use json::{JsonParseError, JsonValue};
 pub use scenario::deps::{
     dedup_groups, dependency_fingerprint, FieldSource, ReadTracker, ScenarioPath,
 };
+pub use scenario::mc::{DistBinding, McComparison, MonteCarloMatrix};
 pub use scenario::sweep::{
     Comparison, ComparisonRow, Crossing, ScenarioMatrix, ScenarioPoint, SweepError, SweepSpec,
 };

@@ -16,6 +16,7 @@
 //! (`grid.intensity`) for one-off command-line overrides.
 
 pub mod deps;
+pub mod mc;
 pub mod sweep;
 
 use crate::json::JsonValue;

@@ -92,6 +92,18 @@ pub struct FieldInfo {
     pub semantic: bool,
 }
 
+impl FieldInfo {
+    /// Whether the field can be bound to a distribution
+    /// (`path ~ triangular(…)`) in a Monte-Carlo run: only semantic
+    /// real-valued fields qualify — integer, string and list fields have no
+    /// meaningful continuous sample space, and non-semantic fields cannot
+    /// change any experiment's numbers.
+    #[must_use]
+    pub fn distribution_eligible(&self) -> bool {
+        self.semantic && self.ty == "f64"
+    }
+}
+
 /// Every settable scenario field, in canonical (TOML) order. The single
 /// source of truth for `--set` documentation, dependency expansion and the
 /// generated scenario reference.
@@ -543,6 +555,31 @@ mod tests {
                 "device.soc_budget_share",
                 "mc.seed",
                 "mc.samples"
+            ]
+        );
+    }
+
+    #[test]
+    fn distribution_eligibility_covers_exactly_the_semantic_floats() {
+        let eligible: Vec<&str> = FIELDS
+            .iter()
+            .filter(|f| f.distribution_eligible())
+            .map(|f| f.path)
+            .collect();
+        assert_eq!(
+            eligible,
+            [
+                "grid.intensity",
+                "grid.renewable_fraction",
+                "device.lifetime",
+                "device.soc_budget_share",
+                "fab.node_nm",
+                "fab.yield_factor",
+                "fab.renewable_share",
+                "fleet.scale",
+                "fleet.growth",
+                "fleet.pue",
+                "fleet.construction_kt",
             ]
         );
     }

@@ -173,8 +173,10 @@ impl SweepSpec {
 }
 
 /// Formats a range point compactly (`710`, not `710.0000000000`), absorbing
-/// accumulated floating-point noise like `0.30000000000000004`.
-fn format_value(v: f64) -> String {
+/// accumulated floating-point noise like `0.30000000000000004`. Also the
+/// canonical text for Monte-Carlo draws (`super::mc`), so sampled
+/// assignments fingerprint and round-trip exactly like swept ones.
+pub(crate) fn format_value(v: f64) -> String {
     let s = format!("{v:.10}");
     let s = s.trim_end_matches('0').trim_end_matches('.');
     if s.is_empty() || s == "-" {
@@ -635,8 +637,9 @@ fn safe_ratio(v: f64, b: f64) -> f64 {
 }
 
 /// Human-facing table cell: at most 4 decimals, trailing zeros trimmed (the
-/// JSON artifact keeps full precision).
-fn display_value(v: f64) -> String {
+/// JSON artifact keeps full precision). Shared with the Monte-Carlo banded
+/// headlines (`super::mc`).
+pub(crate) fn display_value(v: f64) -> String {
     let s = format!("{v:.4}");
     let s = s.trim_end_matches('0').trim_end_matches('.');
     if s.is_empty() || s == "-" {
