@@ -1,0 +1,65 @@
+//! Property-based tests for [`DistSpec`]: `Display` is documented as the
+//! canonical round-trippable text (`docs/PROTOCOL.md` echoes it and served
+//! requests intern on it), so `parse ∘ to_string` must be the identity on
+//! every representable spec, not just the handful of literals the unit
+//! tests pin.
+
+use cc_analysis::dist::DistSpec;
+use proptest::prelude::*;
+
+/// Arbitrary but bounded magnitudes; the parser only requires finiteness.
+fn param() -> impl Strategy<Value = f64> {
+    -1e6..1e6f64
+}
+
+/// Non-negative widths used to build ordered bounds.
+fn width() -> impl Strategy<Value = f64> {
+    0.0..1e5f64
+}
+
+proptest! {
+    #[test]
+    fn triangular_round_trips(low in param(), d1 in width(), d2 in width()) {
+        let mode = low + d1;
+        let high = mode + d2;
+        // Tiny widths can round away entirely (1e6 + 1e-12 == 1e6); the
+        // parser rightly rejects low == high, so skip those draws.
+        prop_assume!(low < high);
+        let spec = DistSpec::Triangular { low, mode, high };
+        prop_assert_eq!(DistSpec::parse(&spec.to_string()).unwrap(), spec);
+    }
+
+    #[test]
+    fn uniform_round_trips(low in param(), d in width()) {
+        let high = low + d;
+        prop_assume!(low < high);
+        let spec = DistSpec::Uniform { low, high };
+        prop_assert_eq!(DistSpec::parse(&spec.to_string()).unwrap(), spec);
+    }
+
+    #[test]
+    fn normal_round_trips(mu in param(), sigma in 1e-6..1e6f64) {
+        let spec = DistSpec::Normal { mu, sigma };
+        prop_assert_eq!(DistSpec::parse(&spec.to_string()).unwrap(), spec);
+    }
+
+    #[test]
+    fn parsing_ignores_interior_whitespace(low in param(), d in width()) {
+        let high = low + d;
+        prop_assume!(low < high);
+        let spec = DistSpec::Uniform { low, high };
+        let padded = format!("  uniform ( {low} , {high} )  ");
+        prop_assert_eq!(DistSpec::parse(&padded).unwrap(), spec);
+    }
+
+    #[test]
+    fn central_lies_inside_bounded_supports(low in param(), d1 in width(), d2 in width()) {
+        let mode = low + d1;
+        let high = mode + d2;
+        prop_assume!(low < high);
+        let tri = DistSpec::Triangular { low, mode, high };
+        prop_assert!(tri.central() >= low && tri.central() <= high);
+        let uni = DistSpec::Uniform { low, high };
+        prop_assert!(uni.central() >= low && uni.central() <= high);
+    }
+}

@@ -22,8 +22,11 @@
 //! The serve benches drive a real `cc_engine::Server` over loopback TCP on
 //! a pre-warmed cache, so `serve/cache-hit-latency` is the end-to-end cost
 //! of a cache-hit request (quoted as implied requests/sec = 1e9 / mean_ns
-//! right next to the measurement) and
-//! `serve/sustained-requests-x16` measures 16 pipelined requests.
+//! right next to the measurement),
+//! `serve/sustained-requests-x16` measures 16 pipelined v1 (untagged)
+//! requests, `serve/pipelined-depth-16` the same burst id-tagged through
+//! the v2 worker pool, and `serve/overload-rejection` the cost of a
+//! zero-depth queue shedding one multiplexed request.
 
 use cc_bench::harness::Report;
 use cc_bench::Bencher;
@@ -146,7 +149,7 @@ fn main() {
     // full protocol round-trip (parse → validate → cache hit → render →
     // stream) without model runs.
     let engine = Arc::new(Engine::new());
-    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), 2).unwrap_or_else(|e| {
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine), 8).unwrap_or_else(|e| {
         eprintln!("bench-ci: cannot bind loopback server: {e}");
         std::process::exit(1);
     });
@@ -189,11 +192,73 @@ fn main() {
             }
         }
     });
+    // v2 multiplexing: the same 16 cache hits, id-tagged so they flow
+    // through the per-connection work queue and worker pool instead of the
+    // serial v1 reader loop, written in one burst and drained out of
+    // order. Quoted against the serial round-trip rate above — this is the
+    // number the protocol upgrade exists to move.
+    let burst: String = (0..16)
+        .map(|i| format!("{{\"op\":\"run\",\"id\":{i},\"experiments\":[\"fig05\"]}}\n"))
+        .collect();
+    let pipelined = bench("serve/pipelined-depth-16", &mut || {
+        // One write for the whole burst — a pipelining client batches its
+        // frames instead of paying a syscall (and a server wakeup) per
+        // request.
+        writer.write_all(burst.as_bytes()).expect("send burst");
+        let mut done = 0;
+        let mut response = String::new();
+        while done < 16 {
+            response.clear();
+            reader.read_line(&mut response).expect("read response");
+            if response.contains("\"type\":\"done\"") {
+                done += 1;
+            }
+        }
+    });
+    let pipelined_per_request_ns = pipelined.mean.as_nanos() as f64 / 16.0;
+    if pipelined_per_request_ns > 0.0 && hit_mean_ns > 0.0 {
+        println!(
+            "ci/serve/pipelined-depth-16: implied {:.0} requests/sec per connection \
+             ({:.1}x the serial round-trip rate)",
+            1e9 / pipelined_per_request_ns,
+            hit_mean_ns / pipelined_per_request_ns
+        );
+    }
     roundtrip(&mut reader, &mut writer, r#"{"op":"shutdown"}"#);
     daemon
         .join()
         .expect("daemon thread joins")
         .expect("daemon exits cleanly");
+
+    // Backpressure fast path: a zero-depth queue sheds every multiplexed
+    // request with a structured `overloaded` error instead of buffering,
+    // so rejection must stay far cheaper than service.
+    let overload_server = Server::bind("127.0.0.1:0", Arc::new(Engine::new()), 2)
+        .unwrap_or_else(|e| {
+            eprintln!("bench-ci: cannot bind overload server: {e}");
+            std::process::exit(1);
+        })
+        .queue_depth(0);
+    let overload_addr = overload_server.local_addr().expect("bound address");
+    let overload_daemon = std::thread::spawn(move || overload_server.run());
+    let stream = TcpStream::connect(overload_addr).expect("connect to overload server");
+    stream.set_nodelay(true).expect("set TCP_NODELAY");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    bench("serve/overload-rejection", &mut || {
+        writeln!(writer, r#"{{"op":"run","id":1,"experiments":["fig05"]}}"#).expect("send request");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read response");
+        assert!(
+            response.contains("\"error\":\"overloaded\""),
+            "expected an overloaded rejection, got: {response}"
+        );
+    });
+    roundtrip(&mut reader, &mut writer, r#"{"op":"shutdown"}"#);
+    overload_daemon
+        .join()
+        .expect("overload daemon joins")
+        .expect("overload daemon exits cleanly");
 
     std::fs::write(&out_path, report.to_json()).unwrap_or_else(|e| {
         eprintln!("bench-ci: cannot write `{out_path}`: {e}");

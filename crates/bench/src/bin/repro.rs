@@ -56,10 +56,10 @@ fn print_usage() {
     eprintln!("usage: repro [options] [<experiment-key>...]");
     eprintln!(
         "       repro serve --addr <host:port> [--jobs <n>] [--cache-capacity <n>] \
-         [--cache-dir <dir>]"
+         [--cache-dir <dir>] [--queue-depth <n>] [--log <file>]"
     );
     eprintln!("       repro client --addr <host:port> [selection options] [--out <dir>]");
-    eprintln!("       repro client --addr <host:port> --stats | --shutdown");
+    eprintln!("       repro client --addr <host:port> --stats | --hello | --shutdown");
     eprintln!();
     eprintln!("options:");
     eprintln!("  --list               list selected experiment keys and exit");
@@ -99,11 +99,22 @@ fn print_usage() {
     eprintln!("  --explain            print each experiment's scenario dependencies and");
     eprintln!("                       the sweep's run/reuse plan, without running");
     eprintln!();
-    eprintln!("serve mode: a resident daemon speaking newline-delimited JSON over TCP.");
+    eprintln!("serve mode: a resident daemon speaking newline-delimited JSON over TCP");
+    eprintln!("  (protocol v2: request ids multiplex many in-flight requests per");
+    eprintln!("  connection; `batch` submits a whole sweep in one frame; a full work");
+    eprintln!("  queue answers a structured `overloaded` error).");
     eprintln!("  every connection shares one engine, so artifacts computed for one");
     eprintln!("  client are cache hits for every other. `--jobs` caps per-request");
-    eprintln!("  parallelism; bind port 0 to let the OS pick (the chosen address is");
-    eprintln!("  printed as `listening on <addr>`).");
+    eprintln!("  parallelism, `--queue-depth` caps in-flight multiplexed requests per");
+    eprintln!("  connection; bind port 0 to let the OS pick (the chosen address is");
+    eprintln!("  printed as `listening on <addr>`). the operational log goes to stderr");
+    eprintln!("  by default, or to `--log <file>` — never into the working directory.");
+    eprintln!();
+    eprintln!("client mode: exit code 0 on success; a server rejection maps the error");
+    eprintln!("  category to a stable exit code (malformed-request=10,");
+    eprintln!("  unknown-experiment=11, unknown-tag=12, unknown-field=13,");
+    eprintln!("  invalid-value=14, invalid-scenario=15, invalid-sweep=16,");
+    eprintln!("  overloaded=17); other client failures exit 2.");
     eprintln!();
     let tags: Vec<&str> = Tag::ALL.iter().map(|t| t.name()).collect();
     eprintln!("tags: {}", tags.join(", "));
@@ -350,6 +361,8 @@ fn serve_main(args: &[String]) {
     let mut jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut capacity = cc_engine::DEFAULT_CACHE_CAPACITY;
     let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut queue_depth = cc_engine::server::DEFAULT_QUEUE_DEPTH;
+    let mut log_file: Option<std::path::PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = Some(value_of("--addr", &mut args)),
@@ -370,6 +383,17 @@ fn serve_main(args: &[String]) {
             "--cache-dir" => {
                 cache_dir = Some(std::path::PathBuf::from(value_of("--cache-dir", &mut args)));
             }
+            // Queue depth 0 is allowed: a drill server that rejects every
+            // multiplexed request with `overloaded`.
+            "--queue-depth" => {
+                let n = value_of("--queue-depth", &mut args);
+                queue_depth = n.parse().ok().unwrap_or_else(|| {
+                    fail(&format!(
+                        "--queue-depth expects a non-negative integer, got `{n}`"
+                    ))
+                });
+            }
+            "--log" => log_file = Some(std::path::PathBuf::from(value_of("--log", &mut args))),
             flag => fail(&format!("unknown serve option `{flag}`")),
         }
     }
@@ -381,8 +405,17 @@ fn serve_main(args: &[String]) {
         engine = engine.with_disk(open_disk_cache(dir));
     }
     let engine = Arc::new(engine);
+    // The operational log defaults to stderr — a daemon must not drop a
+    // `serve.log` into whatever directory it happened to start from.
+    let log = match &log_file {
+        None => cc_engine::ServeLog::to_stderr(),
+        Some(path) => cc_engine::ServeLog::to_file(path)
+            .unwrap_or_else(|e| fail(&format!("cannot open log `{}`: {e}", path.display()))),
+    };
     let server = Server::bind(&addr, engine, jobs)
-        .unwrap_or_else(|e| fail(&format!("cannot bind `{addr}`: {e}")));
+        .unwrap_or_else(|e| fail(&format!("cannot bind `{addr}`: {e}")))
+        .queue_depth(queue_depth)
+        .log_to(log);
     let local = server
         .local_addr()
         .unwrap_or_else(|e| fail(&format!("cannot read bound address: {e}")));
@@ -392,9 +425,28 @@ fn serve_main(args: &[String]) {
         .unwrap_or_else(|e| fail(&format!("serve failed: {e}")));
 }
 
+/// Maps a server error category onto a stable exit code, so scripted
+/// callers (and the stress suite) can tell `overloaded` from
+/// `invalid-sweep` without parsing stderr. Unknown categories fall back to
+/// the generic failure code 2.
+fn category_exit_code(category: &str) -> i32 {
+    match category {
+        "malformed-request" => 10,
+        "unknown-experiment" => 11,
+        "unknown-tag" => 12,
+        "unknown-field" => 13,
+        "invalid-value" => 14,
+        "invalid-scenario" => 15,
+        "invalid-sweep" => 16,
+        "overloaded" => 17,
+        _ => 2,
+    }
+}
+
 /// `repro client`: build one protocol request from CLI-shaped flags, send
 /// it, and stream the responses — artifacts to `--out` files (byte-identical
-/// to one-shot `repro --json --out` artifacts) or raw to stdout.
+/// to one-shot `repro --json --out` artifacts) or raw to stdout. A server
+/// rejection exits with the category's [`category_exit_code`].
 fn client_main(args: &[String]) {
     let mut args = args.iter().cloned();
     let mut addr: Option<String> = None;
@@ -409,10 +461,12 @@ fn client_main(args: &[String]) {
     let mut no_cache = false;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut stats = false;
+    let mut hello = false;
     let mut shutdown = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = Some(value_of("--addr", &mut args)),
+            "--hello" => hello = true,
             "--experiment" => keys.push(value_of("--experiment", &mut args)),
             "--tag" => tags.push(value_of("--tag", &mut args)),
             // As in one-shot mode, a `~` in --set/--sweep binds a
@@ -464,7 +518,9 @@ fn client_main(args: &[String]) {
     }
     let addr = addr.unwrap_or_else(|| fail("client requires --addr <host:port>"));
 
-    let request = if stats {
+    let request = if hello {
+        JsonValue::object([("op", JsonValue::from("hello"))])
+    } else if stats {
         JsonValue::object([("op", JsonValue::from("stats"))])
     } else if shutdown {
         JsonValue::object([("op", JsonValue::from("shutdown"))])
@@ -560,7 +616,7 @@ fn client_main(args: &[String]) {
                     None => emit(payload.render()),
                 }
             }
-            Some("done") | Some("stats") => {
+            Some("done") | Some("stats") | Some("hello") => {
                 emit(line);
                 return;
             }
@@ -574,9 +630,11 @@ fn client_main(args: &[String]) {
                     .get("message")
                     .and_then(JsonValue::as_str)
                     .unwrap_or("(no message)");
-                fail(&format!(
-                    "server rejected the request: {category}: {message}"
-                ));
+                eprintln!("repro: server rejected the request: {category}: {message}");
+                if let Some(ms) = response.get("retry_after_ms").and_then(JsonValue::as_u64) {
+                    eprintln!("repro: server advises retrying after {ms} ms");
+                }
+                std::process::exit(category_exit_code(category));
             }
             _ => fail(&format!("unexpected response `{line}`")),
         }

@@ -290,11 +290,19 @@ fn served_artifacts_byte_match_the_one_shot_cli() {
 #[test]
 fn client_surfaces_server_rejections() {
     let daemon = Daemon::start();
+    // The error category maps to a stable exit code (unknown-experiment=11)
+    // so scripts can branch on the rejection kind without parsing stderr.
     let out = client(&daemon.addr, &["--experiment", "fig99"]);
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(11));
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("unknown-experiment"), "{stderr}");
     assert!(stderr.contains("fig99"));
+
+    let out = client(
+        &daemon.addr,
+        &["--experiment", "fig10", "--sweep", "grid.intensity=10.."],
+    );
+    assert_eq!(out.status.code(), Some(16), "invalid-sweep exit code");
 
     // Stats round-trips through the client too.
     let out = client(&daemon.addr, &["--stats"]);
@@ -302,6 +310,14 @@ fn client_surfaces_server_rejections() {
     let stdout = String::from_utf8(out.stdout).unwrap();
     let stats = JsonValue::parse(stdout.trim()).expect("stats line is JSON");
     assert_eq!(stats.get("type").and_then(JsonValue::as_str), Some("stats"));
+
+    // Hello reports the protocol version and the server's limits.
+    let out = client(&daemon.addr, &["--hello"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let hello = JsonValue::parse(stdout.trim()).expect("hello line is JSON");
+    assert_eq!(hello.get("type").and_then(JsonValue::as_str), Some("hello"));
+    assert_eq!(hello.get("version").and_then(JsonValue::as_u64), Some(2));
 
     daemon.shutdown();
 }

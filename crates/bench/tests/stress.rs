@@ -1,0 +1,361 @@
+//! Serve stress suite: concurrent pipelined clients racing a large
+//! Monte-Carlo run against a deliberately tiny artifact cache and a small
+//! work queue.
+//!
+//! What must hold under that pressure:
+//!
+//! * **no deadlock** — every socket read runs under a timeout, so a stuck
+//!   daemon fails the test instead of hanging it;
+//! * **id ↔ response pairing** — every response line carries one of the
+//!   sender's ids, and every id terminates exactly once (`done`, or an
+//!   `overloaded` rejection carrying a positive `retry_after_ms`);
+//! * **byte identity** — the Monte-Carlo comparison computed while the
+//!   cache was being thrashed is byte-identical to a one-shot
+//!   `repro --json --out` run of the same seed.
+//!
+//! The whole scenario repeats `CC_STRESS_ITERS` times (default 2; the
+//! acceptance drill runs it at 50) with a fresh daemon per iteration.
+
+use cc_report::JsonValue;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// Pipelined requests per client connection.
+const DEPTH: usize = 16;
+/// Concurrent pipelining clients (the Monte-Carlo run is a fifth).
+const CLIENTS: usize = 4;
+/// Monte-Carlo sample count raced against the pipelined clients.
+const SAMPLES: usize = 1000;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Starts `repro serve` with a four-entry cache and an eight-deep
+    /// work queue: small enough that eviction churn is constant and the
+    /// sixteen-deep pipelines can trip real `overloaded` rejections.
+    fn start() -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--jobs",
+                "4",
+                "--cache-capacity",
+                "4",
+                "--queue-depth",
+                "8",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn repro serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut banner = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut banner)
+            .expect("read listen banner");
+        let addr = banner
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+            .to_string();
+        Self { child, addr }
+    }
+
+    /// Connects with the anti-deadlock read timeout armed.
+    fn connect(&self) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(&self.addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("arm read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        (reader, stream)
+    }
+
+    fn shutdown(mut self) {
+        let (mut reader, mut stream) = self.connect();
+        writeln!(stream, r#"{{"op":"shutdown"}}"#).expect("send shutdown");
+        let mut bye = String::new();
+        reader.read_line(&mut bye).expect("read bye");
+        assert!(bye.contains(r#""type":"bye""#), "got: {bye}");
+        let status = self.child.wait().expect("daemon exits");
+        assert!(status.success(), "daemon must exit cleanly");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn read_json_line(reader: &mut BufReader<TcpStream>, context: &str) -> JsonValue {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .unwrap_or_else(|e| panic!("{context}: read timed out or failed (deadlock?): {e}"));
+    assert!(!line.is_empty(), "{context}: daemon closed the connection");
+    JsonValue::parse(line.trim_end())
+        .unwrap_or_else(|e| panic!("{context}: unparsable line {line:?}: {e:?}"))
+}
+
+/// One pipelining client: writes `DEPTH` id-tagged requests without
+/// reading, then drains, checking the pairing invariants. Returns how
+/// many requests were rejected `overloaded`.
+fn pipelined_client(daemon_addr: &str, client: usize) -> usize {
+    let stream = TcpStream::connect(daemon_addr).expect("connect to daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("arm read timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut stream = stream;
+
+    // Half the pipeline re-requests the scenario-independent fig05 (cache
+    // hits and interner reuse), half walks fig10 across distinct
+    // intensities (distinct fingerprints, guaranteed eviction churn in a
+    // four-entry cache).
+    for i in 0..DEPTH {
+        let request = if i % 2 == 0 {
+            format!(r#"{{"op":"run","id":{i},"experiments":["fig05"],"jobs":2}}"#)
+        } else {
+            let intensity = 100 + 10 * (client * DEPTH + i);
+            format!(
+                r#"{{"op":"run","id":{i},"experiments":["fig10"],"set":{{"grid.intensity":"{intensity}"}},"jobs":2}}"#
+            )
+        };
+        writeln!(stream, "{request}").expect("send request");
+    }
+
+    let context = format!("client {client}");
+    let mut terminated = vec![0usize; DEPTH];
+    let mut overloaded = 0usize;
+    while terminated.iter().sum::<usize>() < DEPTH {
+        let value = read_json_line(&mut reader, &context);
+        let id = value
+            .get("id")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("{context}: response without our id: {}", value.render()))
+            as usize;
+        assert!(id < DEPTH, "{context}: echoed id {id} was never sent");
+        match value.get("type").and_then(JsonValue::as_str) {
+            Some("artifact") => {}
+            Some("done") => terminated[id] += 1,
+            Some("error") => {
+                assert_eq!(
+                    value.get("error").and_then(JsonValue::as_str),
+                    Some("overloaded"),
+                    "{context}: only backpressure may reject a valid request: {}",
+                    value.render()
+                );
+                let retry = value
+                    .get("retry_after_ms")
+                    .and_then(JsonValue::as_u64)
+                    .expect("overloaded carries retry_after_ms");
+                assert!(retry >= 1, "{context}: advisory delay must be positive");
+                overloaded += 1;
+                terminated[id] += 1;
+            }
+            other => panic!("{context}: unexpected response kind {other:?}"),
+        }
+    }
+    assert!(
+        terminated.iter().all(|&t| t == 1),
+        "{context}: every id must terminate exactly once: {terminated:?}"
+    );
+    overloaded
+}
+
+/// The racing Monte-Carlo run: one id-tagged 1000-sample request on its
+/// own connection. Returns the comparison payload for the byte-identity
+/// check.
+fn mc_run(daemon_addr: &str) -> JsonValue {
+    let stream = TcpStream::connect(daemon_addr).expect("connect to daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("arm read timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut stream = stream;
+    writeln!(
+        stream,
+        r#"{{"op":"run","id":"mc","experiments":["ext-facility"],"dists":["fleet.growth ~ uniform(1.2,1.4)"],"samples":{SAMPLES},"seed":7,"jobs":4}}"#
+    )
+    .expect("send mc request");
+
+    let comparison = read_json_line(&mut reader, "mc comparison");
+    assert_eq!(
+        comparison.get("type").and_then(JsonValue::as_str),
+        Some("comparison"),
+        "got: {}",
+        comparison.render()
+    );
+    assert_eq!(comparison.get("id").and_then(JsonValue::as_str), Some("mc"));
+    let done = read_json_line(&mut reader, "mc done");
+    assert_eq!(done.get("type").and_then(JsonValue::as_str), Some("done"));
+    assert_eq!(done.get("id").and_then(JsonValue::as_str), Some("mc"));
+    assert_eq!(
+        done.get("samples").and_then(JsonValue::as_u64),
+        Some(SAMPLES as u64)
+    );
+    assert_eq!(done.get("seed").and_then(JsonValue::as_u64), Some(7));
+    comparison
+        .get("comparison")
+        .expect("comparison payload")
+        .clone()
+}
+
+/// The same Monte-Carlo run through the one-shot CLI, as the byte-identity
+/// reference.
+fn one_shot_mc_reference(dir: &std::path::Path) -> JsonValue {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--experiment",
+            "ext-facility",
+            "--set",
+            "fleet.growth ~ uniform(1.2,1.4)",
+            "--samples",
+            &SAMPLES.to_string(),
+            "--seed",
+            "7",
+            "--jobs",
+            "2",
+            "--json",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run one-shot repro");
+    assert!(
+        out.status.success(),
+        "one-shot failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(dir.join("mc-comparison.json")).expect("read reference");
+    JsonValue::parse(text.trim()).expect("reference artifact parses")
+}
+
+fn stress_iterations() -> usize {
+    std::env::var("CC_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+#[test]
+fn pipelined_clients_race_a_monte_carlo_run_under_a_tiny_cache() {
+    let dir = std::env::temp_dir().join(format!("cc-stress-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let reference = one_shot_mc_reference(&dir);
+
+    for iteration in 0..stress_iterations() {
+        let daemon = Daemon::start();
+        let addr = daemon.addr.clone();
+
+        let addr = addr.as_str();
+        let (mc, overloads) = std::thread::scope(|scope| {
+            let mc = scope.spawn(move || mc_run(addr));
+            let clients: Vec<_> = (0..CLIENTS)
+                .map(|c| scope.spawn(move || pipelined_client(addr, c)))
+                .collect();
+            let overloads: usize = clients.into_iter().map(|c| c.join().expect("client")).sum();
+            (mc.join().expect("mc run"), overloads)
+        });
+
+        // Rejected requests are allowed (that is what backpressure is
+        // for), but the daemon must not have rejected *everything* — the
+        // queue drains while clients write, so most of each pipeline
+        // lands.
+        assert!(
+            overloads < CLIENTS * DEPTH,
+            "iteration {iteration}: every request was rejected"
+        );
+
+        // The digests computed during the stampede match the quiet
+        // one-shot reference byte for byte.
+        assert_eq!(
+            mc.render(),
+            reference.render(),
+            "iteration {iteration}: raced Monte-Carlo digests drifted from the one-shot CLI"
+        );
+
+        daemon.shutdown();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn served_artifacts_stay_byte_identical_under_eviction_pressure() {
+    // A four-entry cache cannot hold a nine-point sweep: artifacts are
+    // evicted and recomputed mid-request. The streamed bytes must not
+    // care.
+    let daemon = Daemon::start();
+    let dir = std::env::temp_dir().join(format!("cc-stress-evict-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let served_dir = dir.join("served");
+    let cli_dir = dir.join("cli");
+
+    let sweep = "grid.intensity=100..500/50";
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "client",
+            "--addr",
+            &daemon.addr,
+            "--experiment",
+            "fig10",
+            "--sweep",
+            sweep,
+            "--jobs",
+            "4",
+            "--out",
+            served_dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run repro client");
+    assert!(
+        out.status.success(),
+        "client failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let cli = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--experiment",
+            "fig10",
+            "--sweep",
+            sweep,
+            "--jobs",
+            "2",
+            "--json",
+            "--out",
+            cli_dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run one-shot repro");
+    assert!(cli.status.success());
+
+    let mut names: Vec<String> = std::fs::read_dir(&served_dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert_eq!(
+        names.len(),
+        10,
+        "nine points plus the comparison: {names:?}"
+    );
+    for name in &names {
+        let served = std::fs::read(served_dir.join(name)).unwrap();
+        let one_shot = std::fs::read(cli_dir.join(name)).unwrap();
+        assert_eq!(served, one_shot, "`{name}` must be byte-identical");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    daemon.shutdown();
+}

@@ -229,6 +229,14 @@ impl ShardedCache {
         (output, Outcome::Miss)
     }
 
+    /// Effective total capacity: the per-shard bound times [`SHARDS`].
+    /// At least the capacity requested at construction (rounded up so
+    /// every shard holds at least one entry).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity_per_shard * SHARDS
+    }
+
     /// Number of resident (ready) entries across every shard.
     #[must_use]
     pub fn entries(&self) -> u64 {

@@ -42,6 +42,7 @@
 pub mod artifact;
 pub mod cache;
 pub mod grid;
+pub mod intern;
 pub mod mc;
 pub mod persist;
 pub mod protocol;
@@ -50,9 +51,10 @@ pub mod server;
 pub use artifact::Format;
 pub use cache::{Outcome, ShardedCache};
 pub use grid::{GridConfig, GridJob, GridResult};
+pub use intern::{InternedScenario, ScenarioInterner};
 pub use mc::{McConfig, McError, McResult};
 pub use persist::DiskCache;
-pub use server::Server;
+pub use server::{ServeLog, Server};
 
 use cc_report::{ExperimentOutput, JsonValue, Scalar};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,6 +72,7 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 pub struct Engine {
     cache: ShardedCache,
     disk: Option<DiskCache>,
+    intern: ScenarioInterner,
     requests: AtomicU64,
 }
 
@@ -86,6 +89,7 @@ impl Engine {
         Self {
             cache: ShardedCache::new(capacity),
             disk: None,
+            intern: ScenarioInterner::new(intern::DEFAULT_INTERN_CAPACITY),
             requests: AtomicU64::new(0),
         }
     }
@@ -111,6 +115,14 @@ impl Engine {
         &self.cache
     }
 
+    /// The shared payload→validated-scenario interner. The daemon resolves
+    /// protocol requests through it so repeated `set`/`dists` payloads
+    /// skip re-validation.
+    #[must_use]
+    pub fn interner(&self) -> &ScenarioInterner {
+        &self.intern
+    }
+
     /// Counts one served request (a CLI invocation or one protocol `run`).
     pub fn count_request(&self) {
         self.requests.fetch_add(1, Ordering::Relaxed);
@@ -120,6 +132,7 @@ impl Engine {
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         let (hits, misses, inflight_dedups, evictions) = self.cache.counters();
+        let (intern_hits, intern_misses) = self.intern.counters();
         EngineStats {
             requests: self.requests.load(Ordering::Relaxed),
             hits,
@@ -127,6 +140,8 @@ impl Engine {
             inflight_dedups,
             evictions,
             entries: self.cache.entries(),
+            intern_hits,
+            intern_misses,
         }
     }
 }
@@ -154,6 +169,11 @@ pub struct EngineStats {
     pub evictions: u64,
     /// Artifacts currently resident.
     pub entries: u64,
+    /// Request payloads whose validated scenario was reused from the
+    /// interner instead of being re-validated.
+    pub intern_hits: u64,
+    /// Request payloads validated (and interned) for the first time.
+    pub intern_misses: u64,
 }
 
 impl EngineStats {
@@ -167,6 +187,8 @@ impl EngineStats {
             ("inflight_dedups", JsonValue::Integer(self.inflight_dedups)),
             ("evictions", JsonValue::Integer(self.evictions)),
             ("entries", JsonValue::Integer(self.entries)),
+            ("intern_hits", JsonValue::Integer(self.intern_hits)),
+            ("intern_misses", JsonValue::Integer(self.intern_misses)),
         ])
     }
 }

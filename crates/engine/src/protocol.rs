@@ -1,13 +1,25 @@
 //! The newline-delimited-JSON protocol spoken by `repro serve`.
 //!
 //! One request per line, one or more response lines per request, every
-//! line a single JSON document. Three operations:
+//! line a single JSON document. Five operations (protocol version
+//! [`PROTOCOL_VERSION`]):
 //!
 //! ```text
-//! {"op":"run","experiments":["fig10"],"sweep":["grid.intensity=10..800/100"],"jobs":4}
+//! {"op":"hello"}
+//! {"op":"run","id":1,"experiments":["fig10"],"sweep":["grid.intensity=10..800/100"],"jobs":4}
+//! {"op":"batch","id":"sweep-a","runs":[{"experiments":["fig05"]},{"experiments":["fig10"]}]}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! **Request ids (v2).** Any request may carry a client-chosen `id` — a
+//! string or a non-negative integer — which the server echoes verbatim on
+//! every response line the request produces. Id-tagged `run`/`batch`
+//! requests are *multiplexed*: the server may interleave response lines of
+//! different in-flight requests on one connection, and complete them out
+//! of submission order. Requests without an `id` keep the v1 contract:
+//! they are processed serially in submission order and their responses
+//! carry no `id` field, so v1 clients work against a v2 server unchanged.
 //!
 //! A `run` request selects experiments by key and/or tag (both optional —
 //! neither selects the full registry, as the CLI does), applies `--set`
@@ -17,42 +29,83 @@
 //! `done` line carrying the request's cache outcome. A `run` carrying
 //! `"dists"` bindings (with `"samples"` and optionally `"seed"`) is a
 //! Monte-Carlo sampling run instead: no per-sample artifact lines, one
-//! `comparison` line holding the banded digests, then `done`. Every field
-//! override and sweep path is validated against the canonical `FIELDS`
-//! registry before anything runs; a request that fails validation produces
-//! a single structured `error` line and leaves the daemon (and its cache)
-//! untouched.
+//! `comparison` line holding the banded digests, then `done`. A `batch`
+//! submits a whole sweep of runs in one frame: every element of `"runs"`
+//! is validated up front (all-or-nothing), response lines carry a `run`
+//! index alongside the batch's `id`, and one aggregate `done` terminates
+//! the batch. Every field override and sweep path is validated against
+//! the canonical `FIELDS` registry before anything runs; a request that
+//! fails validation produces a single structured `error` line and leaves
+//! the daemon (and its cache) untouched.
 //!
 //! The full wire contract — operations, response kinds, error categories
 //! and the sampling fields — is specified normatively in
-//! `docs/PROTOCOL.md`.
+//! `docs/PROTOCOL.md`. The [`OPS`], [`RESPONSE_KINDS`] and
+//! [`ERROR_CATEGORIES`] constants are the canonical in-code enumeration;
+//! the conformance suite cross-checks them against the document so the
+//! two cannot drift.
 //!
 //! Request parsing is deliberately strict about shape — unknown `op`
 //! values, non-string experiment keys, or a non-object `set` are
 //! [`ProtocolError`]s, not silent defaults — so client bugs surface as
 //! structured errors instead of empty responses.
 
+use crate::intern::{InternedScenario, ScenarioInterner};
 use cc_core::experiments::{self, Entry, Tag};
 use cc_report::{
-    DistBinding, JsonValue, MonteCarloMatrix, RunContext, Scenario, ScenarioError, ScenarioMatrix,
-    ScenarioPoint, SweepSpec,
+    JsonValue, MonteCarloMatrix, RunContext, ScenarioError, ScenarioMatrix, ScenarioPoint,
+    SweepSpec,
 };
+use std::sync::Arc;
+
+/// The protocol version this build speaks, reported by the `hello` op.
+/// Version 2 added request ids (multiplexing), `hello`, `batch` and the
+/// `overloaded` backpressure error; every v1 request remains valid.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// Every operation, exactly as `docs/PROTOCOL.md` enumerates them.
+pub const OPS: [&str; 5] = ["hello", "run", "batch", "stats", "shutdown"];
+
+/// Every response kind (`"type"` value), exactly as `docs/PROTOCOL.md`
+/// enumerates them.
+pub const RESPONSE_KINDS: [&str; 7] = [
+    "hello",
+    "artifact",
+    "comparison",
+    "done",
+    "error",
+    "stats",
+    "bye",
+];
+
+/// Every error category, exactly as `docs/PROTOCOL.md` enumerates them.
+pub const ERROR_CATEGORIES: [&str; 8] = [
+    "malformed-request",
+    "unknown-experiment",
+    "unknown-tag",
+    "unknown-field",
+    "invalid-value",
+    "invalid-scenario",
+    "invalid-sweep",
+    "overloaded",
+];
 
 /// A structured protocol error: a stable machine-readable category plus a
 /// human-readable message. Rendered as
 /// `{"type":"error","error":CATEGORY,"message":MESSAGE}`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolError {
-    /// Stable category: `malformed-request`, `unknown-experiment`,
-    /// `unknown-tag`, `unknown-field`, `invalid-value`, `invalid-scenario`
-    /// or `invalid-sweep`.
+    /// Stable category, one of [`ERROR_CATEGORIES`]: `malformed-request`,
+    /// `unknown-experiment`, `unknown-tag`, `unknown-field`,
+    /// `invalid-value`, `invalid-scenario`, `invalid-sweep` or
+    /// `overloaded`.
     pub category: &'static str,
     /// What went wrong, for humans.
     pub message: String,
 }
 
 impl ProtocolError {
-    fn new(category: &'static str, message: impl Into<String>) -> Self {
+    pub(crate) fn new(category: &'static str, message: impl Into<String>) -> Self {
         Self {
             category,
             message: message.into(),
@@ -82,7 +135,7 @@ impl std::error::Error for ProtocolError {}
 /// Maps a scenario-application failure onto a protocol error category:
 /// the category distinguishes "no such field" from "value didn't parse"
 /// from "value out of physical range" so clients can react precisely.
-fn scenario_error(e: &ScenarioError) -> ProtocolError {
+pub(crate) fn scenario_error(e: &ScenarioError) -> ProtocolError {
     let category = match e {
         ScenarioError::UnknownKey(_) => "unknown-field",
         ScenarioError::InvalidValue { .. } | ScenarioError::UnknownSource(_) => "invalid-value",
@@ -91,15 +144,75 @@ fn scenario_error(e: &ScenarioError) -> ProtocolError {
     ProtocolError::new(category, e.to_string())
 }
 
+/// A client-chosen request id: a JSON string or non-negative integer,
+/// echoed verbatim on every response line the request produces.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RequestId {
+    /// A string id (`"id":"sweep-7"`).
+    Text(String),
+    /// A non-negative integer id (`"id":42`).
+    Number(u64),
+}
+
+impl RequestId {
+    /// The id as the JSON value the server echoes back.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            Self::Text(s) => JsonValue::from(s.as_str()),
+            Self::Number(n) => JsonValue::Integer(*n),
+        }
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Text(s) => write!(f, "{s}"),
+            Self::Number(n) => write!(f, "{n}"),
+        }
+    }
+}
+
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Report the protocol version and the server's operational limits.
+    Hello,
     /// Run experiments over a (possibly one-point) scenario matrix.
     Run(RunRequest),
+    /// Run several `run` payloads submitted in one frame.
+    Batch(Vec<RunRequest>),
     /// Return the engine's [`crate::EngineStats`] snapshot.
     Stats,
     /// Stop the daemon after acknowledging.
     Shutdown,
+}
+
+/// One request line, parsed: the optional client id plus the request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// The client-chosen id, echoed on every response to this request.
+    /// `None` means a v1-style request: serial processing, no id echo.
+    pub id: Option<RequestId>,
+    /// The request itself.
+    pub request: Request,
+}
+
+/// A rejected request line: the error plus the id it should be billed to,
+/// when one could still be recovered from the malformed frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameError {
+    /// The request's id, when the frame parsed far enough to carry one.
+    pub id: Option<RequestId>,
+    /// What was wrong with the line.
+    pub error: ProtocolError,
+}
+
+impl FrameError {
+    fn anonymous(error: ProtocolError) -> Self {
+        Self { id: None, error }
+    }
 }
 
 /// The payload of a `run` request, mirroring the CLI's selection flags.
@@ -143,6 +256,12 @@ pub struct ResolvedRun {
     /// runner, and `matrix`/`points`/`contexts` hold only the base
     /// scenario's single point.
     pub mc: Option<MonteCarloMatrix>,
+    /// The validated payload this run resolved from — shared with every
+    /// other in-flight request carrying the identical `set`/`dists`
+    /// payload when an interner resolved it. The server hangs rendered
+    /// non-sweep artifact text off it via
+    /// [`InternedScenario::rendered_artifact`].
+    pub base: Arc<InternedScenario>,
 }
 
 /// Coerces a JSON scalar into the text form `Scenario::set` parses. JSON
@@ -197,98 +316,170 @@ fn string_list(request: &JsonValue, field: &str) -> Result<Vec<String>, Protocol
         .collect()
 }
 
-/// Parses one request line into a [`Request`].
+/// Parses one request line into a [`Request`], discarding any id — the
+/// v1 entry point, kept for callers that handle requests serially.
 pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
-    let value = JsonValue::parse(line)
-        .map_err(|e| ProtocolError::new("malformed-request", e.to_string()))?;
+    parse_frame(line).map(|f| f.request).map_err(|e| e.error)
+}
+
+/// Parses one request line into a [`Frame`]. A rejected line still
+/// reports the id it carried whenever the JSON parsed far enough to
+/// recover one, so multiplexing clients can bill the error to the right
+/// in-flight request.
+pub fn parse_frame(line: &str) -> Result<Frame, FrameError> {
+    let value = JsonValue::parse(line).map_err(|e| {
+        FrameError::anonymous(ProtocolError::new("malformed-request", e.to_string()))
+    })?;
     if value.as_object().is_none() {
-        return Err(ProtocolError::new(
+        return Err(FrameError::anonymous(ProtocolError::new(
             "malformed-request",
             "a request must be a JSON object",
-        ));
+        )));
     }
-    let op = value
-        .get("op")
-        .and_then(JsonValue::as_str)
-        .ok_or_else(|| ProtocolError::new("malformed-request", "missing string field `op`"))?;
-    match op {
-        "stats" => Ok(Request::Stats),
-        "shutdown" => Ok(Request::Shutdown),
-        "run" => {
-            let keys = string_list(&value, "experiments")?;
-            let tags = string_list(&value, "tags")?;
-            let sweeps = string_list(&value, "sweep")?;
-            let dists = string_list(&value, "dists")?;
-            let samples = match value.get("samples") {
-                None => None,
-                Some(samples) => Some(
-                    samples
-                        .as_u64()
-                        .map(|n| n as usize)
-                        .filter(|&n| n >= 1)
-                        .ok_or_else(|| {
-                            ProtocolError::new(
-                                "malformed-request",
-                                "`samples` must be a positive integer",
-                            )
-                        })?,
-                ),
-            };
-            let seed = match value.get("seed") {
-                None => None,
-                Some(seed) => Some(seed.as_u64().ok_or_else(|| {
-                    ProtocolError::new("malformed-request", "`seed` must be a non-negative integer")
-                })?),
-            };
-            let sets = match value.get("set") {
-                None => Vec::new(),
-                Some(set) => {
-                    let pairs = set.as_object().ok_or_else(|| {
-                        ProtocolError::new("malformed-request", "`set` must be an object")
-                    })?;
-                    pairs
-                        .iter()
-                        .map(|(key, v)| Ok((key.clone(), value_text(v)?)))
-                        .collect::<Result<Vec<_>, ProtocolError>>()?
-                }
-            };
-            let jobs = match value.get("jobs") {
-                None => None,
-                Some(jobs) => Some(
-                    jobs.as_u64()
-                        .map(|n| n as usize)
-                        .filter(|&n| n >= 1)
-                        .ok_or_else(|| {
-                            ProtocolError::new(
-                                "malformed-request",
-                                "`jobs` must be a positive integer",
-                            )
-                        })?,
-                ),
-            };
-            let no_cache = match value.get("no_cache") {
-                None => false,
-                Some(flag) => flag.as_bool().ok_or_else(|| {
-                    ProtocolError::new("malformed-request", "`no_cache` must be a boolean")
-                })?,
-            };
-            Ok(Request::Run(RunRequest {
-                keys,
-                tags,
-                sets,
-                sweeps,
-                dists,
-                samples,
-                seed,
-                jobs,
-                no_cache,
-            }))
-        }
-        other => Err(ProtocolError::new(
+    let id = parse_id(&value).map_err(FrameError::anonymous)?;
+    let fail = |error| FrameError {
+        id: id.clone(),
+        error,
+    };
+    let op = value.get("op").and_then(JsonValue::as_str).ok_or_else(|| {
+        fail(ProtocolError::new(
             "malformed-request",
-            format!("unknown op `{other}`"),
+            "missing string field `op`",
+        ))
+    })?;
+    let request = match op {
+        "hello" => Request::Hello,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "run" => Request::Run(parse_run_body(&value).map_err(&fail)?),
+        "batch" => {
+            let runs = value.get("runs").ok_or_else(|| {
+                fail(ProtocolError::new(
+                    "malformed-request",
+                    "`batch` requires a `runs` array",
+                ))
+            })?;
+            let items = runs.as_array().ok_or_else(|| {
+                fail(ProtocolError::new(
+                    "malformed-request",
+                    "`runs` must be an array of run objects",
+                ))
+            })?;
+            if items.is_empty() {
+                return Err(fail(ProtocolError::new(
+                    "malformed-request",
+                    "`runs` must not be empty",
+                )));
+            }
+            let runs = items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    if item.as_object().is_none() {
+                        return Err(ProtocolError::new(
+                            "malformed-request",
+                            format!("`runs[{i}]` must be a run object"),
+                        ));
+                    }
+                    parse_run_body(item).map_err(|e| {
+                        ProtocolError::new(e.category, format!("runs[{i}]: {}", e.message))
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(&fail)?;
+            Request::Batch(runs)
+        }
+        other => {
+            return Err(fail(ProtocolError::new(
+                "malformed-request",
+                format!("unknown op `{other}`"),
+            )))
+        }
+    };
+    Ok(Frame { id, request })
+}
+
+/// Extracts the optional `id` field: a string or a non-negative integer.
+fn parse_id(value: &JsonValue) -> Result<Option<RequestId>, ProtocolError> {
+    match value.get("id") {
+        None => Ok(None),
+        Some(JsonValue::String(s)) => Ok(Some(RequestId::Text(s.clone()))),
+        Some(JsonValue::Integer(n)) => Ok(Some(RequestId::Number(*n))),
+        Some(other) => Err(ProtocolError::new(
+            "malformed-request",
+            format!(
+                "`id` must be a string or a non-negative integer, got {}",
+                kind(other)
+            ),
         )),
     }
+}
+
+/// Parses the body of one `run` payload — either a whole `run` request
+/// or one element of a `batch`'s `runs` array.
+fn parse_run_body(value: &JsonValue) -> Result<RunRequest, ProtocolError> {
+    let keys = string_list(value, "experiments")?;
+    let tags = string_list(value, "tags")?;
+    let sweeps = string_list(value, "sweep")?;
+    let dists = string_list(value, "dists")?;
+    let samples = match value.get("samples") {
+        None => None,
+        Some(samples) => Some(
+            samples
+                .as_u64()
+                .map(|n| n as usize)
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| {
+                    ProtocolError::new("malformed-request", "`samples` must be a positive integer")
+                })?,
+        ),
+    };
+    let seed = match value.get("seed") {
+        None => None,
+        Some(seed) => Some(seed.as_u64().ok_or_else(|| {
+            ProtocolError::new("malformed-request", "`seed` must be a non-negative integer")
+        })?),
+    };
+    let sets = match value.get("set") {
+        None => Vec::new(),
+        Some(set) => {
+            let pairs = set.as_object().ok_or_else(|| {
+                ProtocolError::new("malformed-request", "`set` must be an object")
+            })?;
+            pairs
+                .iter()
+                .map(|(key, v)| Ok((key.clone(), value_text(v)?)))
+                .collect::<Result<Vec<_>, ProtocolError>>()?
+        }
+    };
+    let jobs = match value.get("jobs") {
+        None => None,
+        Some(jobs) => Some(
+            jobs.as_u64()
+                .map(|n| n as usize)
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| {
+                    ProtocolError::new("malformed-request", "`jobs` must be a positive integer")
+                })?,
+        ),
+    };
+    let no_cache = match value.get("no_cache") {
+        None => false,
+        Some(flag) => flag.as_bool().ok_or_else(|| {
+            ProtocolError::new("malformed-request", "`no_cache` must be a boolean")
+        })?,
+    };
+    Ok(RunRequest {
+        keys,
+        tags,
+        sets,
+        sweeps,
+        dists,
+        samples,
+        seed,
+        jobs,
+        no_cache,
+    })
 }
 
 impl RunRequest {
@@ -297,6 +488,18 @@ impl RunRequest {
     /// points and run contexts. Nothing runs here — a failing request is
     /// rejected before it can touch the engine or its cache.
     pub fn resolve(&self) -> Result<ResolvedRun, ProtocolError> {
+        self.resolve_with(None)
+    }
+
+    /// [`Self::resolve`] with an optional [`ScenarioInterner`]: when one
+    /// is supplied, a repeated `set`/`dists` payload reuses the interned
+    /// validated base scenario instead of re-validating it, so a daemon
+    /// replaying identical scenarios skips the per-request validation
+    /// cost entirely.
+    pub fn resolve_with(
+        &self,
+        interner: Option<&ScenarioInterner>,
+    ) -> Result<ResolvedRun, ProtocolError> {
         let tags: Vec<Tag> = self
             .tags
             .iter()
@@ -336,11 +539,12 @@ impl RunRequest {
             ));
         }
 
-        let mut scenario = Scenario::paper_defaults();
-        for (key, value) in &self.sets {
-            scenario.set(key, value).map_err(|e| scenario_error(&e))?;
-        }
-        scenario.validate().map_err(|e| scenario_error(&e))?;
+        // The validated base scenario plus parsed dist bindings — interned
+        // when an interner is supplied, so identical payloads validate once.
+        let base: Arc<InternedScenario> = match interner {
+            Some(interner) => interner.resolve(&self.sets, &self.dists)?,
+            None => Arc::new(InternedScenario::build(&self.sets, &self.dists)?),
+        };
 
         // Monte-Carlo sampling and enumerated sweeps are mutually
         // exclusive: a sampled axis has no fixed point labels for a grid.
@@ -362,17 +566,14 @@ impl RunRequest {
             let samples = self.samples.ok_or_else(|| {
                 ProtocolError::new("invalid-sweep", "`dists` requires a `samples` count")
             })?;
-            let bindings = self
-                .dists
-                .iter()
-                .map(|text| {
-                    DistBinding::parse(text)
-                        .map_err(|e| ProtocolError::new("invalid-sweep", e.to_string()))
-                })
-                .collect::<Result<Vec<_>, _>>()?;
             Some(
-                MonteCarloMatrix::new(scenario.clone(), bindings, samples, self.seed.unwrap_or(0))
-                    .map_err(|e| ProtocolError::new("invalid-sweep", e.to_string()))?,
+                MonteCarloMatrix::new(
+                    base.scenario.clone(),
+                    base.bindings.clone(),
+                    samples,
+                    self.seed.unwrap_or(0),
+                )
+                .map_err(|e| ProtocolError::new("invalid-sweep", e.to_string()))?,
             )
         };
 
@@ -384,7 +585,7 @@ impl RunRequest {
                     .map_err(|e| ProtocolError::new("invalid-sweep", e.to_string()))
             })
             .collect::<Result<_, _>>()?;
-        let matrix = ScenarioMatrix::new(scenario, sweeps)
+        let matrix = ScenarioMatrix::new(base.scenario.clone(), sweeps)
             .map_err(|e| ProtocolError::new("invalid-sweep", e.to_string()))?;
         let points: Vec<ScenarioPoint> = matrix.points().collect();
         let contexts: Vec<RunContext> = points
@@ -400,6 +601,7 @@ impl RunRequest {
             points,
             contexts,
             mc,
+            base,
         })
     }
 }
@@ -593,6 +795,64 @@ mod tests {
             ..base
         };
         assert_eq!(rejection(&garbled).category, "invalid-sweep");
+    }
+
+    #[test]
+    fn frames_carry_optional_ids() {
+        let frame = parse_frame(r#"{"op":"stats","id":"abc"}"#).expect("valid frame");
+        assert_eq!(frame.id, Some(RequestId::Text("abc".into())));
+        assert_eq!(frame.request, Request::Stats);
+        let frame = parse_frame(r#"{"op":"hello","id":42}"#).expect("valid frame");
+        assert_eq!(frame.id, Some(RequestId::Number(42)));
+        assert_eq!(frame.request, Request::Hello);
+        let frame = parse_frame(r#"{"op":"shutdown"}"#).expect("valid frame");
+        assert_eq!(frame.id, None);
+
+        // A malformed op still reports the id it was billed to.
+        let err = parse_frame(r#"{"op":"dance","id":7}"#).expect_err("rejected");
+        assert_eq!(err.id, Some(RequestId::Number(7)));
+        assert_eq!(err.error.category, "malformed-request");
+        // A bad id is itself malformed, and anonymous.
+        let err = parse_frame(r#"{"op":"stats","id":[1]}"#).expect_err("rejected");
+        assert_eq!(err.id, None);
+        assert_eq!(err.error.category, "malformed-request");
+        let err = parse_frame(r#"{"op":"stats","id":-4}"#).expect_err("rejected");
+        assert_eq!(err.error.category, "malformed-request");
+    }
+
+    #[test]
+    fn batch_frames_parse_and_validate_shape() {
+        let frame = parse_frame(
+            r#"{"op":"batch","id":"b","runs":[{"experiments":["fig05"]},{"experiments":["fig10"],"jobs":2}]}"#,
+        )
+        .expect("valid batch");
+        let Request::Batch(runs) = frame.request else {
+            panic!("expected a batch request");
+        };
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].keys, ["fig05"]);
+        assert_eq!(runs[1].jobs, Some(2));
+
+        for line in [
+            r#"{"op":"batch"}"#,
+            r#"{"op":"batch","runs":"all"}"#,
+            r#"{"op":"batch","runs":[]}"#,
+            r#"{"op":"batch","runs":[7]}"#,
+        ] {
+            let err = parse_frame(line).expect_err("rejected");
+            assert_eq!(err.error.category, "malformed-request", "line: {line}");
+        }
+        // A bad element names its index.
+        let err = parse_frame(r#"{"op":"batch","runs":[{"jobs":0}]}"#).expect_err("rejected");
+        assert!(err.error.message.starts_with("runs[0]:"), "{}", err.error);
+    }
+
+    #[test]
+    fn canonical_enumerations_are_distinct() {
+        for list in [&OPS[..], &RESPONSE_KINDS[..], &ERROR_CATEGORIES[..]] {
+            let unique: std::collections::BTreeSet<_> = list.iter().collect();
+            assert_eq!(unique.len(), list.len());
+        }
     }
 
     #[test]
