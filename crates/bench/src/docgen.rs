@@ -292,6 +292,9 @@ mod tests {
             .iter()
             .find(|f| f.path == "fleet.growth")
             .expect("fleet.growth is canonical");
-        assert_eq!(affected_by(growth), "fig02, fig11, ext-facility");
+        assert_eq!(
+            affected_by(growth),
+            "fig02, fig11, ext-facility, ext-scheduler"
+        );
     }
 }

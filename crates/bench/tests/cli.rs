@@ -35,10 +35,10 @@ fn streams_of(output: std::process::Output) -> Streams {
 }
 
 #[test]
-fn list_prints_all_26_keys() {
+fn list_prints_all_27_keys() {
     let out = stdout_of(repro().arg("--list").output().unwrap());
     let keys: Vec<&str> = out.lines().collect();
-    assert_eq!(keys.len(), 26);
+    assert_eq!(keys.len(), 27);
     assert!(keys.contains(&"fig10"));
     assert!(keys.contains(&"table4"));
     assert!(keys.contains(&"ext-mc"));
@@ -53,7 +53,7 @@ fn list_respects_tag_filters() {
             .output()
             .unwrap(),
     );
-    assert_eq!(out.lines().count(), 7);
+    assert_eq!(out.lines().count(), 8);
     assert!(out.lines().all(|k| k.starts_with("ext-")));
 
     let out = stdout_of(
@@ -146,13 +146,13 @@ fn parallel_run_writes_one_artifact_per_experiment() {
             .output()
             .unwrap(),
     );
-    assert_eq!(out.lines().count(), 26, "one `wrote …` line per experiment");
+    assert_eq!(out.lines().count(), 27, "one `wrote …` line per experiment");
     let mut files: Vec<String> = std::fs::read_dir(&dir)
         .unwrap()
         .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
         .collect();
     files.sort();
-    assert_eq!(files.len(), 26);
+    assert_eq!(files.len(), 27);
     assert!(files.contains(&"fig10.json".to_string()));
     assert!(files.contains(&"ext-mc.json".to_string()));
     assert!(files.contains(&"ext-facility.json".to_string()));
@@ -390,9 +390,9 @@ fn full_suite_sweep_has_no_scalar_gaps() {
     assert!(comparison.contains(r#""comparisons":["#));
     assert!(!comparison.contains("(no summary scalar)"));
     assert!(!comparison.contains(r#""value":null"#));
-    // All 26 experiments appear; ext-facility contributes a second
+    // All 27 experiments appear; ext-facility contributes a second
     // comparison for its thresholded cumulative break-even scalar.
-    assert_eq!(comparison.matches(r#""experiment":"#).count(), 27);
+    assert_eq!(comparison.matches(r#""experiment":"#).count(), 28);
 }
 
 #[test]
@@ -536,7 +536,7 @@ fn growth_sweep_runs_scenario_independent_experiments_once() {
     // Partially dependent experiments ignore the growth axis entirely.
     assert!(footer.contains("cache: fig10: 1 run, 4 reuses"));
     assert!(footer.contains("cache: ext-sched: 1 run, 4 reuses"));
-    assert!(footer.contains("cache: total: 38 runs, 92 reuses"));
+    assert!(footer.contains("cache: total: 43 runs, 92 reuses"));
     assert!(
         !cached.stdout.contains("cache:"),
         "the footer must stay off JSON-mode stdout"
@@ -590,8 +590,8 @@ fn warm_cache_dir_rerun_recomputes_nothing_and_matches_no_cache() {
     };
 
     // Cold: every dedup group is computed fresh and stored. 23 entries are
-    // independent of fleet.growth (1 group each) and 3 depend on it
-    // (2 groups each over the two points): 23 + 6 = 29 recomputes.
+    // independent of fleet.growth (1 group each) and 4 depend on it
+    // (2 groups each over the two points): 23 + 8 = 31 recomputes.
     let cold_dir = dir.join("cold");
     let cache = ["--cache-dir", cache_dir.to_str().unwrap()];
     let cold = sweep(&cold_dir, &cache);
@@ -606,7 +606,7 @@ fn warm_cache_dir_rerun_recomputes_nothing_and_matches_no_cache() {
         .contains("disk: ext-facility: 2 recomputes, 0 disk hits"));
     assert!(cold
         .stderr
-        .contains("disk: total: 29 recomputes, 0 disk hits"));
+        .contains("disk: total: 31 recomputes, 0 disk hits"));
     assert!(
         !cold.stdout.contains("disk:"),
         "the disk footer must stay off JSON-mode stdout"
@@ -626,7 +626,7 @@ fn warm_cache_dir_rerun_recomputes_nothing_and_matches_no_cache() {
         .contains("disk: ext-facility: 0 recomputes, 2 disk hits"));
     assert!(warm
         .stderr
-        .contains("disk: total: 0 recomputes, 29 disk hits"));
+        .contains("disk: total: 0 recomputes, 31 disk hits"));
 
     // Without --cache-dir there is no disk footer (in-memory footer stays).
     let plain_dir = dir.join("plain");
@@ -642,7 +642,7 @@ fn warm_cache_dir_rerun_recomputes_nothing_and_matches_no_cache() {
         .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
         .collect();
     names.sort();
-    assert_eq!(names.len(), 53, "26 experiments x 2 points + comparison");
+    assert_eq!(names.len(), 55, "27 experiments x 2 points + comparison");
     for name in &names {
         assert_eq!(
             std::fs::read(warm_dir.join(name)).unwrap(),
@@ -701,7 +701,7 @@ fn concurrent_processes_share_one_cache_dir_safely() {
         .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
         .collect();
     names.sort();
-    assert_eq!(names.len(), 79, "26 experiments x 3 points + comparison");
+    assert_eq!(names.len(), 82, "27 experiments x 3 points + comparison");
     for name in &names {
         let reference = std::fs::read(uncached_dir.join(name)).unwrap();
         assert_eq!(
@@ -780,11 +780,11 @@ fn explain_prints_the_dependency_plan_without_running() {
             .output()
             .unwrap(),
     );
-    assert!(out.starts_with("dependency plan — 26 experiments x 5 points = 130 jobs"));
+    assert!(out.starts_with("dependency plan — 27 experiments x 5 points = 135 jobs"));
     assert!(out.contains("fig05"));
     assert!(out.contains("(scenario-independent)"));
     assert!(out.contains("deps: fleet.*, grid.intensity"));
-    assert!(out.contains("total: 38 runs, 92 reuses"));
+    assert!(out.contains("total: 43 runs, 92 reuses"));
 
     // Without a sweep it documents the dependency sets over a single point.
     let single = stdout_of(repro().args(["--explain", "ext-die"]).output().unwrap());

@@ -16,8 +16,9 @@ use cc_report::{
 };
 use cc_units::CarbonMass;
 
-/// The first simulated calendar year — Prineville's 2013, kept fixed so
-/// break-even years from different scenarios share one time axis.
+/// The paper-default first simulated calendar year — Prineville's 2013.
+/// Scenarios shift the time axis via `fleet.start_year`; the break-even
+/// thresholds below are stated on the default axis.
 pub const START_YEAR: u16 = 2013;
 
 /// The break-even threshold sweep comparisons track: the paper observes
@@ -66,12 +67,13 @@ pub fn facility_from_context(ctx: &RunContext) -> Facility {
     // A fixed facility name: the scenario *name* is per-sweep-point labeling
     // and never reaches the simulated output, so reading it here would only
     // poison the experiment's dependency set.
-    Facility::builder("scenario-facility", START_YEAR, ServerConfig::web())
+    Facility::builder("scenario-facility", fleet.start_year, ServerConfig::web())
         .mix(fleet_mix_from_context(ctx))
         .initial_servers(initial)
         .server_growth(fleet.growth)
         .pue(fleet.pue)
         .construction(CarbonMass::from_kt(fleet.construction_kt))
+        .construction_amortization_years(fleet.building_amortization_years)
         .grid(ctx.grid_intensity())
         .renewable_ramp(fleet.renewable_ramp.clone())
         .build()
@@ -365,6 +367,40 @@ mod tests {
         let be = out.summary_scalar().unwrap().value;
         assert!(be > f64::from(START_YEAR) + 6.0, "break-even {be}");
         assert!(out.notes[0].contains("never overtakes"));
+    }
+
+    #[test]
+    fn start_year_shifts_the_time_axis_only() {
+        let paper = simulate_from_context(&RunContext::paper());
+        let shifted = simulate_from_context(&RunContext::new(
+            Scenario::builder().fleet_start_year(2021).build(),
+        ));
+        assert_eq!(shifted[0].year, 2021);
+        for (p, s) in paper.iter().zip(&shifted) {
+            assert_eq!(s.year, p.year + 8);
+            assert_eq!(s.energy, p.energy, "a pure relabeling of the axis");
+            assert_eq!(s.capex_carbon, p.capex_carbon);
+            assert_eq!(s.market_carbon, p.market_carbon);
+        }
+    }
+
+    #[test]
+    fn building_amortization_window_scales_annual_construction_carbon() {
+        // Halving the window doubles the per-year construction charge, which
+        // pulls the capex-overtake year earlier.
+        let run = |years: f64| {
+            simulate_from_context(&RunContext::new(
+                Scenario::builder()
+                    .fleet_building_amortization_years(years)
+                    .build(),
+            ))
+        };
+        let fast = run(10.0);
+        let paper = run(20.0);
+        assert!(fast[0].capex_carbon > paper[0].capex_carbon);
+        assert!(capex_overtake_year(&fast) <= capex_overtake_year(&paper));
+        // The paper default is bit-identical to the unparameterized model.
+        assert_eq!(paper, cc_dcsim::prineville::simulate());
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod ext_facility;
 pub mod ext_hetero;
 pub mod ext_mc;
 pub mod ext_sched;
+pub mod ext_scheduler;
 pub mod fig01;
 pub mod fig02;
 pub mod fig03;
@@ -47,6 +48,7 @@ pub use ext_facility::ExtFacility;
 pub use ext_hetero::ExtHeterogeneity;
 pub use ext_mc::ExtMonteCarlo;
 pub use ext_sched::ExtCarbonAwareScheduling;
+pub use ext_scheduler::ExtScheduler;
 pub use fig01::Fig01IctProjections;
 pub use fig02::Fig02EnergyVsCarbon;
 pub use fig03::Fig03GhgScopes;
@@ -232,7 +234,7 @@ macro_rules! entry {
 // under-declaration would serve stale results. The
 // `declared_deps_match_actual_reads` test runs every experiment under a
 // read-tracking context and fails on any disagreement, in either direction.
-static ENTRIES: [Entry; 26] = [
+static ENTRIES: [Entry; 27] = [
     entry!("fig01", Fig01IctProjections, [Figure, Energy], deps: []),
     entry!(
         "fig02",
@@ -251,7 +253,7 @@ static ENTRIES: [Entry; 26] = [
         "fig10",
         Fig10Breakeven,
         [Figure, Mobile],
-        deps: ["device.*", "grid.*"]
+        deps: ["device.*", "grid.intensity", "grid.renewable_fraction"]
     ),
     entry!(
         "fig11",
@@ -264,7 +266,7 @@ static ENTRIES: [Entry; 26] = [
         "fig13",
         Fig13EnergySourceSweep,
         [Figure, Energy, Corporate],
-        deps: ["grid.*"]
+        deps: ["grid.intensity", "grid.renewable_fraction"]
     ),
     entry!("fig14", Fig14WaferSweep, [Figure, Fab], deps: []),
     entry!("fig15", Fig15ResearchDirections, [Figure], deps: []),
@@ -288,13 +290,13 @@ static ENTRIES: [Entry; 26] = [
         "ext-dvfs",
         ExtDvfs,
         [Extension, Mobile],
-        deps: ["device.soc_budget_share", "grid.*"]
+        deps: ["device.soc_budget_share", "grid.intensity", "grid.renewable_fraction"]
     ),
     entry!(
         "ext-hetero",
         ExtHeterogeneity,
         [Extension, Datacenter],
-        deps: ["fleet.scale", "grid.*"]
+        deps: ["fleet.scale", "grid.intensity", "grid.renewable_fraction"]
     ),
     entry!(
         "ext-fab",
@@ -306,13 +308,19 @@ static ENTRIES: [Entry; 26] = [
         "ext-mc",
         ExtMonteCarlo,
         [Extension],
-        deps: ["device.soc_budget_share", "grid.*", "mc.*"]
+        deps: ["device.soc_budget_share", "grid.intensity", "grid.renewable_fraction", "mc.*"]
     ),
     entry!(
         "ext-facility",
         ExtFacility,
         [Extension, Datacenter],
         deps: ["fleet.*", "grid.intensity"]
+    ),
+    entry!(
+        "ext-scheduler",
+        ExtScheduler,
+        [Extension, Datacenter, Energy],
+        deps: ["fleet.*", "grid.regions"]
     ),
 ];
 
@@ -359,8 +367,8 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         let experiments = all();
-        assert_eq!(experiments.len(), 26);
-        // 15 figures, 4 tables, 7 extensions.
+        assert_eq!(experiments.len(), 27);
+        // 15 figures, 4 tables, 8 extensions.
         let figs = experiments
             .iter()
             .filter(|e| matches!(e.id(), cc_report::ExperimentId::Figure(_)))
@@ -415,8 +423,8 @@ mod tests {
     fn tag_filtering_selects_subsets() {
         assert_eq!(with_tags(&[Tag::Figure]).len(), 15);
         assert_eq!(with_tags(&[Tag::Table]).len(), 4);
-        assert_eq!(with_tags(&[Tag::Extension]).len(), 7);
-        assert_eq!(with_tags(&[]).len(), 26);
+        assert_eq!(with_tags(&[Tag::Extension]).len(), 8);
+        assert_eq!(with_tags(&[]).len(), 27);
         let mobile_figures = with_tags(&[Tag::Figure, Tag::Mobile]);
         assert!(mobile_figures.iter().any(|e| e.key == "fig10"));
         assert!(mobile_figures.iter().all(|e| e.has_tag(Tag::Figure)));
@@ -454,6 +462,7 @@ mod tests {
             ("name", "perturbed"),
             ("grid.intensity", "52"),
             ("grid.renewable_fraction", "0.25"),
+            ("grid.regions", "coastal:300,100"),
             ("device.lifetime", "4.5"),
             ("device.soc_budget_share", "0.6"),
             ("fab.node_nm", "7"),
@@ -462,11 +471,15 @@ mod tests {
             ("fleet.scale", "2"),
             ("fleet.sku", "storage"),
             ("fleet.mix", "web:0.6,ai-training:0.4"),
+            ("fleet.sites", "main@default:0.6,green@solar:0.4"),
+            ("fleet.deferrable", "0.35"),
             ("fleet.initial_servers", "30000"),
             ("fleet.growth", "1.1"),
             ("fleet.pue", "1.3"),
             ("fleet.renewable_ramp", "0,0.5,1"),
             ("fleet.construction_kt", "100"),
+            ("fleet.building_amortization_years", "15"),
+            ("fleet.start_year", "2021"),
             ("fleet.horizon_years", "5"),
             ("mc.seed", "7"),
             ("mc.samples", "500"),

@@ -254,9 +254,24 @@ impl FacilityBuilder {
     }
 
     /// Sets the total construction embodied carbon (default 100 kt),
-    /// amortized over 20 years.
+    /// amortized over the building amortization window.
     pub fn construction(&mut self, carbon: CarbonMass) -> &mut Self {
         self.facility.construction = carbon;
+        self
+    }
+
+    /// Sets the building amortization window in years (default 20): the
+    /// construction carbon is spread evenly over this many years of capex.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is not a positive finite number of years.
+    pub fn construction_amortization_years(&mut self, years: f64) -> &mut Self {
+        assert!(
+            years.is_finite() && years > 0.0,
+            "amortization window must be a positive number of years"
+        );
+        self.facility.construction_amortization_years = years;
         self
     }
 
@@ -336,6 +351,30 @@ mod tests {
         assert!((years[0].capex_carbon / (y0_embodied + construction) - 1.0).abs() < 1e-9);
         // Year 1 books only the delta.
         assert!(years[1].capex_carbon < years[0].capex_carbon);
+    }
+
+    #[test]
+    fn amortization_window_scales_the_construction_term() {
+        let short = Facility::builder("short", 2013, ServerConfig::web())
+            .initial_servers(20_000)
+            .construction_amortization_years(10.0)
+            .build()
+            .simulate(1);
+        let default = Facility::builder("default", 2013, ServerConfig::web())
+            .initial_servers(20_000)
+            .build()
+            .simulate(1);
+        // Halving the window doubles the per-year construction charge.
+        let delta = short[0].capex_carbon - default[0].capex_carbon;
+        let expect = CarbonMass::from_kt(100.0) / 10.0 - CarbonMass::from_kt(100.0) / 20.0;
+        assert!((delta / expect - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive number of years")]
+    fn zero_amortization_window_is_rejected() {
+        let _ = Facility::builder("bad", 2013, ServerConfig::web())
+            .construction_amortization_years(0.0);
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //!   the paper-default scenario reproduces it bit for bit.
 //! * [`server`] — per-SKU power/embodied-carbon descriptions and the SKU
 //!   catalog.
-//! * [`scheduler`] — carbon-aware batch scheduling against a daily grid
-//!   profile (`ext-sched`).
+//! * [`scheduler`] — carbon-aware placement of deferrable load across hours
+//!   and sites against per-region intensity traces (`ext-sched`,
+//!   `ext-scheduler`).
 //! * [`heterogeneity`] — general-purpose vs accelerator provisioning
 //!   (`ext-hetero`).
 
@@ -34,5 +35,7 @@ pub mod server;
 
 pub use facility::{Facility, FacilityYear, SkuYear};
 pub use fleet::FleetMix;
-pub use scheduler::{CarbonAwareScheduler, DayProfile};
+pub use scheduler::{
+    CarbonAwareScheduler, DayProfile, FleetSchedule, MultiSiteScheduler, SitePlan,
+};
 pub use server::ServerConfig;

@@ -10,7 +10,16 @@ use crate::table::Table;
 /// Extension experiments known to the workspace, registered here so that
 /// `ExperimentId::parse` can round-trip `ext-…` keys without allocating.
 /// (`ExperimentId` stays `Copy` by holding `&'static str` names.)
-pub const KNOWN_EXTENSIONS: [&str; 7] = ["sched", "die", "dvfs", "hetero", "fab", "mc", "facility"];
+pub const KNOWN_EXTENSIONS: [&str; 8] = [
+    "sched",
+    "die",
+    "dvfs",
+    "hetero",
+    "fab",
+    "mc",
+    "facility",
+    "scheduler",
+];
 
 /// Identifier of a paper artifact being reproduced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -36,8 +36,10 @@ pub use scenario::mc::{DistBinding, McComparison, MonteCarloMatrix};
 pub use scenario::sweep::{
     Comparison, ComparisonRow, Crossing, ScenarioMatrix, ScenarioPoint, SweepError, SweepSpec,
 };
+pub use scenario::trace::{builtin_region_trace, BUILTIN_REGIONS};
 pub use scenario::{
-    FleetParams, RunContext, Scenario, ScenarioBuilder, ScenarioError, ScenarioOverlay,
+    FleetParams, RegionParams, RunContext, Scenario, ScenarioBuilder, ScenarioError,
+    ScenarioOverlay, SiteParams,
 };
 pub use series::{Series, SeriesPoint};
 pub use table::Table;

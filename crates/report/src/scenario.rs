@@ -18,6 +18,7 @@
 pub mod deps;
 pub mod mc;
 pub mod sweep;
+pub mod trace;
 
 use crate::json::JsonValue;
 use cc_data::energy_sources::EnergySource;
@@ -54,6 +55,28 @@ pub struct GridParams {
     /// Fraction of operational energy covered by renewable purchases,
     /// blended at [`RENEWABLE_PPA_G_PER_KWH`].
     pub renewable_fraction: f64,
+    /// Named grid regions with time-resolved intensity traces, used by the
+    /// multi-site scheduler (`ext-scheduler`). Configured per region via
+    /// `grid.region.<name>.trace = "<spec>"` — see [`trace::parse_trace_spec`]
+    /// for the spec grammar — or wholesale via `grid.regions`
+    /// (`"name:h0,…,h23;…"`). Regions named after a
+    /// [`trace::BUILTIN_REGIONS`] entry need no configuration.
+    pub regions: Vec<RegionParams>,
+}
+
+/// One named grid region: a time-resolved carbon-intensity trace.
+///
+/// The hours are stored **resolved** — whatever spec form the user wrote
+/// (parametric generator, inline list, CSV file) is evaluated at set time,
+/// so scenarios stay hermetic and fingerprint by value. See
+/// `docs/GRID-TRACES.md`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionParams {
+    /// Region name, referenced by [`SiteParams::region`].
+    pub name: String,
+    /// Exactly 24 hourly carbon intensities in g CO₂e/kWh (hour 0 =
+    /// midnight local time).
+    pub hours: Vec<f64>,
 }
 
 /// Device parameters for the amortization analyses.
@@ -98,6 +121,18 @@ pub struct FleetParams {
     /// `fleet.mix = "web:0.7,ai-training:0.3"` or per-SKU via
     /// `fleet.mix[ai-training] = 0.3` (which renormalizes the rest).
     pub mix: Vec<(String, f64)>,
+    /// Multi-site fleet composition as weighted `(site, region)` placements
+    /// (weights sum to 1). Empty means one site named `main` in the
+    /// `default` region. Settable as
+    /// `fleet.sites = "main@default:0.7,pnw@hydro:0.3"` or per-site via
+    /// `fleet.sites[pnw].weight = 0.3` / `fleet.sites[pnw].region = "hydro"`
+    /// (weight assignment renormalizes the other sites; a site first named
+    /// that way starts in the region of the same name).
+    pub sites: Vec<SiteParams>,
+    /// Fraction of fleet IT energy that is deferrable batch work the
+    /// carbon-aware scheduler may move across hours and sites
+    /// (`ext-scheduler`).
+    pub deferrable: f64,
     /// Servers in service in the facility's first simulated year.
     pub initial_servers: u64,
     /// Annual server-fleet growth factor (1.0 = flat fleet).
@@ -109,10 +144,29 @@ pub struct FleetParams {
     /// slope knob.
     pub renewable_ramp: Vec<f64>,
     /// Total construction embodied carbon in kt CO₂e (amortized by the
-    /// facility model over its fixed 20-year building life).
+    /// facility model over [`Self::building_amortization_years`]).
     pub construction_kt: f64,
+    /// Building-amortization window in years over which construction carbon
+    /// is spread (paper: a 20-year building life).
+    pub building_amortization_years: f64,
+    /// Calendar year the facility enters service (paper: Prineville's
+    /// 2013 expansion). Shifts the year axis of fleet experiments.
+    pub start_year: u16,
     /// Simulated planning horizon in years.
     pub horizon_years: u32,
+}
+
+/// One site of a multi-site fleet: a share of the fleet placed in a grid
+/// region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteParams {
+    /// Site name (appears in `ext-scheduler` series and tables).
+    pub name: String,
+    /// Grid region the site draws power from — a [`GridParams::regions`]
+    /// entry or a [`trace::BUILTIN_REGIONS`] name.
+    pub region: String,
+    /// Share of the fleet hosted at this site (weights sum to 1).
+    pub weight: f64,
 }
 
 impl FleetParams {
@@ -173,6 +227,85 @@ impl FleetParams {
         self.mix = mix;
         Ok(())
     }
+
+    /// The effective multi-site composition: [`Self::sites`] when non-empty,
+    /// otherwise a single site `main` in the `default` region at weight 1.
+    #[must_use]
+    pub fn site_composition(&self) -> Vec<SiteParams> {
+        if self.sites.is_empty() {
+            vec![SiteParams {
+                name: "main".to_string(),
+                region: "default".to_string(),
+                weight: 1.0,
+            }]
+        } else {
+            self.sites.clone()
+        }
+    }
+
+    /// Sets one site's fleet share, rescaling every other site
+    /// proportionally so the weights keep summing to 1 — the multi-site
+    /// analogue of [`Self::set_mix_weight`]. An empty site list starts from
+    /// the single `main@default` site, and a site introduced this way is
+    /// placed in the region of the same name, so
+    /// `set_site_weight("hydro", 0.3)` on the paper defaults yields
+    /// `main@default:0.7,hydro@hydro:0.3`.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Invalid`] when `weight` lies outside `[0, 1]`, or
+    /// when the remaining sites carry no weight to rescale.
+    pub fn set_site_weight(&mut self, site: &str, weight: f64) -> Result<(), ScenarioError> {
+        if !weight.is_finite() || !(0.0..=1.0).contains(&weight) {
+            return Err(ScenarioError::Invalid(format!(
+                "fleet.sites[{site}] weight must lie in [0, 1], got {weight}"
+            )));
+        }
+        let mut sites = self.site_composition();
+        if !sites.iter().any(|s| s.name == site) {
+            sites.push(SiteParams {
+                name: site.to_string(),
+                region: site.to_string(),
+                weight: 0.0,
+            });
+        }
+        let others: f64 = sites
+            .iter()
+            .filter(|s| s.name != site)
+            .map(|s| s.weight)
+            .sum();
+        if others == 0.0 && weight != 1.0 {
+            return Err(ScenarioError::Invalid(format!(
+                "fleet.sites[{site}] = {weight} leaves no other site weight to rescale \
+                 (the sites must keep summing to 1)"
+            )));
+        }
+        for s in &mut sites {
+            if s.name == site {
+                s.weight = weight;
+            } else if others > 0.0 {
+                s.weight *= (1.0 - weight) / others;
+            }
+        }
+        self.sites = sites;
+        Ok(())
+    }
+
+    /// Re-points one site at a grid region, materializing the default
+    /// composition first. A site not yet in the composition is added at
+    /// weight 0 so `.region` and `.weight` assignments commute.
+    pub fn set_site_region(&mut self, site: &str, region: &str) {
+        let mut sites = self.site_composition();
+        match sites.iter_mut().find(|s| s.name == site) {
+            Some(s) => s.region = region.to_string(),
+            None => sites.push(SiteParams {
+                name: site.to_string(),
+                region: region.to_string(),
+                weight: 0.0,
+            }),
+        }
+        self.sites = sites;
+    }
 }
 
 /// Monte-Carlo parameters for `ext-mc`.
@@ -230,6 +363,7 @@ impl Scenario {
                 intensity_g_per_kwh: 380.0,
                 source: None,
                 renewable_fraction: 0.0,
+                regions: Vec::new(),
             },
             device: DeviceParams {
                 lifetime_years: 3.0,
@@ -244,11 +378,15 @@ impl Scenario {
                 scale: 1.0,
                 sku: "web".to_string(),
                 mix: Vec::new(),
+                sites: Vec::new(),
+                deferrable: 0.2,
                 initial_servers: 60_000,
                 growth: 1.28,
                 pue: 1.10,
                 renewable_ramp: vec![0.05, 0.10, 0.20, 0.35, 0.60, 0.85, 1.0],
                 construction_kt: 150.0,
+                building_amortization_years: 20.0,
+                start_year: 2013,
                 horizon_years: 7,
             },
             mc: McParams {
@@ -384,6 +522,12 @@ impl Scenario {
             "renewable_fraction = {:?}\n",
             self.grid.renewable_fraction
         ));
+        if !self.grid.regions.is_empty() {
+            out.push_str(&format!(
+                "regions = {}\n",
+                quote(&format_regions(&self.grid.regions))
+            ));
+        }
         out.push_str("\n[device]\n");
         out.push_str(&format!(
             "lifetime_years = {:?}\n",
@@ -406,6 +550,13 @@ impl Scenario {
         if !self.fleet.mix.is_empty() {
             out.push_str(&format!("mix = {}\n", quote(&format_mix(&self.fleet.mix))));
         }
+        if !self.fleet.sites.is_empty() {
+            out.push_str(&format!(
+                "sites = {}\n",
+                quote(&format_sites(&self.fleet.sites))
+            ));
+        }
+        out.push_str(&format!("deferrable = {:?}\n", self.fleet.deferrable));
         out.push_str(&format!(
             "initial_servers = {}\n",
             self.fleet.initial_servers
@@ -420,6 +571,11 @@ impl Scenario {
             "construction_kt = {:?}\n",
             self.fleet.construction_kt
         ));
+        out.push_str(&format!(
+            "building_amortization_years = {:?}\n",
+            self.fleet.building_amortization_years
+        ));
+        out.push_str(&format!("start_year = {}\n", self.fleet.start_year));
         out.push_str(&format!("horizon_years = {}\n", self.fleet.horizon_years));
         out.push_str("\n[mc]\n");
         out.push_str(&format!("seed = {}\n", self.mc.seed));
@@ -449,6 +605,18 @@ impl Scenario {
                     (
                         "renewable_fraction",
                         JsonValue::from(self.grid.renewable_fraction),
+                    ),
+                    (
+                        "regions",
+                        JsonValue::array(self.grid.regions.iter().map(|r| {
+                            JsonValue::object([
+                                ("name", JsonValue::from(r.name.as_str())),
+                                (
+                                    "hours",
+                                    JsonValue::array(r.hours.iter().map(|&h| JsonValue::from(h))),
+                                ),
+                            ])
+                        })),
                     ),
                 ]),
             ),
@@ -488,6 +656,17 @@ impl Scenario {
                         ),
                     ),
                     (
+                        "sites",
+                        JsonValue::array(self.fleet.sites.iter().map(|s| {
+                            JsonValue::object([
+                                ("name", JsonValue::from(s.name.as_str())),
+                                ("region", JsonValue::from(s.region.as_str())),
+                                ("weight", JsonValue::from(s.weight)),
+                            ])
+                        })),
+                    ),
+                    ("deferrable", JsonValue::from(self.fleet.deferrable)),
+                    (
                         "initial_servers",
                         JsonValue::Integer(self.fleet.initial_servers),
                     ),
@@ -505,6 +684,14 @@ impl Scenario {
                     (
                         "construction_kt",
                         JsonValue::from(self.fleet.construction_kt),
+                    ),
+                    (
+                        "building_amortization_years",
+                        JsonValue::from(self.fleet.building_amortization_years),
+                    ),
+                    (
+                        "start_year",
+                        JsonValue::Integer(u64::from(self.fleet.start_year)),
                     ),
                     (
                         "horizon_years",
@@ -563,7 +750,9 @@ fn validate_parts(
         }
     }
     validate_fleet_composition(fleet)?;
-    let checks: [(&str, bool); 15] = [
+    validate_grid_regions(grid)?;
+    validate_sites(grid, fleet)?;
+    let checks: [(&str, bool); 18] = [
         (
             "grid.intensity must be finite and positive",
             grid.intensity_g_per_kwh.is_finite() && grid.intensity_g_per_kwh > 0.0,
@@ -611,8 +800,21 @@ fn validate_parts(
                 && fleet.renewable_ramp.iter().all(|v| (0.0..=1.0).contains(v)),
         ),
         (
+            "fleet.deferrable must lie in [0, 1]",
+            fleet.deferrable.is_finite() && (0.0..=1.0).contains(&fleet.deferrable),
+        ),
+        (
             "fleet.construction_kt must be finite and non-negative",
             fleet.construction_kt.is_finite() && fleet.construction_kt >= 0.0,
+        ),
+        (
+            "fleet.building_amortization_years must be finite and positive",
+            fleet.building_amortization_years.is_finite()
+                && fleet.building_amortization_years > 0.0,
+        ),
+        (
+            "fleet.start_year must lie in 1900..=2100",
+            (1900..=2100).contains(&fleet.start_year),
         ),
         (
             "fleet.horizon_years must lie in 1..=200",
@@ -667,6 +869,83 @@ fn validate_fleet_composition(fleet: &FleetParams) -> Result<(), ScenarioError> 
     Ok(())
 }
 
+/// Checks every configured grid region carries a physical 24-hour trace:
+/// unique non-empty names, exactly 24 finite non-negative hourly values.
+fn validate_grid_regions(grid: &GridParams) -> Result<(), ScenarioError> {
+    for (i, region) in grid.regions.iter().enumerate() {
+        if region.name.is_empty() {
+            return Err(ScenarioError::Invalid(
+                "grid.regions lists a region with an empty name".to_string(),
+            ));
+        }
+        if grid.regions[..i].iter().any(|r| r.name == region.name) {
+            return Err(ScenarioError::Invalid(format!(
+                "grid.regions lists region `{}` more than once",
+                region.name
+            )));
+        }
+        if region.hours.len() != 24 {
+            return Err(ScenarioError::Invalid(format!(
+                "grid.region.{}.trace must resolve to 24 hourly values, got {}",
+                region.name,
+                region.hours.len()
+            )));
+        }
+        if !region.hours.iter().all(|h| h.is_finite() && *h >= 0.0) {
+            return Err(ScenarioError::Invalid(format!(
+                "grid.region.{}.trace must hold finite non-negative intensities",
+                region.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Checks `fleet.sites` describes a placeable multi-site fleet: unique
+/// non-empty site names, finite non-negative weights summing to 1 within
+/// [`MIX_WEIGHT_TOLERANCE`], and every referenced region either configured
+/// in `grid.regions` or a [`trace::BUILTIN_REGIONS`] name.
+fn validate_sites(grid: &GridParams, fleet: &FleetParams) -> Result<(), ScenarioError> {
+    let mut sum = 0.0;
+    for (i, site) in fleet.sites.iter().enumerate() {
+        if site.name.is_empty() {
+            return Err(ScenarioError::Invalid(
+                "fleet.sites lists a site with an empty name".to_string(),
+            ));
+        }
+        if fleet.sites[..i].iter().any(|s| s.name == site.name) {
+            return Err(ScenarioError::Invalid(format!(
+                "fleet.sites lists site `{}` more than once",
+                site.name
+            )));
+        }
+        if !site.weight.is_finite() || site.weight < 0.0 {
+            return Err(ScenarioError::Invalid(format!(
+                "fleet.sites weight for `{}` must be finite and non-negative, got {}",
+                site.name, site.weight
+            )));
+        }
+        let configured = grid.regions.iter().any(|r| r.name == site.region);
+        if !configured && trace::builtin_region_trace(&site.region).is_none() {
+            return Err(ScenarioError::Invalid(format!(
+                "fleet.sites[{}] names region `{}` with no grid.region.{}.trace \
+                 entry (builtin regions: {})",
+                site.name,
+                site.region,
+                site.region,
+                trace::BUILTIN_REGIONS.join(", ")
+            )));
+        }
+        sum += site.weight;
+    }
+    if !fleet.sites.is_empty() && (sum - 1.0).abs() > MIX_WEIGHT_TOLERANCE {
+        return Err(ScenarioError::Invalid(format!(
+            "fleet.sites weights must sum to 1, got {sum}"
+        )));
+    }
+    Ok(())
+}
+
 /// Fluent construction of a [`Scenario`], starting from the paper defaults.
 #[derive(Debug, Clone)]
 pub struct ScenarioBuilder {
@@ -703,6 +982,19 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn renewable_fraction(mut self, fraction: f64) -> Self {
         self.scenario.grid.renewable_fraction = fraction;
+        self
+    }
+
+    /// Adds (or replaces) a named grid region with 24 hourly intensities
+    /// (g CO₂e/kWh).
+    #[must_use]
+    pub fn grid_region(mut self, name: impl Into<String>, hours: Vec<f64>) -> Self {
+        let name = name.into();
+        let regions = &mut self.scenario.grid.regions;
+        match regions.iter_mut().find(|r| r.name == name) {
+            Some(r) => r.hours = hours,
+            None => regions.push(RegionParams { name, hours }),
+        }
         self
     }
 
@@ -766,6 +1058,21 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the multi-site fleet composition (weights must sum to 1; an
+    /// empty list means the single `main@default` site).
+    #[must_use]
+    pub fn fleet_sites(mut self, sites: Vec<SiteParams>) -> Self {
+        self.scenario.fleet.sites = sites;
+        self
+    }
+
+    /// Sets the deferrable share of fleet IT energy.
+    #[must_use]
+    pub fn fleet_deferrable(mut self, share: f64) -> Self {
+        self.scenario.fleet.deferrable = share;
+        self
+    }
+
     /// Sets the facility's first-year server count.
     #[must_use]
     pub fn fleet_initial_servers(mut self, servers: u64) -> Self {
@@ -799,6 +1106,20 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn fleet_construction_kt(mut self, kt: f64) -> Self {
         self.scenario.fleet.construction_kt = kt;
+        self
+    }
+
+    /// Sets the building-amortization window in years.
+    #[must_use]
+    pub fn fleet_building_amortization_years(mut self, years: f64) -> Self {
+        self.scenario.fleet.building_amortization_years = years;
+        self
+    }
+
+    /// Sets the facility's first simulated calendar year.
+    #[must_use]
+    pub fn fleet_start_year(mut self, year: u16) -> Self {
+        self.scenario.fleet.start_year = year;
         self
     }
 
@@ -932,6 +1253,21 @@ fn set_grid_field(grid: &mut GridParams, key: &str, value: &str) -> Result<(), S
             resolve_energy_source_in(grid)?;
         }
         "grid.renewable_fraction" => grid.renewable_fraction = f64_of(key, value)?,
+        "grid.regions" => grid.regions = parse_regions(key, value)?,
+        _ if key.starts_with("grid.region.") && key.ends_with(".trace") => {
+            let name = key["grid.region.".len()..key.len() - ".trace".len()].trim();
+            if name.is_empty() {
+                return Err(ScenarioError::UnknownKey(key.to_string()));
+            }
+            let hours = trace::parse_trace_spec(key, value)?;
+            match grid.regions.iter_mut().find(|r| r.name == name) {
+                Some(region) => region.hours = hours,
+                None => grid.regions.push(RegionParams {
+                    name: name.to_string(),
+                    hours,
+                }),
+            }
+        }
         _ => return Err(ScenarioError::UnknownKey(key.to_string())),
     }
     Ok(())
@@ -977,6 +1313,23 @@ fn set_fleet_field(fleet: &mut FleetParams, key: &str, value: &str) -> Result<()
             }
             fleet.set_mix_weight(sku, f64_of(key, value)?)?;
         }
+        "fleet.sites" => fleet.sites = parse_sites(key, value)?,
+        _ if key.starts_with("fleet.sites[") => {
+            let rest = &key["fleet.sites[".len()..];
+            let (name, field) = rest
+                .split_once(']')
+                .ok_or_else(|| ScenarioError::UnknownKey(key.to_string()))?;
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(ScenarioError::UnknownKey(key.to_string()));
+            }
+            match field {
+                "" | ".weight" => fleet.set_site_weight(name, f64_of(key, value)?)?,
+                ".region" => fleet.set_site_region(name, unquote(value).trim()),
+                _ => return Err(ScenarioError::UnknownKey(key.to_string())),
+            }
+        }
+        "fleet.deferrable" => fleet.deferrable = f64_of(key, value)?,
         "fleet.initial_servers" => fleet.initial_servers = u64_of(key, value)?,
         "fleet.growth" => fleet.growth = f64_of(key, value)?,
         "fleet.pue" => fleet.pue = f64_of(key, value)?,
@@ -985,6 +1338,16 @@ fn set_fleet_field(fleet: &mut FleetParams, key: &str, value: &str) -> Result<()
         }
         "fleet.construction_kt" | "fleet.construction" => {
             fleet.construction_kt = f64_of(key, value)?;
+        }
+        "fleet.building_amortization_years" | "fleet.building_amortization" => {
+            fleet.building_amortization_years = f64_of(key, value)?;
+        }
+        "fleet.start_year" => {
+            fleet.start_year =
+                u16::try_from(u64_of(key, value)?).map_err(|_| ScenarioError::InvalidValue {
+                    key: key.to_string(),
+                    value: value.to_string(),
+                })?;
         }
         "fleet.horizon_years" | "fleet.horizon" => {
             fleet.horizon_years =
@@ -1063,6 +1426,93 @@ fn parse_mix(key: &str, value: &str) -> Result<Vec<(String, f64)>, ScenarioError
 fn format_mix(mix: &[(String, f64)]) -> String {
     mix.iter()
         .map(|(name, w)| format!("{name}:{w:?}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses a `grid.regions` value: semicolon-separated `name:trace-spec`
+/// entries, optionally TOML-quoted. Each spec goes through
+/// [`trace::parse_trace_spec`], so the canonical resolved form
+/// (`name:h0,…,h23;…`) and the generator shorthands both parse. An empty
+/// string is the empty region list.
+fn parse_regions(key: &str, value: &str) -> Result<Vec<RegionParams>, ScenarioError> {
+    let invalid = || ScenarioError::InvalidValue {
+        key: key.to_string(),
+        value: value.to_string(),
+    };
+    let text = unquote(value);
+    let text = text.trim();
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(';')
+        .map(|part| {
+            let (name, spec) = part.split_once(':').ok_or_else(invalid)?;
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(invalid());
+            }
+            Ok(RegionParams {
+                name: name.to_string(),
+                hours: trace::parse_trace_spec(key, spec)?,
+            })
+        })
+        .collect()
+}
+
+/// Canonical text form of the grid regions, parseable by [`parse_regions`].
+fn format_regions(regions: &[RegionParams]) -> String {
+    regions
+        .iter()
+        .map(|r| {
+            let hours = r
+                .hours
+                .iter()
+                .map(|h| format!("{h:?}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("{}:{hours}", r.name)
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Parses a `fleet.sites` value: comma-separated `name@region:weight`
+/// triples, optionally TOML-quoted. An empty string is the empty site list
+/// (the single `main@default` site). Region existence and weight-sum
+/// checking happens in [`Scenario::validate`].
+fn parse_sites(key: &str, value: &str) -> Result<Vec<SiteParams>, ScenarioError> {
+    let invalid = || ScenarioError::InvalidValue {
+        key: key.to_string(),
+        value: value.to_string(),
+    };
+    let text = unquote(value);
+    let text = text.trim();
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|part| {
+            let (name, rest) = part.split_once('@').ok_or_else(invalid)?;
+            let (region, weight) = rest.rsplit_once(':').ok_or_else(invalid)?;
+            let (name, region) = (name.trim(), region.trim());
+            if name.is_empty() || region.is_empty() {
+                return Err(invalid());
+            }
+            Ok(SiteParams {
+                name: name.to_string(),
+                region: region.to_string(),
+                weight: weight.trim().parse().map_err(|_| invalid())?,
+            })
+        })
+        .collect()
+}
+
+/// Canonical text form of the fleet sites, parseable by [`parse_sites`].
+fn format_sites(sites: &[SiteParams]) -> String {
+    sites
+        .iter()
+        .map(|s| format!("{}@{}:{:?}", s.name, s.region, s.weight))
         .collect::<Vec<_>>()
         .join(",")
 }
@@ -1561,6 +2011,15 @@ impl RunContext {
         CarbonIntensity::from_g_per_kwh(self.overlay.grid().intensity_g_per_kwh)
     }
 
+    /// The configured grid regions (time-resolved intensity traces). May be
+    /// empty: site regions then resolve against the builtin catalog
+    /// ([`trace::builtin_region_trace`]).
+    #[must_use]
+    pub fn grid_regions(&self) -> &[RegionParams] {
+        self.record("grid.regions");
+        &self.overlay.grid().regions
+    }
+
     /// The operational intensity after blending the renewable fraction at
     /// [`RENEWABLE_PPA_G_PER_KWH`].
     #[must_use]
@@ -1717,7 +2176,10 @@ mod tests {
             ("fleet.growth", "1.4"),
             ("fleet.pue", "1.5"),
             ("fleet.renewable_ramp", "0,0.5,1"),
+            ("fleet.deferrable", "0.35"),
             ("fleet.construction_kt", "80"),
+            ("fleet.building_amortization", "15"),
+            ("fleet.start_year", "2021"),
             ("fleet.horizon", "10"),
             ("mc.seed", "77"),
             ("mc.samples", "1000"),
@@ -1731,7 +2193,10 @@ mod tests {
         assert_eq!(s.fleet.growth, 1.4);
         assert_eq!(s.fleet.pue, 1.5);
         assert_eq!(s.fleet.renewable_ramp, vec![0.0, 0.5, 1.0]);
+        assert_eq!(s.fleet.deferrable, 0.35);
         assert_eq!(s.fleet.construction_kt, 80.0);
+        assert_eq!(s.fleet.building_amortization_years, 15.0);
+        assert_eq!(s.fleet.start_year, 2021);
         assert_eq!(s.fleet.horizon_years, 10);
         assert_eq!(s.mc.seed, 77);
         assert_eq!(s.mc.samples, 1_000);
@@ -1740,6 +2205,141 @@ mod tests {
             s.set("nope.key", "1"),
             Err(ScenarioError::UnknownKey("nope.key".to_string()))
         );
+    }
+
+    #[test]
+    fn regions_and_sites_round_trip_through_toml_and_set() {
+        let mut s = Scenario::paper_defaults();
+        s.set("grid.region.pnw.trace", "flat(24)").unwrap();
+        s.set("grid.region.sunny.trace", "solar(380,120)").unwrap();
+        s.set("fleet.sites", "main@default:0.6,pnw@pnw:0.4")
+            .unwrap();
+        s.validate().unwrap();
+        assert_eq!(s.grid.regions.len(), 2);
+        assert_eq!(s.grid.regions[0].hours, vec![24.0; 24]);
+        assert_eq!(s.fleet.sites[1].region, "pnw");
+        let back = Scenario::from_toml(&s.to_toml()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_toml(), s.to_toml());
+        // Re-assigning an existing region replaces its trace in place.
+        s.set("grid.region.pnw.trace", "flat(30)").unwrap();
+        assert_eq!(s.grid.regions.len(), 2);
+        assert_eq!(s.grid.regions[0].hours, vec![30.0; 24]);
+    }
+
+    #[test]
+    fn site_bracket_paths_set_weight_and_region() {
+        // A site introduced by weight starts from the main@default fleet and
+        // lands in the region of its own name.
+        let mut s = Scenario::paper_defaults();
+        s.set("fleet.sites[hydro].weight", "0.3").unwrap();
+        s.validate().unwrap();
+        assert_eq!(s.fleet.sites.len(), 2);
+        assert_eq!(s.fleet.sites[0].name, "main");
+        assert!((s.fleet.sites[0].weight - 0.7).abs() < 1e-12);
+        assert_eq!(s.fleet.sites[1].region, "hydro");
+        assert_eq!(s.fleet.sites[1].weight, 0.3);
+        // Bare bracket form is the weight; `.region` re-points the site.
+        s.set("fleet.sites[hydro]", "0.5").unwrap();
+        assert_eq!(s.fleet.sites[1].weight, 0.5);
+        s.set("fleet.sites[hydro].region", "wind").unwrap();
+        assert_eq!(s.fleet.sites[1].region, "wind");
+        s.validate().unwrap();
+        // `.region` on a fresh site materializes it at weight 0 so the two
+        // assignments commute.
+        let mut fresh = Scenario::paper_defaults();
+        fresh.set("fleet.sites[aux].region", "solar").unwrap();
+        fresh.set("fleet.sites[aux].weight", "0.2").unwrap();
+        assert_eq!(fresh.fleet.sites[1].region, "solar");
+        assert_eq!(fresh.fleet.sites[1].weight, 0.2);
+        fresh.validate().unwrap();
+        // Unknown bracket suffixes stay unknown keys.
+        assert!(matches!(
+            fresh.set("fleet.sites[aux].nope", "1"),
+            Err(ScenarioError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            fresh.set("fleet.sites[].weight", "1"),
+            Err(ScenarioError::UnknownKey(_))
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_broken_regions_and_sites() {
+        // A site naming neither a configured nor a builtin region.
+        let mut s = Scenario::paper_defaults();
+        s.set("fleet.sites", "main@default:0.5,far@mars:0.5")
+            .unwrap();
+        assert!(matches!(
+            s.validate(),
+            Err(ScenarioError::Invalid(m)) if m.contains("mars") && m.contains("builtin")
+        ));
+        // Configuring the region fixes it.
+        s.set("grid.region.mars.trace", "flat(500)").unwrap();
+        s.validate().unwrap();
+        // Weights must sum to 1.
+        let mut lop = Scenario::paper_defaults();
+        lop.set("fleet.sites", "a@default:0.5,b@default:0.2")
+            .unwrap();
+        assert!(matches!(
+            lop.validate(),
+            Err(ScenarioError::Invalid(m)) if m.contains("sum to 1")
+        ));
+        // Duplicate site and region names are rejected.
+        let mut dup = Scenario::paper_defaults();
+        dup.set("fleet.sites", "a@default:0.5,a@default:0.5")
+            .unwrap();
+        assert!(matches!(
+            dup.validate(),
+            Err(ScenarioError::Invalid(m)) if m.contains("more than once")
+        ));
+        let mut dup_region = Scenario::paper_defaults();
+        dup_region.grid.regions = vec![
+            RegionParams {
+                name: "x".to_string(),
+                hours: vec![1.0; 24],
+            },
+            RegionParams {
+                name: "x".to_string(),
+                hours: vec![2.0; 24],
+            },
+        ];
+        assert!(matches!(
+            dup_region.validate(),
+            Err(ScenarioError::Invalid(m)) if m.contains("more than once")
+        ));
+        // Traces must be physical and hourly.
+        let mut neg = Scenario::paper_defaults();
+        neg.grid.regions = vec![RegionParams {
+            name: "bad".to_string(),
+            hours: vec![-1.0; 24],
+        }];
+        assert!(matches!(
+            neg.validate(),
+            Err(ScenarioError::Invalid(m)) if m.contains("non-negative")
+        ));
+        let mut short = Scenario::paper_defaults();
+        short.grid.regions = vec![RegionParams {
+            name: "bad".to_string(),
+            hours: vec![1.0; 7],
+        }];
+        assert!(matches!(
+            short.validate(),
+            Err(ScenarioError::Invalid(m)) if m.contains("24 hourly values")
+        ));
+        // The new scalar fields have range checks too.
+        for (key, value, needle) in [
+            ("fleet.deferrable", "1.5", "[0, 1]"),
+            ("fleet.building_amortization_years", "0", "positive"),
+            ("fleet.start_year", "1492", "1900..=2100"),
+        ] {
+            let mut bad = Scenario::paper_defaults();
+            bad.set(key, value).unwrap();
+            assert!(
+                matches!(bad.validate(), Err(ScenarioError::Invalid(m)) if m.contains(needle)),
+                "{key}"
+            );
+        }
     }
 
     #[test]
@@ -2089,8 +2689,9 @@ mod tests {
             ["grid.intensity", "grid.renewable_fraction"]
         );
         assert!(ctx.fleet_is_paper());
-        // grid.intensity + grid.renewable_fraction + the nine fleet fields.
-        assert_eq!(tracker.reads().len(), 11);
+        // grid.intensity + grid.renewable_fraction + the thirteen fleet
+        // fields.
+        assert_eq!(tracker.reads().len(), 15);
 
         // A non-grid change leaves the grid paper-like but not the fleet.
         let mut s = Scenario::paper_defaults();

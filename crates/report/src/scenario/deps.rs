@@ -107,7 +107,7 @@ impl FieldInfo {
 /// Every settable scenario field, in canonical (TOML) order. The single
 /// source of truth for `--set` documentation, dependency expansion and the
 /// generated scenario reference.
-pub const FIELDS: [FieldInfo; 20] = [
+pub const FIELDS: [FieldInfo; 25] = [
     FieldInfo {
         path: "name",
         aliases: &[],
@@ -138,6 +138,16 @@ pub const FIELDS: [FieldInfo; 20] = [
         ty: "f64",
         doc: "Fraction of operational energy covered by renewable purchases",
         validation: "in [0, 1]",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "grid.regions",
+        aliases: &[],
+        ty: "trace map",
+        doc: "Named grid regions with 24-hour intensity traces; per-region specs \
+              (`solar(night,noon)`, `flat(v)`, inline list, `*.csv`) are settable via \
+              `grid.region.<name>.trace` and resolve at set time (see docs/GRID-TRACES.md)",
+        validation: "unique non-empty names; 24 finite non-negative hourly values each",
         semantic: true,
     },
     FieldInfo {
@@ -206,6 +216,26 @@ pub const FIELDS: [FieldInfo; 20] = [
         semantic: true,
     },
     FieldInfo {
+        path: "fleet.sites",
+        aliases: &[],
+        ty: "weighted list",
+        doc: "Multi-site fleet composition (`main@default:0.7,pnw@hydro:0.3`); one site's \
+              share is sweepable via `fleet.sites[<site>].weight` (renormalizing the rest) \
+              and its region settable via `fleet.sites[<site>].region`",
+        validation: "unique names, weights >= 0 summing to 1, regions configured or builtin; \
+                     empty = one `main` site in the `default` region",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "fleet.deferrable",
+        aliases: &[],
+        ty: "f64",
+        doc: "Fraction of fleet IT energy that is deferrable batch work the carbon-aware \
+              scheduler may move across hours and sites",
+        validation: "in [0, 1]",
+        semantic: true,
+    },
+    FieldInfo {
         path: "fleet.initial_servers",
         aliases: &[],
         ty: "u64",
@@ -243,6 +273,22 @@ pub const FIELDS: [FieldInfo; 20] = [
         ty: "f64",
         doc: "Total construction embodied carbon in kt CO2e",
         validation: "finite and >= 0",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "fleet.building_amortization_years",
+        aliases: &["fleet.building_amortization"],
+        ty: "f64",
+        doc: "Building-amortization window in years over which construction carbon is spread",
+        validation: "finite and > 0",
+        semantic: true,
+    },
+    FieldInfo {
+        path: "fleet.start_year",
+        aliases: &[],
+        ty: "u16",
+        doc: "Calendar year the facility enters service (shifts the year axis)",
+        validation: "in 1900..=2100",
         semantic: true,
     },
     FieldInfo {
@@ -339,6 +385,7 @@ fn write_field_value<S: FieldSource>(
         "grid.intensity" => write!(out, "{:?}", source.grid().intensity_g_per_kwh),
         "grid.source" => out.write_str(source.grid().source.as_deref().unwrap_or_default()),
         "grid.renewable_fraction" => write!(out, "{:?}", source.grid().renewable_fraction),
+        "grid.regions" => write_regions(&source.grid().regions, out),
         "device.lifetime" => write!(out, "{:?}", source.device().lifetime_years),
         "device.soc_budget_share" => write!(out, "{:?}", source.device().soc_budget_share),
         "fab.node_nm" => write!(out, "{:?}", source.fab().node_nm),
@@ -347,11 +394,17 @@ fn write_field_value<S: FieldSource>(
         "fleet.scale" => write!(out, "{:?}", source.fleet().scale),
         "fleet.sku" => out.write_str(&source.fleet().sku),
         "fleet.mix" => write_mix(&source.fleet().mix, out),
+        "fleet.sites" => write_sites(&source.fleet().sites, out),
+        "fleet.deferrable" => write!(out, "{:?}", source.fleet().deferrable),
         "fleet.initial_servers" => write!(out, "{}", source.fleet().initial_servers),
         "fleet.growth" => write!(out, "{:?}", source.fleet().growth),
         "fleet.pue" => write!(out, "{:?}", source.fleet().pue),
         "fleet.renewable_ramp" => write_ramp(&source.fleet().renewable_ramp, out),
         "fleet.construction_kt" => write!(out, "{:?}", source.fleet().construction_kt),
+        "fleet.building_amortization_years" => {
+            write!(out, "{:?}", source.fleet().building_amortization_years)
+        }
+        "fleet.start_year" => write!(out, "{}", source.fleet().start_year),
         "fleet.horizon_years" => write!(out, "{}", source.fleet().horizon_years),
         "mc.seed" => write!(out, "{}", source.mc().seed),
         "mc.samples" => write!(out, "{}", source.mc().samples),
@@ -381,6 +434,31 @@ fn write_ramp(ramp: &[f64], out: &mut impl fmt::Write) -> fmt::Result {
             out.write_char(',')?;
         }
         write!(out, "{v:?}")?;
+    }
+    Ok(())
+}
+
+/// Streams the canonical `name:h0,…,h23;…` region text (same bytes as
+/// `format_regions`).
+fn write_regions(regions: &[super::RegionParams], out: &mut impl fmt::Write) -> fmt::Result {
+    for (i, region) in regions.iter().enumerate() {
+        if i > 0 {
+            out.write_char(';')?;
+        }
+        write!(out, "{}:", region.name)?;
+        write_ramp(&region.hours, out)?;
+    }
+    Ok(())
+}
+
+/// Streams the canonical `name@region:weight,…` site text (same bytes as
+/// `format_sites`).
+fn write_sites(sites: &[super::SiteParams], out: &mut impl fmt::Write) -> fmt::Result {
+    for (i, site) in sites.iter().enumerate() {
+        if i > 0 {
+            out.write_char(',')?;
+        }
+        write!(out, "{}@{}:{:?}", site.name, site.region, site.weight)?;
     }
     Ok(())
 }
@@ -542,10 +620,10 @@ mod tests {
     fn expansion_covers_sections_and_skips_labels() {
         assert_eq!(
             expand(&[ScenarioPath::of("grid.*")]),
-            ["grid.intensity", "grid.renewable_fraction"],
+            ["grid.intensity", "grid.renewable_fraction", "grid.regions"],
             "grid.source is a label, not a semantic field"
         );
-        assert_eq!(expand(&[ScenarioPath::of("fleet.*")]).len(), 9);
+        assert_eq!(expand(&[ScenarioPath::of("fleet.*")]).len(), 13);
         assert_eq!(expand(&[]), Vec::<&str>::new());
         // Expansion follows FIELDS order regardless of declaration order.
         assert_eq!(
@@ -577,9 +655,11 @@ mod tests {
                 "fab.yield_factor",
                 "fab.renewable_share",
                 "fleet.scale",
+                "fleet.deferrable",
                 "fleet.growth",
                 "fleet.pue",
                 "fleet.construction_kt",
+                "fleet.building_amortization_years",
             ]
         );
     }
@@ -623,6 +703,29 @@ mod tests {
             mixed.field_value("fleet.mix").unwrap(),
             "web:0.7,ai-training:0.3"
         );
+    }
+
+    #[test]
+    fn regions_and_sites_participate_in_fingerprints() {
+        let base = Scenario::paper_defaults();
+        let mut placed = base.clone();
+        placed.set("fleet.sites[pnw].weight", "0.3").unwrap();
+        assert_ne!(
+            dependency_fingerprint(&base, &[ScenarioPath::of("fleet.sites")]),
+            dependency_fingerprint(&placed, &[ScenarioPath::of("fleet.sites")])
+        );
+        assert_eq!(
+            placed.field_value("fleet.sites").unwrap(),
+            "main@default:0.7,pnw@pnw:0.3"
+        );
+        let mut traced = base.clone();
+        traced.set("grid.region.pnw.trace", "flat(24)").unwrap();
+        assert_ne!(
+            dependency_fingerprint(&base, &[ScenarioPath::of("grid.regions")]),
+            dependency_fingerprint(&traced, &[ScenarioPath::of("grid.regions")])
+        );
+        let value = traced.field_value("grid.regions").unwrap();
+        assert!(value.starts_with("pnw:24.0,"), "{value}");
     }
 
     #[test]

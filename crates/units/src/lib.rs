@@ -183,6 +183,7 @@ mod mass;
 mod power;
 mod ratio;
 mod time;
+mod trace;
 
 pub use energy::Energy;
 pub use intensity::CarbonIntensity;
@@ -190,6 +191,7 @@ pub use mass::CarbonMass;
 pub use power::Power;
 pub use ratio::Ratio;
 pub use time::TimeSpan;
+pub use trace::IntensityTrace;
 
 /// Checked construction for quantity types.
 ///
@@ -235,7 +237,9 @@ impl std::error::Error for NonFiniteError {}
 /// assert!(e > Energy::ZERO);
 /// ```
 pub mod prelude {
-    pub use crate::{CarbonIntensity, CarbonMass, Energy, Power, Ratio, TimeSpan, Validate};
+    pub use crate::{
+        CarbonIntensity, CarbonMass, Energy, IntensityTrace, Power, Ratio, TimeSpan, Validate,
+    };
 }
 
 #[cfg(test)]
@@ -251,6 +255,7 @@ mod tests {
         assert_send_sync::<CarbonMass>();
         assert_send_sync::<CarbonIntensity>();
         assert_send_sync::<Ratio>();
+        assert_send_sync::<IntensityTrace>();
         assert_send_sync::<NonFiniteError>();
     }
 
